@@ -1,0 +1,92 @@
+#pragma once
+
+// Shared plumbing for the paper-reproduction bench harnesses.
+//
+// Environment knobs (same spelling everywhere):
+//   HTS_BENCH_BUDGET_MS      per sampler-instance time budget (default 1500;
+//                            the paper used 2 h — raise this to approach it)
+//   HTS_BENCH_MIN_SOLUTIONS  unique-solution target per run (paper: 1000)
+//   HTS_BENCH_SCALE          size multiplier for the big instance families
+//   HTS_BENCH_SEED           base RNG seed
+//   HTS_BENCH_BATCH          gradient sampler batch size (0 = per-instance)
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/cmsgen_like.hpp"
+#include "baselines/diff_sampler.hpp"
+#include "baselines/unigen_like.hpp"
+#include "benchgen/families.hpp"
+#include "benchgen/suite.hpp"
+#include "core/gradient_sampler.hpp"
+#include "util/env.hpp"
+#include "util/table.hpp"
+
+namespace hts::bench {
+
+struct BenchEnv {
+  double budget_ms = util::env_double("HTS_BENCH_BUDGET_MS", 1500.0);
+  std::size_t min_solutions = static_cast<std::size_t>(
+      util::env_int("HTS_BENCH_MIN_SOLUTIONS", 1000));
+  double scale = util::env_double("HTS_BENCH_SCALE", 1.0);
+  std::uint64_t seed =
+      static_cast<std::uint64_t>(util::env_int("HTS_BENCH_SEED", 42));
+  std::size_t batch =
+      static_cast<std::size_t>(util::env_int("HTS_BENCH_BATCH", 0));
+};
+
+/// Batch size heuristic mirroring the paper's "100 to 1,000,000 depending on
+/// the instance": big batches for small circuits, smaller for giants.
+inline std::size_t pick_batch(const BenchEnv& env, std::size_t n_vars) {
+  if (env.batch != 0) return env.batch;
+  if (n_vars < 1000) return 65536;
+  if (n_vars < 20000) return 8192;
+  return 2048;
+}
+
+inline benchgen::Instance make_scaled_instance(const std::string& name,
+                                               const BenchEnv& env) {
+  benchgen::GenOptions options;
+  options.scale = env.scale;
+  return benchgen::make_instance(name, options);
+}
+
+inline sampler::RunOptions run_options(const BenchEnv& env) {
+  sampler::RunOptions options;
+  options.min_solutions = env.min_solutions;
+  options.budget_ms = env.budget_ms;
+  options.seed = env.seed;
+  return options;
+}
+
+inline std::unique_ptr<sampler::GradientSampler> make_ours(
+    const BenchEnv& env, std::size_t n_vars,
+    tensor::Policy policy = tensor::Policy::kDataParallel) {
+  sampler::GradientConfig config;
+  config.batch = pick_batch(env, n_vars);
+  config.policy = policy;
+  return std::make_unique<sampler::GradientSampler>(config);
+}
+
+inline std::vector<std::unique_ptr<sampler::Sampler>> make_baselines(
+    const BenchEnv& env, std::size_t n_vars) {
+  std::vector<std::unique_ptr<sampler::Sampler>> list;
+  list.push_back(std::make_unique<baselines::UniGenLike>());
+  list.push_back(std::make_unique<baselines::CmsGenLike>());
+  baselines::DiffSamplerConfig diff;
+  diff.batch = pick_batch(env, n_vars);
+  list.push_back(std::make_unique<baselines::DiffSampler>(diff));
+  return list;
+}
+
+/// "TO" when a sampler timed out below the target with (near-)zero yield,
+/// mirroring the paper's Table II cells.
+inline std::string throughput_cell(const sampler::RunResult& result,
+                                   std::size_t min_solutions) {
+  if (result.n_unique == 0) return "TO";
+  if (result.timed_out && result.n_unique < min_solutions / 20) return "TO";
+  return util::format_grouped(result.throughput(), 1);
+}
+
+}  // namespace hts::bench

@@ -1,0 +1,127 @@
+// Constrained-random verification (CRV) stimulus generation — the paper's
+// motivating hardware-verification use case.
+//
+// Scenario: a DUT ALU command decoder accepts a 24-bit command word, but
+// legal commands must satisfy interface constraints (one-hot mode field,
+// opcode/mode compatibility, parity).  The testbench needs *many diverse
+// legal commands per second*.  We express the constraints as a circuit,
+// Tseitin-encode them, and let the gradient sampler mass-produce stimuli;
+// a coverage report shows how well the samples spread over the legal space.
+//
+//   ./crv_stimulus [n_stimuli]
+
+#include <cstdio>
+#include <map>
+#include <string>
+
+#include "circuit/circuit.hpp"
+#include "circuit/tseitin.hpp"
+#include "core/gradient_sampler.hpp"
+
+namespace {
+
+using namespace hts;
+using circuit::GateType;
+using circuit::SignalId;
+
+struct CommandWord {
+  // Bit layout of the 24-bit command.
+  std::vector<SignalId> mode;    // 4 bits, must be one-hot
+  std::vector<SignalId> opcode;  // 4 bits
+  std::vector<SignalId> payload; // 15 bits
+  SignalId parity;               // 1 bit, even parity over the whole word
+};
+
+/// Builds the constraint circuit; returns the "legal" signal.
+SignalId build_constraints(circuit::Circuit& c, CommandWord& cmd) {
+  for (int i = 0; i < 4; ++i) cmd.mode.push_back(c.add_input("mode" + std::to_string(i)));
+  for (int i = 0; i < 4; ++i) cmd.opcode.push_back(c.add_input("op" + std::to_string(i)));
+  for (int i = 0; i < 15; ++i) cmd.payload.push_back(c.add_input("p" + std::to_string(i)));
+  cmd.parity = c.add_input("parity");
+
+  // (1) mode is one-hot: OR of modes AND no pair set.
+  const SignalId any_mode = c.add_gate(GateType::kOr, cmd.mode);
+  std::vector<SignalId> pair_free;
+  for (int i = 0; i < 4; ++i) {
+    for (int j = i + 1; j < 4; ++j) {
+      pair_free.push_back(c.add_gate(GateType::kNand, {cmd.mode[i], cmd.mode[j]}));
+    }
+  }
+  pair_free.push_back(any_mode);
+  const SignalId one_hot = c.add_gate(GateType::kAnd, pair_free);
+
+  // (2) opcode/mode compatibility: mode3 (debug) only allows opcodes with
+  // op3 = 0; mode0 (idle) requires opcode == 0.
+  const SignalId debug_ok =
+      c.add_gate(GateType::kNand, {cmd.mode[3], cmd.opcode[3]});
+  const SignalId op_any = c.add_gate(GateType::kOr, cmd.opcode);
+  const SignalId idle_ok = c.add_gate(GateType::kNand, {cmd.mode[0], op_any});
+
+  // (3) even parity over all 24 bits.
+  std::vector<SignalId> all_bits;
+  for (const auto s : cmd.mode) all_bits.push_back(s);
+  for (const auto s : cmd.opcode) all_bits.push_back(s);
+  for (const auto s : cmd.payload) all_bits.push_back(s);
+  all_bits.push_back(cmd.parity);
+  const SignalId parity_bit = c.add_gate(GateType::kXor, all_bits);
+  const SignalId parity_ok = c.add_gate(GateType::kNot, {parity_bit});
+
+  return c.add_gate(GateType::kAnd, {one_hot, debug_ok, idle_ok, parity_ok});
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t n_stimuli =
+      argc > 1 ? static_cast<std::size_t>(std::stoul(argv[1])) : 5000;
+
+  circuit::Circuit dut;
+  CommandWord cmd;
+  const SignalId legal = build_constraints(dut, cmd);
+  dut.add_output(legal, true);
+
+  const circuit::TseitinResult enc = circuit::tseitin_encode(dut);
+  std::printf("constraint CNF: %u vars, %zu clauses\n", enc.formula.n_vars(),
+              enc.formula.n_clauses());
+
+  sampler::GradientConfig config;
+  config.batch = 8192;
+  sampler::GradientSampler sampler(config);
+  sampler::RunOptions options;
+  options.min_solutions = n_stimuli;
+  options.budget_ms = 20000.0;
+  options.store_limit = n_stimuli;
+  const sampler::RunResult result = sampler.run(enc.formula, options);
+
+  std::printf("generated %zu unique legal commands in %.1f ms (%.0f/s)\n\n",
+              result.n_unique, result.elapsed_ms, result.throughput());
+
+  // Coverage report: every mode x opcode-class bin a verification plan would
+  // track.  Diverse samplers fill all bins; a biased one leaves holes.
+  std::map<std::string, std::size_t> bins;
+  std::size_t checked = 0;
+  for (const cnf::Assignment& solution : result.solutions) {
+    auto bit = [&](SignalId s) { return solution[enc.signal_var[s]] != 0; };
+    int mode = -1;
+    for (int i = 0; i < 4; ++i) {
+      if (bit(cmd.mode[i])) mode = i;
+    }
+    int opcode = 0;
+    for (int i = 0; i < 4; ++i) opcode |= bit(cmd.opcode[i]) ? (1 << i) : 0;
+    bins["mode" + std::to_string(mode) + "/op" +
+         (opcode == 0 ? std::string("0") : opcode < 8 ? "1-7" : "8-15")]++;
+    ++checked;
+  }
+  std::printf("coverage over %zu stored stimuli:\n", checked);
+  for (const auto& [bin, count] : bins) {
+    std::printf("  %-14s %6zu (%.1f%%)\n", bin.c_str(), count,
+                100.0 * static_cast<double>(count) / static_cast<double>(checked));
+  }
+  // Legal-space sanity: mode0 forces op0, so mode0/op>0 bins must be absent.
+  if (bins.contains("mode0/op1-7") || bins.contains("mode0/op8-15")) {
+    std::printf("\nERROR: sampler produced an illegal mode0 command!\n");
+    return 1;
+  }
+  std::printf("\nall stimuli satisfy the interface constraints.\n");
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Side-by-side sampler comparison on one benchmark instance — a one-row
+// preview of the paper's Table II.
+//
+//   ./sampler_comparison [instance-name] [budget-ms]
+//
+// Instance names follow the paper's grammar (or-50-10-7-UC-10, 75-10-1-q,
+// s15850a_3_2, Prod-8, ...); the instance is synthesized by hts::benchgen.
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/cmsgen_like.hpp"
+#include "baselines/diff_sampler.hpp"
+#include "baselines/unigen_like.hpp"
+#include "baselines/walksat_sampler.hpp"
+#include "benchgen/families.hpp"
+#include "core/gradient_sampler.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hts;
+
+  const std::string name = argc > 1 ? argv[1] : "or-50-10-7-UC-10";
+  const double budget_ms = argc > 2 ? std::stod(argv[2]) : 2000.0;
+
+  std::printf("synthesizing instance %s ...\n", name.c_str());
+  const benchgen::Instance instance = benchgen::make_instance(name);
+  std::printf("  %zu circuit inputs, %zu outputs, CNF: %u vars, %zu clauses\n\n",
+              instance.circuit.n_inputs(), instance.circuit.outputs().size(),
+              instance.formula.n_vars(), instance.formula.n_clauses());
+
+  std::vector<std::unique_ptr<sampler::Sampler>> samplers;
+  samplers.push_back(std::make_unique<sampler::GradientSampler>());
+  samplers.push_back(std::make_unique<baselines::UniGenLike>());
+  samplers.push_back(std::make_unique<baselines::CmsGenLike>());
+  samplers.push_back(std::make_unique<baselines::DiffSampler>());
+  samplers.push_back(std::make_unique<baselines::WalkSatSampler>());
+
+  util::Table table({"Sampler", "Unique", "Valid", "Time(ms)", "Setup(ms)",
+                     "Throughput(sol/s)"});
+  double best = 0.0;
+  for (const auto& s : samplers) {
+    sampler::RunOptions options;
+    options.min_solutions = 1000;
+    options.budget_ms = budget_ms;
+    options.seed = 42;
+    const sampler::RunResult result = s->run(instance.formula, options);
+    best = std::max(best, result.throughput());
+    table.add_row({result.sampler_name.empty() ? s->name() : result.sampler_name,
+                   std::to_string(result.n_unique), std::to_string(result.n_valid),
+                   util::format_fixed(result.elapsed_ms, 1),
+                   util::format_fixed(result.setup_ms, 1),
+                   util::format_grouped(result.throughput(), 1)});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf("best throughput: %s unique solutions/s\n",
+              util::format_grouped(best, 1).c_str());
+  return 0;
+}

@@ -1,0 +1,169 @@
+#include "aig/aig.hpp"
+
+#include <algorithm>
+
+namespace hts::aig {
+
+Lit Aig::add_input() {
+  const auto node = static_cast<std::uint32_t>(nodes_.size());
+  nodes_.push_back(Node{0, 0});
+  inputs_.push_back(node);
+  return node << 1;
+}
+
+Lit Aig::land(Lit a, Lit b) {
+  // Normalize operand order for the strash key.
+  if (a > b) std::swap(a, b);
+  // Boundary cases.
+  if (a == kLitFalse) return kLitFalse;
+  if (a == kLitTrue) return b;
+  if (a == b) return a;
+  if (a == lit_not(b)) return kLitFalse;
+
+  const std::uint64_t key = (static_cast<std::uint64_t>(a) << 32) | b;
+  if (const auto it = strash_.find(key); it != strash_.end()) {
+    return it->second << 1;
+  }
+  const auto node = static_cast<std::uint32_t>(nodes_.size());
+  nodes_.push_back(Node{a, b});
+  strash_.emplace(key, node);
+  return node << 1;
+}
+
+bool Aig::eval(Lit lit, const std::vector<std::uint8_t>& input_values) const {
+  HTS_CHECK(input_values.size() == inputs_.size());
+  std::vector<std::uint8_t> value(nodes_.size(), 0);
+  for (std::size_t i = 0; i < inputs_.size(); ++i) {
+    value[inputs_[i]] = input_values[i] != 0 ? 1 : 0;
+  }
+  // Nodes are created in topological order.
+  for (std::uint32_t n = 1; n < nodes_.size(); ++n) {
+    if (is_input(n)) continue;
+    const Node& node = nodes_[n];
+    const bool f0 = (value[lit_node(node.fanin0)] != 0) ^ lit_complemented(node.fanin0);
+    const bool f1 = (value[lit_node(node.fanin1)] != 0) ^ lit_complemented(node.fanin1);
+    value[n] = (f0 && f1) ? 1 : 0;
+  }
+  return (value[lit_node(lit)] != 0) ^ lit_complemented(lit);
+}
+
+namespace {
+
+using circuit::Circuit;
+using circuit::GateType;
+using circuit::SignalId;
+
+/// Lowers one circuit gate onto AIG literals.
+Lit lower_gate(Aig& aig, const circuit::Gate& gate, const std::vector<Lit>& lit_of) {
+  auto fanin = [&](std::size_t i) { return lit_of[gate.fanins[i]]; };
+  switch (gate.type) {
+    case GateType::kInput:
+      HTS_CHECK_MSG(false, "inputs are pre-seeded");
+      return kLitFalse;
+    case GateType::kConst0:
+      return kLitFalse;
+    case GateType::kConst1:
+      return kLitTrue;
+    case GateType::kBuf:
+      return fanin(0);
+    case GateType::kNot:
+      return lit_not(fanin(0));
+    case GateType::kAnd:
+    case GateType::kNand: {
+      Lit acc = kLitTrue;
+      for (std::size_t i = 0; i < gate.fanins.size(); ++i) acc = aig.land(acc, fanin(i));
+      return gate.type == GateType::kNand ? lit_not(acc) : acc;
+    }
+    case GateType::kOr:
+    case GateType::kNor: {
+      Lit acc = kLitFalse;
+      for (std::size_t i = 0; i < gate.fanins.size(); ++i) acc = aig.lor(acc, fanin(i));
+      return gate.type == GateType::kNor ? lit_not(acc) : acc;
+    }
+    case GateType::kXor:
+    case GateType::kXnor: {
+      Lit acc = kLitFalse;
+      for (std::size_t i = 0; i < gate.fanins.size(); ++i) acc = aig.lxor(acc, fanin(i));
+      return gate.type == GateType::kXnor ? lit_not(acc) : acc;
+    }
+  }
+  return kLitFalse;
+}
+
+}  // namespace
+
+OptimizeResult optimize_with_aig(const Circuit& original) {
+  OptimizeResult result;
+  Aig aig;
+
+  // Forward pass: circuit signal -> AIG literal (strashing dedupes).
+  std::vector<Lit> lit_of(original.n_signals(), kLitFalse);
+  for (const SignalId input : original.inputs()) lit_of[input] = aig.add_input();
+  for (SignalId s = 0; s < original.n_signals(); ++s) {
+    if (original.is_input(s)) continue;
+    lit_of[s] = lower_gate(aig, original.gate(s), lit_of);
+  }
+
+  // Backward pass: materialize one circuit signal per referenced AIG node.
+  Circuit& rebuilt = result.circuit;
+  std::vector<SignalId> node_signal(aig.n_nodes(), circuit::kNoSignal);
+  SignalId const0 = circuit::kNoSignal;
+  for (const SignalId input : original.inputs()) {
+    node_signal[lit_node(lit_of[input])] = rebuilt.add_input(original.name(input));
+  }
+  auto ensure_const0 = [&] {
+    if (const0 == circuit::kNoSignal) const0 = rebuilt.add_const(false);
+    return const0;
+  };
+  // AND nodes were created in topological order; rebuild in node order.
+  for (std::uint32_t n = 1; n < aig.n_nodes(); ++n) {
+    if (aig.is_input(n) || node_signal[n] != circuit::kNoSignal) continue;
+    const Aig::Node& node = aig.node(n);
+    auto signal_of_lit = [&](Lit lit) -> SignalId {
+      SignalId s = lit_node(lit) == 0 ? ensure_const0() : node_signal[lit_node(lit)];
+      HTS_DCHECK(s != circuit::kNoSignal);
+      if (lit_complemented(lit)) s = rebuilt.add_gate(GateType::kNot, {s});
+      return s;
+    };
+    const SignalId a = signal_of_lit(node.fanin0);
+    const SignalId b = signal_of_lit(node.fanin1);
+    node_signal[n] = rebuilt.add_gate(GateType::kAnd, {a, b});
+  }
+
+  // Map every original signal to its representative (inserting inverters /
+  // constants for complemented or constant literals).
+  result.signal_map.assign(original.n_signals(), circuit::kNoSignal);
+  std::unordered_map<Lit, SignalId> lit_signal_cache;
+  for (SignalId s = 0; s < original.n_signals(); ++s) {
+    const Lit lit = lit_of[s];
+    if (const auto it = lit_signal_cache.find(lit); it != lit_signal_cache.end()) {
+      result.signal_map[s] = it->second;
+      continue;
+    }
+    SignalId mapped = circuit::kNoSignal;
+    if (lit == kLitFalse) {
+      mapped = ensure_const0();
+    } else if (lit == kLitTrue) {
+      mapped = rebuilt.add_gate(GateType::kNot, {ensure_const0()});
+    } else {
+      mapped = node_signal[lit_node(lit)];
+      HTS_DCHECK(mapped != circuit::kNoSignal);
+      if (lit_complemented(lit)) {
+        mapped = rebuilt.add_gate(GateType::kNot, {mapped});
+      }
+    }
+    lit_signal_cache.emplace(lit, mapped);
+    result.signal_map[s] = mapped;
+  }
+
+  // Carry over the output constraints.
+  for (const circuit::OutputConstraint& out : original.outputs()) {
+    rebuilt.add_output(result.signal_map[out.signal], out.target);
+  }
+
+  result.ands_before = original.op_count_2input(/*count_nots=*/false);
+  result.ands_after = aig.n_ands();
+  return result;
+}
+
+}  // namespace hts::aig

@@ -1,0 +1,95 @@
+#pragma once
+
+// And-Inverter Graph with structural hashing.
+//
+// The paper notes its extracted multi-level functions "can be further
+// optimized by leveraging other techniques [ABC, DAG-aware rewriting,
+// don't-care-based optimization]".  This module implements that hook: a
+// classic strashed AIG with constant propagation and common-subexpression
+// elimination, plus lossless round-trips from/to the circuit IR so the
+// optimization can sit between Algorithm 1 and the probabilistic compiler.
+//
+// Literal encoding follows AIGER: lit = 2*node + complement; node 0 is the
+// constant-false node, so lit 0 = false and lit 1 = true.
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "circuit/circuit.hpp"
+#include "util/check.hpp"
+
+namespace hts::aig {
+
+using Lit = std::uint32_t;
+
+inline constexpr Lit kLitFalse = 0;
+inline constexpr Lit kLitTrue = 1;
+
+[[nodiscard]] constexpr Lit lit_not(Lit lit) { return lit ^ 1u; }
+[[nodiscard]] constexpr std::uint32_t lit_node(Lit lit) { return lit >> 1; }
+[[nodiscard]] constexpr bool lit_complemented(Lit lit) { return (lit & 1u) != 0; }
+
+class Aig {
+ public:
+  Aig() {
+    // Node 0: constant false.
+    nodes_.push_back(Node{0, 0});
+  }
+
+  /// Fresh primary input; returns its positive literal.
+  Lit add_input();
+
+  /// Strashed AND with the standard simplifications (constants, idempotence,
+  /// complement annihilation); returns an existing literal when the
+  /// structure is already present.
+  [[nodiscard]] Lit land(Lit a, Lit b);
+
+  [[nodiscard]] Lit lor(Lit a, Lit b) { return lit_not(land(lit_not(a), lit_not(b))); }
+  [[nodiscard]] Lit lxor(Lit a, Lit b) {
+    return lor(land(a, lit_not(b)), land(lit_not(a), b));
+  }
+
+  [[nodiscard]] std::size_t n_nodes() const { return nodes_.size(); }
+  [[nodiscard]] std::size_t n_inputs() const { return inputs_.size(); }
+  /// AND nodes only (the AIG size metric).
+  [[nodiscard]] std::size_t n_ands() const {
+    return nodes_.size() - inputs_.size() - 1;
+  }
+
+  [[nodiscard]] bool is_input(std::uint32_t node) const {
+    return node != 0 && nodes_[node].fanin0 == 0 && nodes_[node].fanin1 == 0;
+  }
+
+  struct Node {
+    Lit fanin0;
+    Lit fanin1;
+  };
+  [[nodiscard]] const Node& node(std::uint32_t index) const { return nodes_[index]; }
+  [[nodiscard]] const std::vector<std::uint32_t>& inputs() const { return inputs_; }
+
+  /// Evaluates a literal under input values (indexed like inputs()).
+  [[nodiscard]] bool eval(Lit lit, const std::vector<std::uint8_t>& input_values) const;
+
+ private:
+  std::vector<Node> nodes_;
+  std::vector<std::uint32_t> inputs_;
+  std::unordered_map<std::uint64_t, std::uint32_t> strash_;
+};
+
+/// Result of an AIG round-trip optimization of a circuit.
+struct OptimizeResult {
+  circuit::Circuit circuit;
+  /// old signal -> new signal (every old signal keeps a representative, so
+  /// transform::Result::var_signal maps can be rewritten).
+  std::vector<circuit::SignalId> signal_map;
+  std::size_t ands_before = 0;  // 2-input-equivalent ops before
+  std::size_t ands_after = 0;   // AND nodes after strashing
+};
+
+/// circuit -> AIG (strash, constant-fold, CSE) -> circuit of AND/NOT gates.
+/// Inputs keep their order; output constraints are carried over.  The
+/// result is logically equivalent signal-by-signal.
+[[nodiscard]] OptimizeResult optimize_with_aig(const circuit::Circuit& circuit);
+
+}  // namespace hts::aig

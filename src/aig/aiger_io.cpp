@@ -1,0 +1,156 @@
+#include "aig/aiger_io.hpp"
+
+#include <sstream>
+#include <unordered_map>
+
+namespace hts::aig {
+
+namespace {
+
+/// Renumbering for the writer: our node index -> aiger variable index.
+struct Renumber {
+  std::vector<std::uint32_t> node_to_var;
+
+  explicit Renumber(const Aig& aig) : node_to_var(aig.n_nodes(), 0) {
+    std::uint32_t next = 1;
+    for (const std::uint32_t input : aig.inputs()) node_to_var[input] = next++;
+    for (std::uint32_t n = 1; n < aig.n_nodes(); ++n) {
+      if (!aig.is_input(n)) node_to_var[n] = next++;
+    }
+  }
+
+  [[nodiscard]] std::uint32_t map_lit(Lit lit) const {
+    return (node_to_var[lit_node(lit)] << 1) | (lit & 1u);
+  }
+};
+
+}  // namespace
+
+std::string write_aiger(const Aig& aig, const std::vector<Lit>& outputs,
+                        const std::vector<std::string>& input_names,
+                        const std::vector<std::string>& output_names) {
+  const Renumber renumber(aig);
+  const std::size_t n_inputs = aig.n_inputs();
+  const std::size_t n_ands = aig.n_ands();
+  const std::size_t max_var = n_inputs + n_ands;
+
+  std::ostringstream out;
+  out << "aag " << max_var << ' ' << n_inputs << " 0 " << outputs.size() << ' '
+      << n_ands << '\n';
+  for (const std::uint32_t input : aig.inputs()) {
+    out << (renumber.node_to_var[input] << 1) << '\n';
+  }
+  for (const Lit output : outputs) out << renumber.map_lit(output) << '\n';
+  for (std::uint32_t n = 1; n < aig.n_nodes(); ++n) {
+    if (aig.is_input(n)) continue;
+    const Aig::Node& node = aig.node(n);
+    out << (renumber.node_to_var[n] << 1) << ' ' << renumber.map_lit(node.fanin0)
+        << ' ' << renumber.map_lit(node.fanin1) << '\n';
+  }
+  for (std::size_t i = 0; i < input_names.size() && i < n_inputs; ++i) {
+    if (!input_names[i].empty()) out << 'i' << i << ' ' << input_names[i] << '\n';
+  }
+  for (std::size_t i = 0; i < output_names.size() && i < outputs.size(); ++i) {
+    if (!output_names[i].empty()) out << 'o' << i << ' ' << output_names[i] << '\n';
+  }
+  out << "c\nwritten by hts-sat-sampling\n";
+  return out.str();
+}
+
+AigerModule parse_aiger(const std::string& text) {
+  std::istringstream in(text);
+  std::string magic;
+  std::size_t max_var = 0;
+  std::size_t n_inputs = 0;
+  std::size_t n_latches = 0;
+  std::size_t n_outputs = 0;
+  std::size_t n_ands = 0;
+  if (!(in >> magic >> max_var >> n_inputs >> n_latches >> n_outputs >> n_ands)) {
+    throw AigerError("malformed header");
+  }
+  if (magic != "aag") throw AigerError("only ASCII 'aag' files are supported");
+  if (n_latches != 0) throw AigerError("latches are not supported");
+  if (max_var < n_inputs + n_ands) throw AigerError("inconsistent header counts");
+
+  AigerModule module;
+  // aiger var index -> our literal; folded ANDs may legitimately map to
+  // constants, so definedness is tracked separately.
+  std::vector<Lit> var_lit(max_var + 1, kLitFalse);
+  std::vector<std::uint8_t> var_defined(max_var + 1, 0);
+
+  std::vector<std::uint32_t> input_vars;
+  for (std::size_t i = 0; i < n_inputs; ++i) {
+    std::uint64_t lit = 0;
+    if (!(in >> lit)) throw AigerError("missing input literal");
+    if (lit == 0 || (lit & 1u) != 0) throw AigerError("input literal must be even");
+    const auto var = static_cast<std::uint32_t>(lit >> 1);
+    if (var > max_var) throw AigerError("input variable out of range");
+    input_vars.push_back(var);
+    var_lit[var] = module.aig.add_input();
+    var_defined[var] = 1;
+  }
+
+  std::vector<std::uint64_t> raw_outputs(n_outputs);
+  for (auto& lit : raw_outputs) {
+    if (!(in >> lit)) throw AigerError("missing output literal");
+    if ((lit >> 1) > max_var) throw AigerError("output literal out of range");
+  }
+
+  struct RawAnd {
+    std::uint32_t lhs_var;
+    std::uint64_t rhs0;
+    std::uint64_t rhs1;
+  };
+  std::vector<RawAnd> raw_ands;
+  raw_ands.reserve(n_ands);
+  for (std::size_t i = 0; i < n_ands; ++i) {
+    std::uint64_t lhs = 0;
+    std::uint64_t rhs0 = 0;
+    std::uint64_t rhs1 = 0;
+    if (!(in >> lhs >> rhs0 >> rhs1)) throw AigerError("missing AND row");
+    if ((lhs & 1u) != 0 || lhs == 0) throw AigerError("AND lhs must be even");
+    raw_ands.push_back(RawAnd{static_cast<std::uint32_t>(lhs >> 1), rhs0, rhs1});
+  }
+
+  // AIGER requires fanins to be defined before use, so one pass suffices.
+  auto to_lit = [&](std::uint64_t aiger_lit) -> Lit {
+    if (aiger_lit <= 1) return aiger_lit == 0 ? kLitFalse : kLitTrue;
+    const auto var = static_cast<std::uint32_t>(aiger_lit >> 1);
+    if (var_defined[var] == 0) {
+      throw AigerError("fanin " + std::to_string(aiger_lit) +
+                       " referenced before definition");
+    }
+    const Lit base = var_lit[var];
+    return (aiger_lit & 1u) != 0 ? lit_not(base) : base;
+  };
+  for (const RawAnd& row : raw_ands) {
+    var_lit[row.lhs_var] = module.aig.land(to_lit(row.rhs0), to_lit(row.rhs1));
+    var_defined[row.lhs_var] = 1;
+  }
+  for (const std::uint64_t lit : raw_outputs) module.outputs.push_back(to_lit(lit));
+
+  // Optional symbol table.
+  module.input_names.assign(n_inputs, "");
+  module.output_names.assign(n_outputs, "");
+  std::string token;
+  while (in >> token) {
+    if (token == "c") break;  // comment section: ignore the rest
+    if (token.size() >= 2 && (token[0] == 'i' || token[0] == 'o')) {
+      std::size_t index = 0;
+      try {
+        index = std::stoul(token.substr(1));
+      } catch (const std::exception&) {
+        throw AigerError("bad symbol-table entry '" + token + "'");
+      }
+      std::string name;
+      if (!(in >> name)) throw AigerError("symbol entry missing name");
+      if (token[0] == 'i' && index < n_inputs) module.input_names[index] = name;
+      if (token[0] == 'o' && index < n_outputs) module.output_names[index] = name;
+      continue;
+    }
+    throw AigerError("unexpected trailer token '" + token + "'");
+  }
+  return module;
+}
+
+}  // namespace hts::aig

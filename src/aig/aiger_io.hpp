@@ -1,0 +1,46 @@
+#pragma once
+
+// ASCII AIGER (aag) reader/writer for the AIG.
+//
+// AIGER is the lingua franca of the open-source logic-synthesis world
+// (ABC, the aiger utilities, hardware model checkers).  Emitting it lets
+// users push the circuits extracted by Algorithm 1 through external
+// optimizers — the exact workflow the paper points at when it says the
+// extracted functions "can be further optimized" with ABC-style tools —
+// and pull the results back in for sampling.
+//
+// Supported subset: combinational aag (no latches), with an optional
+// symbol table and comment section.
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "aig/aig.hpp"
+
+namespace hts::aig {
+
+class AigerError : public std::runtime_error {
+ public:
+  explicit AigerError(const std::string& message)
+      : std::runtime_error("aiger: " + message) {}
+};
+
+struct AigerModule {
+  Aig aig;
+  /// Output literals, in file order.
+  std::vector<Lit> outputs;
+  std::vector<std::string> input_names;   // empty strings when unnamed
+  std::vector<std::string> output_names;
+};
+
+/// Serializes to ASCII AIGER.  Nodes are renumbered to the AIGER convention
+/// (inputs 1..I, ANDs I+1..I+A in topological order).
+[[nodiscard]] std::string write_aiger(const Aig& aig, const std::vector<Lit>& outputs,
+                                      const std::vector<std::string>& input_names = {},
+                                      const std::vector<std::string>& output_names = {});
+
+/// Parses an ASCII AIGER file (combinational only; latches are rejected).
+[[nodiscard]] AigerModule parse_aiger(const std::string& text);
+
+}  // namespace hts::aig

@@ -1,0 +1,81 @@
+#include "analysis/uniformity.hpp"
+
+#include <cmath>
+#include <unordered_map>
+
+#include "bdd/bdd.hpp"
+#include "bdd/builder.hpp"
+#include "util/check.hpp"
+
+namespace hts::analysis {
+
+UniformityReport analyze_uniformity(const cnf::Formula& formula,
+                                    const std::vector<cnf::Assignment>& draws,
+                                    std::size_t bdd_node_limit) {
+  UniformityReport report;
+
+  bdd::Manager mgr(formula.n_vars(), bdd_node_limit);
+  const bdd::NodeId space = bdd::build_from_cnf(mgr, formula);
+  const double count = mgr.satcount(space);
+  HTS_CHECK_MSG(count < 9e15, "solution space too large for exact analysis");
+  report.n_models = static_cast<std::uint64_t>(count);
+
+  // Histogram over packed assignments.
+  struct VecHash {
+    std::size_t operator()(const std::vector<std::uint64_t>& key) const noexcept {
+      std::uint64_t h = 0xcbf29ce484222325ULL;
+      for (const std::uint64_t w : key) {
+        h ^= w;
+        h *= 0x100000001b3ULL;
+      }
+      return static_cast<std::size_t>(h);
+    }
+  };
+  std::unordered_map<std::vector<std::uint64_t>, std::size_t, VecHash> histogram;
+  const std::size_t n_words = (formula.n_vars() + 63) / 64;
+  for (const cnf::Assignment& draw : draws) {
+    if (!formula.satisfied_by(draw)) {
+      ++report.n_invalid;
+      continue;
+    }
+    std::vector<std::uint64_t> key(n_words, 0);
+    for (cnf::Var v = 0; v < formula.n_vars(); ++v) {
+      if (draw[v] != 0) key[v >> 6] |= (1ULL << (v & 63));
+    }
+    ++histogram[key];
+    ++report.n_draws;
+  }
+  report.n_distinct = histogram.size();
+  if (report.n_models > 0) {
+    report.coverage = static_cast<double>(report.n_distinct) /
+                      static_cast<double>(report.n_models);
+  }
+  if (report.n_draws == 0 || report.n_models == 0) return report;
+
+  const double expected = static_cast<double>(report.n_draws) /
+                          static_cast<double>(report.n_models);
+  double chi = 0.0;
+  double kl = 0.0;
+  std::size_t min_freq = static_cast<std::size_t>(-1);
+  std::size_t max_freq = 0;
+  for (const auto& [key, freq] : histogram) {
+    const double diff = static_cast<double>(freq) - expected;
+    chi += diff * diff / expected;
+    const double p = static_cast<double>(freq) / static_cast<double>(report.n_draws);
+    kl += p * std::log(p * static_cast<double>(report.n_models));
+    min_freq = std::min(min_freq, freq);
+    max_freq = std::max(max_freq, freq);
+  }
+  // Unobserved solutions contribute (0 - expected)^2 / expected each.
+  const double unobserved =
+      static_cast<double>(report.n_models) - static_cast<double>(report.n_distinct);
+  chi += unobserved * expected;
+  report.chi_square = chi;
+  report.kl_divergence = kl;
+  report.min_max_ratio = max_freq > 0 ? static_cast<double>(min_freq) /
+                                            static_cast<double>(max_freq)
+                                      : 0.0;
+  return report;
+}
+
+}  // namespace hts::analysis

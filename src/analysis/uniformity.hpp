@@ -1,0 +1,50 @@
+#pragma once
+
+// Sampler-quality analysis: how close is a sampler's output distribution to
+// uniform over the solution space?
+//
+// The paper's baselines span the uniformity spectrum (UniGen3 guarantees
+// near-uniformity; CMSGen and the gradient sampler trade it away for
+// throughput).  This module quantifies the trade on exactly-countable
+// instances: the solution space is enumerated through the BDD package, and
+// the sampler's draw stream is scored with standard statistics (chi-square
+// against uniform, KL divergence, coverage, min/max frequency ratio) — the
+// methodology of sampler-testing work like Barbarik (Pote et al.).
+
+#include <cstdint>
+#include <vector>
+
+#include "cnf/formula.hpp"
+
+namespace hts::analysis {
+
+struct UniformityReport {
+  std::uint64_t n_models = 0;   // exact solution count
+  std::size_t n_draws = 0;      // samples analyzed (duplicates included)
+  std::size_t n_distinct = 0;   // distinct solutions observed
+  double coverage = 0.0;        // n_distinct / n_models
+
+  /// Pearson chi-square statistic of the draw histogram against the uniform
+  /// distribution over all n_models solutions (df = n_models - 1).
+  double chi_square = 0.0;
+
+  /// KL(empirical || uniform) in nats; 0 for a perfectly uniform stream.
+  double kl_divergence = 0.0;
+
+  /// min observed frequency / max observed frequency among *observed*
+  /// solutions (1.0 = flat; small = spiky).
+  double min_max_ratio = 0.0;
+
+  /// Draws that were not solutions of the formula (must be 0 for sound
+  /// samplers).
+  std::size_t n_invalid = 0;
+};
+
+/// Scores a draw stream against the formula's exact solution space.
+/// Requires the formula's BDD to fit in `bdd_node_limit` nodes; throws
+/// bdd::CapacityError otherwise.  Intended for small analysis instances.
+[[nodiscard]] UniformityReport analyze_uniformity(
+    const cnf::Formula& formula, const std::vector<cnf::Assignment>& draws,
+    std::size_t bdd_node_limit = 1u << 20);
+
+}  // namespace hts::analysis

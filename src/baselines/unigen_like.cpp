@@ -1,0 +1,176 @@
+#include "baselines/unigen_like.hpp"
+
+#include <algorithm>
+
+#include "core/unique_bank.hpp"
+#include "solver/cdcl.hpp"
+#include "util/timer.hpp"
+
+namespace hts::baselines {
+
+namespace {
+
+using cnf::Lit;
+using cnf::Var;
+
+/// Appends a random parity constraint over the original variables to the
+/// formula: a random subset of up to max_width variables with a random
+/// even/odd parity, encoded as an XOR chain with auxiliary variables.
+void add_random_xor(cnf::Formula& formula, Var n_original, std::size_t max_width,
+                    util::Rng& rng) {
+  std::vector<Var> vars;
+  if (n_original / 2 <= max_width) {
+    for (Var v = 0; v < n_original; ++v) {
+      if (rng.next_bool()) vars.push_back(v);
+    }
+  } else {
+    // Sparse hash: sample max_width distinct variables.
+    std::vector<Var> all(n_original);
+    for (Var v = 0; v < n_original; ++v) all[v] = v;
+    rng.shuffle(all);
+    vars.assign(all.begin(), all.begin() + static_cast<std::ptrdiff_t>(max_width));
+  }
+  const bool parity = rng.next_bool();  // required XOR value
+  if (vars.empty()) return;             // trivially true half the time; skip
+  if (vars.size() == 1) {
+    formula.add_clause({Lit(vars[0], !parity)});
+    return;
+  }
+  // Chain: t1 = v0 ^ v1, t2 = t1 ^ v2, ...; final aux constrained to parity.
+  auto emit_xor2 = [&formula](Var c, Var a, Var b) {
+    formula.add_clause({Lit(c, true), Lit(a, false), Lit(b, false)});
+    formula.add_clause({Lit(c, true), Lit(a, true), Lit(b, true)});
+    formula.add_clause({Lit(c, false), Lit(a, true), Lit(b, false)});
+    formula.add_clause({Lit(c, false), Lit(a, false), Lit(b, true)});
+  };
+  Var acc = vars[0];
+  for (std::size_t i = 1; i < vars.size(); ++i) {
+    const Var t = formula.new_var();
+    emit_xor2(t, acc, vars[i]);
+    acc = t;
+  }
+  formula.add_clause({Lit(acc, !parity)});
+}
+
+}  // namespace
+
+sampler::RunResult UniGenLike::run(const cnf::Formula& formula,
+                                   const sampler::RunOptions& options) {
+  sampler::RunResult result;
+  result.sampler_name = name();
+
+  util::Rng rng(options.seed ^ 0x0169e40fULL);
+  util::Deadline deadline(options.budget_ms);
+  util::Timer timer;
+  sampler::UniqueBank bank(formula.n_vars());
+
+  std::vector<Var> original_vars(formula.n_vars());
+  for (Var v = 0; v < formula.n_vars(); ++v) original_vars[v] = v;
+
+  // Adaptive number of hash constraints: gallop upward while cells
+  // overflow, then binary-search between the tightest known bounds (real
+  // UniGen gets this from an ApproxMC count; the search reconverges here
+  // because the model count is unknown).
+  std::size_t m = 0;
+  std::size_t overflow_below = 0;                     // largest m seen to overflow
+  std::size_t empty_above = formula.n_vars() + 1;     // smallest m seen empty
+  bool any_sat_seen = false;
+
+  while (!deadline.expired()) {
+    if (options.min_solutions > 0 && bank.size() >= options.min_solutions) break;
+
+    // Build the hashed formula for this round.
+    cnf::Formula hashed = formula;
+    for (std::size_t i = 0; i < m; ++i) {
+      add_random_xor(hashed, formula.n_vars(), config_.max_xor_width, rng);
+    }
+
+    solver::CdclConfig solver_config;
+    solver_config.seed = rng.next_u64();
+    solver_config.polarity = solver::CdclConfig::Polarity::kRandom;
+    solver_config.conflict_budget = config_.conflict_budget;
+    solver::CdclSolver solver(solver_config);
+    solver.add_formula(hashed);
+
+    // Enumerate the cell up to pivot+1 models (projected onto originals).
+    std::vector<cnf::Assignment> cell;
+    bool overflow = false;
+    bool interrupted = false;
+    for (;;) {
+      const solver::Status status = solver.solve({}, &deadline);
+      if (status == solver::Status::kUnknown) {
+        interrupted = true;
+        break;
+      }
+      if (status == solver::Status::kUnsat) break;
+      any_sat_seen = true;
+      cnf::Assignment projected(solver.model().begin(),
+                                solver.model().begin() + formula.n_vars());
+      cell.push_back(std::move(projected));
+      if (cell.size() > config_.pivot) {
+        overflow = true;
+        break;
+      }
+      if (!solver.block_model(original_vars)) break;  // cell exhausted
+    }
+
+    if (interrupted) {
+      // Budget ran out mid-cell; salvage what was found, then loop exits on
+      // the deadline check.
+      for (const cnf::Assignment& model : cell) {
+        ++result.n_valid;
+        if (bank.insert_bits(model) && result.solutions.size() < options.store_limit) {
+          result.solutions.push_back(model);
+        }
+      }
+      continue;
+    }
+    if (overflow) {
+      overflow_below = std::max(overflow_below, m);
+      if (empty_above > formula.n_vars()) {
+        m = m * 2 + 1;  // gallop until an upper bound exists
+      } else {
+        m = (m + empty_above + 1) / 2;
+      }
+      if (m > formula.n_vars()) m = formula.n_vars();
+      continue;
+    }
+    if (cell.empty()) {
+      if (m == 0) {
+        // No hashing and no model: the formula itself is UNSAT.
+        result.proven_unsat = !any_sat_seen;
+        break;
+      }
+      empty_above = std::min(empty_above, m);
+      m = (overflow_below + m) / 2;  // back off toward the overflow bound
+      continue;
+    }
+
+    // Emit a random subset of the cell (UniGen picks uniformly inside it).
+    rng.shuffle(cell);
+    const std::size_t take = std::min(config_.samples_per_cell, cell.size());
+    for (std::size_t i = 0; i < take; ++i) {
+      ++result.n_valid;
+      if (options.verify_against_cnf && !formula.satisfied_by(cell[i])) {
+        ++result.n_invalid;
+      }
+      const bool is_new = bank.insert_bits(cell[i]);
+      if ((is_new || options.store_all_draws) &&
+          result.solutions.size() < options.store_limit) {
+        result.solutions.push_back(cell[i]);
+      }
+      if (is_new) {
+        result.progress.push_back(
+            sampler::ProgressPoint{timer.milliseconds(), bank.size()});
+      }
+    }
+  }
+
+  result.n_unique = bank.size();
+  result.elapsed_ms = timer.milliseconds();
+  result.timed_out =
+      options.min_solutions > 0 && result.n_unique < options.min_solutions;
+  return result;
+}
+
+}  // namespace hts::baselines

@@ -1,0 +1,30 @@
+#pragma once
+
+// WalkSAT-restart sampler (extension beyond the paper's Table II set): each
+// solution is an independent local-search run from a random start.  Anchors
+// the "cheap stochastic heuristic" end of the sampler spectrum in the
+// extension benches.
+
+#include "core/sampler.hpp"
+#include "solver/walksat.hpp"
+
+namespace hts::baselines {
+
+struct WalkSatSamplerConfig {
+  double noise = 0.5;
+  std::uint64_t max_flips_per_restart = 200000;
+};
+
+class WalkSatSampler : public sampler::Sampler {
+ public:
+  explicit WalkSatSampler(WalkSatSamplerConfig config = {}) : config_(config) {}
+
+  [[nodiscard]] std::string name() const override { return "WalkSAT-restart"; }
+  [[nodiscard]] sampler::RunResult run(const cnf::Formula& formula,
+                                       const sampler::RunOptions& options) override;
+
+ private:
+  WalkSatSamplerConfig config_;
+};
+
+}  // namespace hts::baselines

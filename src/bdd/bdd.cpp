@@ -1,0 +1,175 @@
+#include "bdd/bdd.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hts::bdd {
+
+Manager::Manager(std::uint32_t n_vars, std::size_t max_nodes)
+    : n_vars_(n_vars), max_nodes_(max_nodes) {
+  HTS_CHECK_MSG(n_vars < (1u << 21), "BDD variable count exceeds packing width");
+  // Terminals live at fixed ids; their 'var' is the past-the-end level so the
+  // cofactor logic treats them as below every real variable.
+  nodes_.push_back(Node{n_vars_, kFalse, kFalse});  // id 0 = false
+  nodes_.push_back(Node{n_vars_, kTrue, kTrue});    // id 1 = true
+}
+
+NodeId Manager::make_node(std::uint32_t var, NodeId low, NodeId high) {
+  if (low == high) return low;  // reduction rule
+  const std::uint64_t key = pack3(var, low, high);
+  auto [it, inserted] = unique_.try_emplace(key, static_cast<NodeId>(nodes_.size()));
+  if (!inserted) return it->second;
+  if (nodes_.size() >= max_nodes_) {
+    unique_.erase(it);
+    throw CapacityError(max_nodes_);
+  }
+  nodes_.push_back(Node{var, low, high});
+  return it->second;
+}
+
+NodeId Manager::make_var(std::uint32_t var) {
+  HTS_CHECK(var < n_vars_);
+  return make_node(var, kFalse, kTrue);
+}
+
+NodeId Manager::ite(NodeId f, NodeId g, NodeId h) {
+  // Terminal cases.
+  if (f == kTrue) return g;
+  if (f == kFalse) return h;
+  if (g == h) return g;
+  if (g == kTrue && h == kFalse) return f;
+
+  const std::uint64_t key = pack3(f, g, h);
+  if (auto it = ite_cache_.find(key); it != ite_cache_.end()) return it->second;
+
+  const std::uint32_t top =
+      std::min({level(f), level(g), level(h)});
+  auto cofactor = [&](NodeId id, bool positive) -> NodeId {
+    if (level(id) != top) return id;
+    return positive ? nodes_[id].high : nodes_[id].low;
+  };
+  const NodeId high = ite(cofactor(f, true), cofactor(g, true), cofactor(h, true));
+  const NodeId low = ite(cofactor(f, false), cofactor(g, false), cofactor(h, false));
+  const NodeId result = make_node(top, low, high);
+  ite_cache_.emplace(key, result);
+  return result;
+}
+
+NodeId Manager::apply_xor(NodeId f, NodeId g) { return ite(f, apply_not(g), g); }
+
+NodeId Manager::restrict_var(NodeId f, std::uint32_t var, bool value) {
+  if (level(f) > var) return f;  // f does not depend on var (or is terminal)
+  if (level(f) == var) return value ? nodes_[f].high : nodes_[f].low;
+  const NodeId low = restrict_var(nodes_[f].low, var, value);
+  const NodeId high = restrict_var(nodes_[f].high, var, value);
+  return make_node(nodes_[f].var, low, high);
+}
+
+NodeId Manager::exists(NodeId f, std::uint32_t var) {
+  return apply_or(restrict_var(f, var, false), restrict_var(f, var, true));
+}
+
+bool Manager::eval(NodeId f, const std::vector<std::uint8_t>& assignment) const {
+  while (f > kTrue) {
+    const Node& n = nodes_[f];
+    HTS_DCHECK(n.var < assignment.size());
+    f = assignment[n.var] != 0 ? n.high : n.low;
+  }
+  return f == kTrue;
+}
+
+double Manager::satcount(NodeId f) const { return satcount_below(f, 0); }
+
+double Manager::satcount_below(NodeId id, std::uint32_t from_var) const {
+  HTS_DCHECK(level(id) >= from_var);
+  struct Rec {
+    const Manager* mgr;
+    double operator()(NodeId node) const {
+      if (node == kFalse) return 0.0;
+      if (node == kTrue) return 1.0;
+      auto& cache = mgr->count_cache_;
+      if (auto it = cache.find(node); it != cache.end()) return it->second;
+      const Node& n = mgr->nodes_[node];
+      const double low =
+          (*this)(n.low) * std::pow(2.0, mgr->level(n.low) - n.var - 1);
+      const double high =
+          (*this)(n.high) * std::pow(2.0, mgr->level(n.high) - n.var - 1);
+      const double total = low + high;
+      cache.emplace(node, total);
+      return total;
+    }
+  };
+  return Rec{this}(id) * std::pow(2.0, level(id) - from_var);
+}
+
+std::vector<std::uint32_t> Manager::support(NodeId f) const {
+  std::vector<std::uint8_t> seen_node(nodes_.size(), 0);
+  std::vector<std::uint8_t> in_support(n_vars_, 0);
+  std::vector<NodeId> stack{f};
+  while (!stack.empty()) {
+    const NodeId id = stack.back();
+    stack.pop_back();
+    if (id <= kTrue || seen_node[id] != 0) continue;
+    seen_node[id] = 1;
+    in_support[nodes_[id].var] = 1;
+    stack.push_back(nodes_[id].low);
+    stack.push_back(nodes_[id].high);
+  }
+  std::vector<std::uint32_t> vars;
+  for (std::uint32_t v = 0; v < n_vars_; ++v) {
+    if (in_support[v] != 0) vars.push_back(v);
+  }
+  return vars;
+}
+
+bool Manager::pick_model(NodeId f, std::vector<std::uint8_t>& model_out) const {
+  model_out.assign(n_vars_, 0);
+  if (f == kFalse) return false;
+  while (f > kTrue) {
+    const Node& n = nodes_[f];
+    if (n.low != kFalse) {
+      model_out[n.var] = 0;
+      f = n.low;
+    } else {
+      model_out[n.var] = 1;
+      f = n.high;
+    }
+  }
+  return true;
+}
+
+std::vector<std::uint8_t> Manager::nth_model(NodeId f, std::uint64_t index) const {
+  HTS_CHECK_MSG(f != kFalse, "nth_model on unsatisfiable BDD");
+  std::vector<std::uint8_t> model(n_vars_, 0);
+  double remaining = static_cast<double>(index);
+  std::uint32_t var = 0;
+  NodeId node = f;
+  while (var < n_vars_) {
+    if (node <= kTrue || nodes_[node].var != var) {
+      // node does not branch on var: both values equally split the models.
+      const double half = satcount_below(node, var + 1);
+      if (remaining < half) {
+        model[var] = 0;
+      } else {
+        model[var] = 1;
+        remaining -= half;
+      }
+      ++var;
+      continue;
+    }
+    const double low_models = satcount_below(nodes_[node].low, var + 1);
+    if (remaining < low_models) {
+      model[var] = 0;
+      node = nodes_[node].low;
+    } else {
+      model[var] = 1;
+      remaining -= low_models;
+      node = nodes_[node].high;
+    }
+    ++var;
+  }
+  HTS_CHECK_MSG(node == kTrue, "nth_model index out of range");
+  return model;
+}
+
+}  // namespace hts::bdd

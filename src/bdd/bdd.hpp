@@ -1,0 +1,108 @@
+#pragma once
+
+// A compact ROBDD (reduced ordered binary decision diagram) package.
+//
+// Role in this repo: the paper performs all "Boolean manipulations, such as
+// simplification and complement checking" with SymPy.  Our expression engine
+// (hts::expr) answers small-support queries with truth tables and delegates
+// larger ones here, where canonicity makes equivalence a pointer comparison.
+// The BDD is also used by tests and benches for exact model counting
+// (solution-space sizes for uniformity checks).
+//
+// Design: classic unique-table + computed-cache apply, identity variable
+// order (variable index == level), no complement edges.  Node ids are
+// indices into a flat vector; ids 0 and 1 are the terminals.
+
+#include <cstdint>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace hts::bdd {
+
+using NodeId = std::uint32_t;
+
+inline constexpr NodeId kFalse = 0;
+inline constexpr NodeId kTrue = 1;
+
+/// Thrown when a manager exceeds its node budget; callers (e.g. the expr
+/// equivalence check) treat this as "query too large", not a fatal error.
+class CapacityError : public std::runtime_error {
+ public:
+  explicit CapacityError(std::size_t limit)
+      : std::runtime_error("BDD node limit exceeded (" + std::to_string(limit) +
+                           ")") {}
+};
+
+class Manager {
+ public:
+  /// max_nodes bounds total unique nodes (terminals included).
+  explicit Manager(std::uint32_t n_vars, std::size_t max_nodes = 1u << 22);
+
+  [[nodiscard]] std::uint32_t n_vars() const { return n_vars_; }
+  [[nodiscard]] std::size_t n_nodes() const { return nodes_.size(); }
+
+  /// The BDD for variable `var` (level == var).
+  [[nodiscard]] NodeId make_var(std::uint32_t var);
+
+  [[nodiscard]] NodeId ite(NodeId f, NodeId g, NodeId h);
+  [[nodiscard]] NodeId apply_and(NodeId f, NodeId g) { return ite(f, g, kFalse); }
+  [[nodiscard]] NodeId apply_or(NodeId f, NodeId g) { return ite(f, kTrue, g); }
+  [[nodiscard]] NodeId apply_xor(NodeId f, NodeId g);
+  [[nodiscard]] NodeId apply_not(NodeId f) { return ite(f, kFalse, kTrue); }
+
+  /// Shannon cofactor of f with respect to var=value.
+  [[nodiscard]] NodeId restrict_var(NodeId f, std::uint32_t var, bool value);
+
+  /// Existential quantification of var.
+  [[nodiscard]] NodeId exists(NodeId f, std::uint32_t var);
+
+  /// Evaluates under a complete assignment (index = variable).
+  [[nodiscard]] bool eval(NodeId f, const std::vector<std::uint8_t>& assignment) const;
+
+  /// Number of satisfying assignments over all n_vars() variables.
+  [[nodiscard]] double satcount(NodeId f) const;
+
+  /// Sorted list of variables f depends on.
+  [[nodiscard]] std::vector<std::uint32_t> support(NodeId f) const;
+
+  /// One satisfying assignment (any), or false if f == kFalse.  Variables
+  /// outside the support are set to 0.
+  [[nodiscard]] bool pick_model(NodeId f, std::vector<std::uint8_t>& model_out) const;
+
+  /// The index-th satisfying assignment in lexicographic order; index must be
+  /// < satcount(f).  Used to draw *exactly uniform* reference samples in
+  /// sampler-uniformity tests.
+  [[nodiscard]] std::vector<std::uint8_t> nth_model(NodeId f, std::uint64_t index) const;
+
+  struct Node {
+    std::uint32_t var;  // level; terminals use n_vars()
+    NodeId low;
+    NodeId high;
+  };
+  [[nodiscard]] const Node& node(NodeId id) const { return nodes_[id]; }
+
+ private:
+  [[nodiscard]] NodeId make_node(std::uint32_t var, NodeId low, NodeId high);
+  [[nodiscard]] std::uint32_t level(NodeId id) const { return nodes_[id].var; }
+
+  /// Models of `id` counted over variables [from_var, n_vars()); requires
+  /// level(id) >= from_var.
+  [[nodiscard]] double satcount_below(NodeId id, std::uint32_t from_var) const;
+
+  static std::uint64_t pack3(std::uint64_t a, std::uint64_t b, std::uint64_t c) {
+    // 21 bits per field is plenty under the node budget; mix to one key.
+    return (a << 42) | (b << 21) | c;
+  }
+
+  std::uint32_t n_vars_;
+  std::size_t max_nodes_;
+  std::vector<Node> nodes_;
+  std::unordered_map<std::uint64_t, NodeId> unique_;
+  std::unordered_map<std::uint64_t, NodeId> ite_cache_;
+  mutable std::unordered_map<NodeId, double> count_cache_;
+};
+
+}  // namespace hts::bdd

@@ -1,0 +1,21 @@
+#include "bdd/builder.hpp"
+
+namespace hts::bdd {
+
+NodeId build_from_cnf(Manager& mgr, const cnf::Formula& formula) {
+  HTS_CHECK(mgr.n_vars() >= formula.n_vars());
+  NodeId conjunction = kTrue;
+  for (const cnf::Clause& clause : formula.clauses()) {
+    NodeId disjunction = kFalse;
+    for (const cnf::Lit lit : clause) {
+      NodeId leaf = mgr.make_var(lit.var());
+      if (lit.negated()) leaf = mgr.apply_not(leaf);
+      disjunction = mgr.apply_or(disjunction, leaf);
+    }
+    conjunction = mgr.apply_and(conjunction, disjunction);
+    if (conjunction == kFalse) break;
+  }
+  return conjunction;
+}
+
+}  // namespace hts::bdd

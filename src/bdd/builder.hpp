@@ -1,0 +1,15 @@
+#pragma once
+
+// Convenience constructions: CNF formula -> BDD.  Used by tests/benches for
+// exact model counting and equisatisfiability checks on small instances.
+
+#include "bdd/bdd.hpp"
+#include "cnf/formula.hpp"
+
+namespace hts::bdd {
+
+/// Conjunction of all clauses.  Throws CapacityError if the formula's BDD
+/// exceeds the manager's node budget.
+[[nodiscard]] NodeId build_from_cnf(Manager& mgr, const cnf::Formula& formula);
+
+}  // namespace hts::bdd

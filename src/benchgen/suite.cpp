@@ -1,0 +1,45 @@
+#include "benchgen/suite.hpp"
+
+namespace hts::benchgen {
+
+std::vector<std::string> table2_names() {
+  return {
+      "or-50-10-7-UC-10", "or-60-20-10-UC-10", "or-70-5-5-UC-10",
+      "or-100-20-8-UC-10", "75-10-1-q",        "75-10-10-q",
+      "90-10-1-q",         "90-10-10-q",       "s15850a_3_2",
+      "s15850a_7_4",       "s15850a_15_7",     "Prod-8",
+      "Prod-20",           "Prod-32",
+  };
+}
+
+std::vector<std::string> ablation_names() {
+  return {"or-100-20-8-UC-10", "90-10-10-q", "s15850a_15_7", "Prod-32"};
+}
+
+std::vector<std::string> suite60_names() {
+  std::vector<std::string> names;
+  // 28 or-instances: four input widths x seven variants.
+  for (const int k : {50, 60, 70, 100}) {
+    for (int i = 1; i <= 7; ++i) {
+      names.push_back("or-" + std::to_string(k) + "-10-" + std::to_string(i) +
+                      "-UC-10");
+    }
+  }
+  // 20 q-instances: 75-10-i-q and 90-10-i-q, i = 1..10.
+  for (const int w : {75, 90}) {
+    for (int i = 1; i <= 10; ++i) {
+      names.push_back(std::to_string(w) + "-10-" + std::to_string(i) + "-q");
+    }
+  }
+  // 6 s15850a instances.
+  for (const auto& suffix : {"3_2", "5_3", "7_4", "10_5", "15_7", "20_9"}) {
+    names.push_back(std::string("s15850a_") + suffix);
+  }
+  // 6 Prod instances.
+  for (const int n : {8, 12, 16, 20, 24, 32}) {
+    names.push_back("Prod-" + std::to_string(n));
+  }
+  return names;
+}
+
+}  // namespace hts::benchgen

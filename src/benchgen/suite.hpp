@@ -1,0 +1,20 @@
+#pragma once
+
+// Benchmark suite manifests: the 14 Table II instances and the 60-instance
+// set behind Fig. 2, mirroring the paper's evaluation scope.
+
+#include <string>
+#include <vector>
+
+namespace hts::benchgen {
+
+/// The 14 representative instances of Table II, in table order.
+[[nodiscard]] std::vector<std::string> table2_names();
+
+/// The 4 instances used by Figs. 3 and 4.
+[[nodiscard]] std::vector<std::string> ablation_names();
+
+/// 60 instances across the four families (Fig. 2's population).
+[[nodiscard]] std::vector<std::string> suite60_names();
+
+}  // namespace hts::benchgen

@@ -1,0 +1,60 @@
+#include "circuit/expr_import.hpp"
+
+#include <vector>
+
+namespace hts::circuit {
+
+SignalId lower_expr(Circuit& circuit, const expr::Manager& exprs, expr::ExprId root,
+                    const std::unordered_map<std::uint32_t, SignalId>& var_to_signal,
+                    std::unordered_map<expr::ExprId, SignalId>& memo) {
+  using expr::ExprId;
+  using expr::Kind;
+
+  std::vector<std::pair<ExprId, bool>> stack{{root, false}};
+  while (!stack.empty()) {
+    auto [cur, expanded] = stack.back();
+    stack.pop_back();
+    if (memo.contains(cur)) continue;
+    if (!expanded) {
+      stack.push_back({cur, true});
+      for (const ExprId c : exprs.children(cur)) stack.push_back({c, false});
+      continue;
+    }
+    SignalId signal = kNoSignal;
+    switch (exprs.kind(cur)) {
+      case Kind::kConst0:
+        signal = circuit.add_const(false);
+        break;
+      case Kind::kConst1:
+        signal = circuit.add_const(true);
+        break;
+      case Kind::kVar: {
+        const auto it = var_to_signal.find(exprs.var_index(cur));
+        HTS_CHECK_MSG(it != var_to_signal.end(),
+                      "expression variable has no driving signal");
+        signal = it->second;
+        break;
+      }
+      case Kind::kNot:
+        signal = circuit.add_gate(GateType::kNot,
+                                  {memo.at(exprs.children(cur)[0])});
+        break;
+      case Kind::kAnd:
+      case Kind::kOr:
+      case Kind::kXor: {
+        std::vector<SignalId> fanins;
+        fanins.reserve(exprs.children(cur).size());
+        for (const ExprId c : exprs.children(cur)) fanins.push_back(memo.at(c));
+        const GateType type = exprs.kind(cur) == Kind::kAnd  ? GateType::kAnd
+                              : exprs.kind(cur) == Kind::kOr ? GateType::kOr
+                                                             : GateType::kXor;
+        signal = circuit.add_gate(type, std::move(fanins));
+        break;
+      }
+    }
+    memo.emplace(cur, signal);
+  }
+  return memo.at(root);
+}
+
+}  // namespace hts::circuit

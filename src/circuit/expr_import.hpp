@@ -1,0 +1,23 @@
+#pragma once
+
+// Lowers hts::expr DAGs into circuit gates.  Used by the transformation to
+// materialize each recovered Boolean sub-expression.
+
+#include <unordered_map>
+
+#include "circuit/circuit.hpp"
+#include "expr/expr.hpp"
+
+namespace hts::circuit {
+
+/// Builds gates computing `root` inside `circuit`.  Leaves (expression
+/// variables) are resolved through var_to_signal, which must cover the
+/// support of root.  `memo` caches expression -> signal across calls so
+/// shared sub-expressions lower once; pass a fresh memo if var_to_signal
+/// entries may be rebound between calls.
+[[nodiscard]] SignalId lower_expr(Circuit& circuit, const expr::Manager& exprs,
+                                  expr::ExprId root,
+                                  const std::unordered_map<std::uint32_t, SignalId>& var_to_signal,
+                                  std::unordered_map<expr::ExprId, SignalId>& memo);
+
+}  // namespace hts::circuit

@@ -1,0 +1,141 @@
+#include "circuit/tseitin.hpp"
+
+namespace hts::circuit {
+
+namespace {
+
+using cnf::Clause;
+using cnf::Formula;
+using cnf::Lit;
+using cnf::Var;
+
+/// Emits the 4-clause signature of c = a XOR b.
+void emit_xor2(Formula& formula, Var c, Var a, Var b) {
+  formula.add_clause({Lit(c, true), Lit(a, false), Lit(b, false)});
+  formula.add_clause({Lit(c, true), Lit(a, true), Lit(b, true)});
+  formula.add_clause({Lit(c, false), Lit(a, true), Lit(b, false)});
+  formula.add_clause({Lit(c, false), Lit(a, false), Lit(b, true)});
+}
+
+/// AND signature (Eq. 3) with optional output inversion (covers NAND):
+/// (f | ~x1 | ... | ~xn) and (~f | xi) for each i; NAND flips f.
+void emit_and(Formula& formula, Var out, bool invert_out,
+              const std::vector<Var>& xs) {
+  Clause big;
+  big.reserve(xs.size() + 1);
+  big.push_back(Lit(out, invert_out));
+  for (const Var x : xs) {
+    big.push_back(Lit(x, true));
+    formula.add_clause({Lit(out, !invert_out), Lit(x, false)});
+  }
+  formula.add_clause(big);
+}
+
+/// OR signature (Eq. 2) with optional output inversion (covers NOR):
+/// (~f | x1 | ... | xn) and (f | ~xi) for each i; NOR flips f.
+void emit_or(Formula& formula, Var out, bool invert_out,
+             const std::vector<Var>& xs) {
+  Clause big;
+  big.reserve(xs.size() + 1);
+  big.push_back(Lit(out, !invert_out));
+  for (const Var x : xs) {
+    big.push_back(Lit(x, false));
+    formula.add_clause({Lit(out, invert_out), Lit(x, true)});
+  }
+  formula.add_clause(big);
+}
+
+}  // namespace
+
+TseitinResult tseitin_encode(const Circuit& circuit, bool include_output_units) {
+  TseitinResult result;
+  Formula& formula = result.formula;
+  result.signal_var.resize(circuit.n_signals());
+  for (SignalId s = 0; s < circuit.n_signals(); ++s) {
+    result.signal_var[s] = formula.new_var();
+  }
+
+  auto fanin_vars = [&](const Gate& g) {
+    std::vector<Var> vars;
+    vars.reserve(g.fanins.size());
+    for (const SignalId f : g.fanins) vars.push_back(result.signal_var[f]);
+    return vars;
+  };
+
+  for (SignalId s = 0; s < circuit.n_signals(); ++s) {
+    const Gate& g = circuit.gate(s);
+    const Var out = result.signal_var[s];
+    switch (g.type) {
+      case GateType::kInput:
+        break;
+      case GateType::kConst0:
+        formula.add_clause({Lit(out, true)});
+        break;
+      case GateType::kConst1:
+        formula.add_clause({Lit(out, false)});
+        break;
+      case GateType::kBuf: {
+        const Var x = result.signal_var[g.fanins[0]];
+        formula.add_clause({Lit(out, true), Lit(x, false)});
+        formula.add_clause({Lit(out, false), Lit(x, true)});
+        break;
+      }
+      case GateType::kNot: {
+        // Eq. (1): (f | x)(~f | ~x).
+        const Var x = result.signal_var[g.fanins[0]];
+        formula.add_clause({Lit(out, false), Lit(x, false)});
+        formula.add_clause({Lit(out, true), Lit(x, true)});
+        break;
+      }
+      case GateType::kAnd:
+      case GateType::kNand:
+        emit_and(formula, out, g.type == GateType::kNand, fanin_vars(g));
+        break;
+      case GateType::kOr:
+      case GateType::kNor:
+        emit_or(formula, out, g.type == GateType::kNor, fanin_vars(g));
+        break;
+      case GateType::kXor:
+      case GateType::kXnor: {
+        // Chain through aux variables: t1 = x1^x2, t2 = t1^x3, ...; the
+        // output equals the last chain var (XOR) or its inverse (XNOR).
+        const std::vector<Var> xs = fanin_vars(g);
+        Var acc = xs[0];
+        if (xs.size() == 1) {
+          // Degenerate single-input XOR == BUF (XNOR == NOT).
+          const bool invert = g.type == GateType::kXnor;
+          formula.add_clause({Lit(out, true), Lit(acc, invert)});
+          formula.add_clause({Lit(out, false), Lit(acc, !invert)});
+          break;
+        }
+        for (std::size_t i = 1; i < xs.size(); ++i) {
+          const bool last = i + 1 == xs.size();
+          if (last && g.type == GateType::kXor) {
+            emit_xor2(formula, out, acc, xs[i]);
+          } else if (last) {
+            // XNOR: out = ~(acc ^ xs[i]) — swap polarity by encoding
+            // out ^ acc ^ xs[i] = 1, i.e. xor2 with inverted out.
+            formula.add_clause({Lit(out, false), Lit(acc, false), Lit(xs[i], false)});
+            formula.add_clause({Lit(out, false), Lit(acc, true), Lit(xs[i], true)});
+            formula.add_clause({Lit(out, true), Lit(acc, true), Lit(xs[i], false)});
+            formula.add_clause({Lit(out, true), Lit(acc, false), Lit(xs[i], true)});
+          } else {
+            const Var t = formula.new_var();
+            emit_xor2(formula, t, acc, xs[i]);
+            acc = t;
+          }
+        }
+        break;
+      }
+    }
+  }
+
+  if (include_output_units) {
+    for (const OutputConstraint& out : circuit.outputs()) {
+      formula.add_clause({Lit(result.signal_var[out.signal], !out.target)});
+    }
+  }
+  return result;
+}
+
+}  // namespace hts::circuit

@@ -1,0 +1,31 @@
+#pragma once
+
+// Tseitin encoding: circuit -> equisatisfiable CNF.
+//
+// Emits exactly the clause signatures the paper lists in Eqs. (1)-(4): one
+// variable per circuit signal, the AND/OR/NOT/XOR gate signatures, and unit
+// clauses for output constraints.  This is both a substrate (the benchmark
+// generator synthesizes circuits and ships their CNF, as the original suite
+// did) and the ground truth for round-trip tests of the transformation.
+
+#include <vector>
+
+#include "circuit/circuit.hpp"
+#include "cnf/formula.hpp"
+
+namespace hts::circuit {
+
+struct TseitinResult {
+  cnf::Formula formula;
+  /// signal -> CNF variable.  XOR/XNOR gates with >2 fanins introduce extra
+  /// chain variables beyond these.
+  std::vector<cnf::Var> signal_var;
+};
+
+/// include_output_units: when true (default), each output constraint becomes
+/// a unit clause, making the CNF's solutions exactly the circuit's
+/// satisfying input assignments (extended to all signals).
+[[nodiscard]] TseitinResult tseitin_encode(const Circuit& circuit,
+                                           bool include_output_units = true);
+
+}  // namespace hts::circuit

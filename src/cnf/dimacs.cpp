@@ -1,0 +1,151 @@
+#include "cnf/dimacs.hpp"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+namespace hts::cnf {
+
+namespace {
+
+struct Cursor {
+  std::istream* in;
+  std::size_t line = 1;
+  bool at_line_start = true;
+
+  /// Reads the next whitespace-delimited token, tracking line numbers and
+  /// skipping comment lines (a 'c' in the first column).  Returns false at
+  /// end of input.
+  bool next_token(std::string& token) {
+    token.clear();
+    int ch = in->get();
+    for (;;) {
+      while (ch != EOF && std::isspace(ch) != 0) {
+        if (ch == '\n') {
+          ++line;
+          at_line_start = true;
+        }
+        ch = in->get();
+      }
+      if (ch == 'c' && at_line_start) {
+        // Comment: swallow the rest of the line.
+        while (ch != EOF && ch != '\n') ch = in->get();
+        continue;
+      }
+      break;
+    }
+    if (ch == EOF) return false;
+    at_line_start = false;
+    while (ch != EOF && std::isspace(ch) == 0) {
+      token.push_back(static_cast<char>(ch));
+      ch = in->get();
+    }
+    if (ch == '\n') {
+      ++line;
+      at_line_start = true;
+    }
+    return true;
+  }
+};
+
+[[nodiscard]] long long parse_int(const std::string& token, std::size_t line) {
+  std::size_t pos = 0;
+  long long value = 0;
+  try {
+    value = std::stoll(token, &pos);
+  } catch (const std::exception&) {
+    throw DimacsError("expected integer, got '" + token + "'", line);
+  }
+  if (pos != token.size()) {
+    throw DimacsError("trailing junk in integer '" + token + "'", line);
+  }
+  return value;
+}
+
+}  // namespace
+
+Formula parse_dimacs(std::istream& in) {
+  Cursor cursor{&in};
+  std::string token;
+
+  // Header: "p cnf <vars> <clauses>".
+  long long declared_vars = -1;
+  long long declared_clauses = -1;
+  while (cursor.next_token(token)) {
+    if (token == "p") {
+      if (!cursor.next_token(token) || token != "cnf") {
+        throw DimacsError("expected 'cnf' after 'p'", cursor.line);
+      }
+      if (!cursor.next_token(token)) throw DimacsError("missing var count", cursor.line);
+      declared_vars = parse_int(token, cursor.line);
+      if (!cursor.next_token(token)) {
+        throw DimacsError("missing clause count", cursor.line);
+      }
+      declared_clauses = parse_int(token, cursor.line);
+      break;
+    }
+    throw DimacsError("expected 'p cnf' header, got '" + token + "'", cursor.line);
+  }
+  if (declared_vars < 0 || declared_clauses < 0) {
+    throw DimacsError("missing 'p cnf' header", cursor.line);
+  }
+
+  Formula formula(static_cast<Var>(declared_vars));
+  Clause current;
+  bool clause_open = false;
+  while (cursor.next_token(token)) {
+    const long long value = parse_int(token, cursor.line);
+    if (value == 0) {
+      formula.add_clause(current);
+      current.clear();
+      clause_open = false;
+      continue;
+    }
+    const long long var_1based = value > 0 ? value : -value;
+    if (var_1based > declared_vars) {
+      throw DimacsError("literal " + token + " exceeds declared variable count " +
+                            std::to_string(declared_vars),
+                        cursor.line);
+    }
+    current.push_back(Lit::from_dimacs(static_cast<int>(value)));
+    clause_open = true;
+  }
+  if (clause_open) {
+    throw DimacsError("last clause missing terminating 0", cursor.line);
+  }
+  return formula;
+}
+
+Formula parse_dimacs_string(const std::string& text) {
+  std::istringstream in(text);
+  return parse_dimacs(in);
+}
+
+Formula parse_dimacs_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open DIMACS file: " + path);
+  return parse_dimacs(in);
+}
+
+void write_dimacs(const Formula& formula, std::ostream& out,
+                  const std::string& comment) {
+  if (!comment.empty()) {
+    std::istringstream lines(comment);
+    std::string line;
+    while (std::getline(lines, line)) out << "c " << line << '\n';
+  }
+  out << "p cnf " << formula.n_vars() << ' ' << formula.n_clauses() << '\n';
+  for (const Clause& clause : formula.clauses()) {
+    for (const Lit lit : clause) out << lit.to_dimacs() << ' ';
+    out << "0\n";
+  }
+}
+
+std::string to_dimacs_string(const Formula& formula, const std::string& comment) {
+  std::ostringstream out;
+  write_dimacs(formula, out, comment);
+  return out.str();
+}
+
+}  // namespace hts::cnf

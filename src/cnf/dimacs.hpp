@@ -1,0 +1,43 @@
+#pragma once
+
+// DIMACS CNF reader/writer.  Tolerant of comments, blank lines, and clause
+// counts that disagree with the header (both occur in public benchmark
+// suites); strict about structural errors (literals past the declared
+// variable count, missing terminating 0).
+
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+
+#include "cnf/formula.hpp"
+
+namespace hts::cnf {
+
+class DimacsError : public std::runtime_error {
+ public:
+  DimacsError(const std::string& message, std::size_t line)
+      : std::runtime_error("DIMACS line " + std::to_string(line) + ": " + message),
+        line_(line) {}
+  [[nodiscard]] std::size_t line() const { return line_; }
+
+ private:
+  std::size_t line_;
+};
+
+/// Parses a DIMACS CNF stream.  Throws DimacsError on malformed input.
+[[nodiscard]] Formula parse_dimacs(std::istream& in);
+
+/// Parses DIMACS text held in memory.
+[[nodiscard]] Formula parse_dimacs_string(const std::string& text);
+
+/// Parses a .cnf file from disk.  Throws std::runtime_error if unreadable.
+[[nodiscard]] Formula parse_dimacs_file(const std::string& path);
+
+/// Serializes to DIMACS, optionally with a leading comment block.
+void write_dimacs(const Formula& formula, std::ostream& out,
+                  const std::string& comment = "");
+
+[[nodiscard]] std::string to_dimacs_string(const Formula& formula,
+                                           const std::string& comment = "");
+
+}  // namespace hts::cnf

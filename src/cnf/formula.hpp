@@ -1,0 +1,79 @@
+#pragma once
+
+// CNF formula container plus the operation accounting the paper uses for its
+// Fig. 4 (middle) ops-reduction ablation.
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "cnf/types.hpp"
+
+namespace hts::cnf {
+
+class Formula {
+ public:
+  Formula() = default;
+  explicit Formula(Var n_vars) : n_vars_(n_vars) {}
+
+  [[nodiscard]] Var n_vars() const { return n_vars_; }
+  [[nodiscard]] std::size_t n_clauses() const { return clauses_.size(); }
+  [[nodiscard]] const std::vector<Clause>& clauses() const { return clauses_; }
+  [[nodiscard]] const Clause& clause(std::size_t index) const {
+    return clauses_[index];
+  }
+
+  /// Grows the variable universe to at least n_vars variables.
+  void ensure_vars(Var n_vars) {
+    if (n_vars > n_vars_) n_vars_ = n_vars;
+  }
+
+  /// Allocates a fresh variable and returns it.
+  Var new_var() { return n_vars_++; }
+
+  /// Adds a clause; literals must reference existing variables.
+  void add_clause(Clause clause);
+
+  /// Convenience for small clauses.
+  void add_clause(std::initializer_list<Lit> lits) { add_clause(Clause(lits)); }
+
+  /// True iff the assignment satisfies every clause. assignment.size() must
+  /// be >= n_vars().
+  [[nodiscard]] bool satisfied_by(const Assignment& assignment) const;
+
+  /// Number of clauses the assignment satisfies (useful for local search and
+  /// for diagnosing near-misses from the gradient sampler).
+  [[nodiscard]] std::size_t count_satisfied(const Assignment& assignment) const;
+
+  /// Index of the first clause the assignment falsifies, or n_clauses().
+  [[nodiscard]] std::size_t first_falsified(const Assignment& assignment) const;
+
+  /// Total literal occurrences across all clauses.
+  [[nodiscard]] std::size_t n_literals() const;
+
+  /// Bit-wise operation count of the flat CNF in 2-input gate equivalents:
+  /// (k-1) ORs per k-literal clause, (#clauses - 1) ANDs for the conjunction,
+  /// plus one NOT per negative literal (the probabilistic model executes
+  /// those as 1-x).  This is the numerator of the paper's Fig. 4 (middle)
+  /// reduction rate.
+  [[nodiscard]] std::uint64_t op_count_2input(bool count_nots = true) const;
+
+  /// Per-variable occurrence counts (positive, negative).
+  struct Occurrence {
+    std::uint32_t positive = 0;
+    std::uint32_t negative = 0;
+  };
+  [[nodiscard]] std::vector<Occurrence> occurrences() const;
+
+  /// Renumbers variables so that the used ones are contiguous; returns the
+  /// old->new map (kInvalidVar for unused).  Unused variables commonly appear
+  /// after benchmark preprocessing.
+  std::vector<Var> compact();
+
+ private:
+  Var n_vars_ = 0;
+  std::vector<Clause> clauses_;
+};
+
+}  // namespace hts::cnf

@@ -1,0 +1,39 @@
+#include "core/circuit_sampler.hpp"
+
+namespace hts::sampler {
+
+CircuitSampler::CircuitSampler(const circuit::Circuit& circuit,
+                               CircuitSamplerConfig config)
+    : circuit_(&circuit), config_(config) {
+  // Map pseudo-variable i to circuit input i so gd_loop's projection yields
+  // an input-indexed assignment.
+  input_signals_ = circuit.inputs();
+  empty_formula_.ensure_vars(static_cast<cnf::Var>(input_signals_.size()));
+}
+
+RunResult CircuitSampler::run(const RunOptions& options) {
+  GdProblem problem;
+  problem.circuit = circuit_;
+  problem.var_signal = &input_signals_;
+
+  GdLoopConfig loop_config;
+  loop_config.batch = config_.batch;
+  loop_config.iterations = config_.iterations;
+  loop_config.learning_rate = config_.learning_rate;
+  loop_config.init_std = config_.init_std;
+  loop_config.cone_only = config_.cone_only;
+  loop_config.policy = config_.policy;
+  loop_config.max_rounds = config_.max_rounds;
+
+  // verify_against_cnf is meaningless here (there is no CNF); the loop
+  // already verifies every row against the circuit's output constraints.
+  RunOptions effective = options;
+  effective.verify_against_cnf = false;
+
+  RunResult result =
+      run_gd_loop(problem, empty_formula_, effective, loop_config, &extras_);
+  result.sampler_name = "HTS-GD(circuit)";
+  return result;
+}
+
+}  // namespace hts::sampler

@@ -1,0 +1,160 @@
+#include "core/gd_loop.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "core/unique_bank.hpp"
+#include "prob/engine.hpp"
+#include "util/timer.hpp"
+
+namespace hts::sampler {
+
+namespace {
+
+/// Harvests valid, new solutions out of a hardened batch.
+class Harvester {
+ public:
+  Harvester(const GdProblem& problem, const cnf::Formula& formula,
+            const RunOptions& options, RunResult& result)
+      : problem_(problem),
+        formula_(formula),
+        options_(options),
+        result_(result),
+        bank_(problem.circuit->n_inputs()) {}
+
+  [[nodiscard]] std::size_t n_unique() const { return bank_.size(); }
+
+  /// packed: n_inputs x n_words hardened input bits covering `batch` rows.
+  void collect(const std::vector<std::uint64_t>& packed, std::size_t n_words,
+               std::size_t batch) {
+    const circuit::Circuit& circuit = *problem_.circuit;
+    const std::size_t n_inputs = circuit.n_inputs();
+    std::vector<std::uint64_t> input_words(n_inputs);
+    for (std::size_t w = 0; w < n_words; ++w) {
+      for (std::size_t i = 0; i < n_inputs; ++i) {
+        input_words[i] = packed[i * n_words + w];
+      }
+      const std::vector<std::uint64_t> values = circuit.eval64(input_words);
+      std::uint64_t ok = circuit.outputs_satisfied64(values);
+      // Mask off lanes past the batch in the final partial word.
+      const std::size_t rows_here = std::min<std::size_t>(64, batch - w * 64);
+      if (rows_here < 64) ok &= (1ULL << rows_here) - 1;
+      while (ok != 0) {
+        const int r = std::countr_zero(ok);
+        ok &= ok - 1;
+        accept_row(input_words, values, static_cast<std::size_t>(r));
+      }
+    }
+  }
+
+ private:
+  void accept_row(const std::vector<std::uint64_t>& input_words,
+                  const std::vector<std::uint64_t>& values, std::size_t r) {
+    std::vector<std::uint64_t> key(bank_.n_words(), 0);
+    for (std::size_t i = 0; i < input_words.size(); ++i) {
+      if (((input_words[i] >> r) & 1ULL) != 0) key[i >> 6] |= (1ULL << (i & 63));
+    }
+    ++result_.n_valid;
+    const bool is_new = bank_.insert(key);
+    if (!is_new && !options_.store_all_draws) return;
+
+    const bool want_assignment = result_.solutions.size() < options_.store_limit ||
+                                 (is_new && options_.verify_against_cnf);
+    if (!want_assignment) return;
+    const auto& var_signal = *problem_.var_signal;
+    cnf::Assignment assignment(var_signal.size(), 0);
+    for (cnf::Var v = 0; v < var_signal.size(); ++v) {
+      assignment[v] = static_cast<std::uint8_t>((values[var_signal[v]] >> r) & 1ULL);
+    }
+    if (options_.verify_against_cnf && !formula_.satisfied_by(assignment)) {
+      ++result_.n_invalid;
+    }
+    if (result_.solutions.size() < options_.store_limit) {
+      result_.solutions.push_back(std::move(assignment));
+    }
+  }
+
+  const GdProblem& problem_;
+  const cnf::Formula& formula_;
+  const RunOptions& options_;
+  RunResult& result_;
+  UniqueBank bank_;
+};
+
+}  // namespace
+
+RunResult run_gd_loop(const GdProblem& problem, const cnf::Formula& formula,
+                      const RunOptions& options, const GdLoopConfig& config,
+                      GdLoopExtras* extras) {
+  RunResult result;
+
+  prob::CompiledCircuit compiled(*problem.circuit,
+                                 prob::CompiledCircuit::Options{config.cone_only});
+  prob::Engine::Config engine_config;
+  engine_config.batch = config.batch;
+  engine_config.learning_rate = config.learning_rate;
+  engine_config.init_std = config.init_std;
+  engine_config.policy = config.policy;
+  prob::Engine engine(compiled, engine_config);
+
+  util::Rng rng(options.seed);
+  util::Deadline deadline(options.budget_ms);
+  util::Timer timer;
+  Harvester harvester(problem, formula, options, result);
+
+  std::vector<std::size_t> uniques_per_iteration(
+      static_cast<std::size_t>(config.iterations) + 1, 0);
+  std::uint64_t rounds = 0;
+  std::vector<std::uint64_t> packed;
+
+  auto reached_target = [&] {
+    return options.min_solutions > 0 &&
+           harvester.n_unique() >= options.min_solutions;
+  };
+
+  while (!reached_target() && !deadline.expired() &&
+         (config.max_rounds == 0 || rounds < config.max_rounds)) {
+    ++rounds;
+    engine.randomize(rng);
+    // Iteration-0 checkpoint: random initialization already satisfies the
+    // unconstrained paths (and occasionally everything).
+    if (config.collect_each_iteration) {
+      engine.harden(packed);
+      harvester.collect(packed, engine.n_words(), config.batch);
+      uniques_per_iteration[0] =
+          std::max(uniques_per_iteration[0], harvester.n_unique());
+    }
+    for (int iter = 1; iter <= config.iterations; ++iter) {
+      engine.run_iteration();
+      if (config.collect_each_iteration || iter == config.iterations) {
+        engine.harden(packed);
+        harvester.collect(packed, engine.n_words(), config.batch);
+        const auto slot = static_cast<std::size_t>(iter);
+        uniques_per_iteration[slot] =
+            std::max(uniques_per_iteration[slot], harvester.n_unique());
+        result.progress.push_back(
+            ProgressPoint{timer.milliseconds(), harvester.n_unique()});
+      }
+      if (reached_target() || deadline.expired()) break;
+    }
+  }
+
+  result.n_unique = harvester.n_unique();
+  result.elapsed_ms = timer.milliseconds();
+  result.timed_out = !reached_target() && options.min_solutions > 0;
+  // Rounds may end early (target/deadline) before filling late iteration
+  // slots; present the curve as a cumulative maximum so it reads as "uniques
+  // available by iteration i".
+  for (std::size_t i = 1; i < uniques_per_iteration.size(); ++i) {
+    uniques_per_iteration[i] =
+        std::max(uniques_per_iteration[i], uniques_per_iteration[i - 1]);
+  }
+  if (extras != nullptr) {
+    extras->uniques_per_iteration = std::move(uniques_per_iteration);
+    extras->engine_memory_bytes = engine.memory_bytes();
+    extras->rounds = rounds;
+  }
+  return result;
+}
+
+}  // namespace hts::sampler

@@ -1,0 +1,52 @@
+#pragma once
+
+// Shared gradient-descent sampling loop.
+//
+// Both the paper's sampler (on the transformed multi-level circuit) and the
+// DiffSampler baseline (on the flat CNF relaxation) are "batched GD +
+// harden + verify" loops over a circuit; they differ only in the circuit
+// handed in.  Keeping one loop guarantees the Table II / Fig. 4 comparisons
+// measure the transformation, not incidental implementation differences.
+
+#include "core/sampler.hpp"
+#include "circuit/circuit.hpp"
+#include "tensor/tensor.hpp"
+
+namespace hts::sampler {
+
+struct GdProblem {
+  const circuit::Circuit* circuit = nullptr;
+  /// Original CNF variable -> circuit signal (for projecting solutions).
+  const std::vector<circuit::SignalId>* var_signal = nullptr;
+};
+
+struct GdLoopConfig {
+  std::size_t batch = 4096;
+  int iterations = 5;
+  float learning_rate = 10.0f;
+  float init_std = 2.0f;
+  bool collect_each_iteration = true;
+  bool cone_only = false;
+  tensor::Policy policy = tensor::Policy::kDataParallel;
+  /// Stop after this many randomize->iterate rounds (0 = unlimited).  Used
+  /// by the Fig. 3 learning-curve harness to observe exactly one round.
+  std::uint64_t max_rounds = 0;
+};
+
+struct GdLoopExtras {
+  /// Cumulative unique count observed at iteration i (Fig. 3 left).
+  std::vector<std::size_t> uniques_per_iteration;
+  std::size_t engine_memory_bytes = 0;
+  std::uint64_t rounds = 0;
+};
+
+/// Runs rounds of randomize -> iterate -> harden -> verify -> bank until
+/// options.min_solutions unique solutions are collected or the deadline
+/// expires.  `formula` is only consulted for RunOptions::verify_against_cnf.
+[[nodiscard]] RunResult run_gd_loop(const GdProblem& problem,
+                                    const cnf::Formula& formula,
+                                    const RunOptions& options,
+                                    const GdLoopConfig& config,
+                                    GdLoopExtras* extras = nullptr);
+
+}  // namespace hts::sampler

@@ -1,0 +1,46 @@
+#include "core/gradient_sampler.hpp"
+
+#include "core/gd_loop.hpp"
+#include "util/timer.hpp"
+
+namespace hts::sampler {
+
+RunResult GradientSampler::run(const cnf::Formula& formula,
+                               const RunOptions& options) {
+  RunResult result;
+  result.sampler_name = name();
+
+  util::Timer setup_timer;
+  const transform::Result problem = transform_cnf(formula, config_.transform);
+  transform_stats_ = problem.stats;
+  const double setup_ms = setup_timer.milliseconds();
+  if (problem.proven_unsat) {
+    result.proven_unsat = true;
+    result.setup_ms = setup_ms;
+    return result;
+  }
+
+  GdProblem gd_problem;
+  gd_problem.circuit = &problem.circuit;
+  gd_problem.var_signal = &problem.var_signal;
+
+  GdLoopConfig loop_config;
+  loop_config.batch = config_.batch;
+  loop_config.iterations = config_.iterations;
+  loop_config.learning_rate = config_.learning_rate;
+  loop_config.init_std = config_.init_std;
+  loop_config.collect_each_iteration = config_.collect_each_iteration;
+  loop_config.cone_only = config_.cone_only;
+  loop_config.policy = config_.policy;
+  loop_config.max_rounds = config_.max_rounds;
+
+  GdLoopExtras extras;
+  result = run_gd_loop(gd_problem, formula, options, loop_config, &extras);
+  result.sampler_name = name();
+  result.setup_ms = setup_ms;
+  uniques_per_iteration_ = std::move(extras.uniques_per_iteration);
+  engine_memory_bytes_ = extras.engine_memory_bytes;
+  return result;
+}
+
+}  // namespace hts::sampler

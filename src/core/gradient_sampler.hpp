@@ -1,0 +1,70 @@
+#pragma once
+
+// The paper's sampler: CNF -> multi-level circuit (Algorithm 1) ->
+// probabilistic relaxation -> batched gradient descent -> harden & verify.
+//
+// Each batch row is an independent regression problem; after every GD
+// iteration the soft inputs are hardened (V > 0), the circuit is evaluated
+// bit-parallel (64 rows per machine word), rows meeting all output
+// constraints are projected back to original-variable assignments, and new
+// unique solutions are banked.  Rounds of fresh random initializations run
+// until the target count or deadline is reached.
+
+#include <optional>
+
+#include "core/sampler.hpp"
+#include "prob/engine.hpp"
+#include "tensor/tensor.hpp"
+#include "transform/transform.hpp"
+
+namespace hts::sampler {
+
+struct GradientConfig {
+  std::size_t batch = 4096;
+  int iterations = 5;           // the paper's setting
+  float learning_rate = 10.0f;  // the paper's setting
+  float init_std = 2.0f;
+  /// Harden-and-collect after every iteration (the Fig. 3 learning curve
+  /// harvests per-iteration; disabling collects only after the last one).
+  bool collect_each_iteration = true;
+  /// Compile only the constrained cone for GD (ablation; unconstrained
+  /// inputs stay at their random initialization either way).
+  bool cone_only = false;
+  tensor::Policy policy = tensor::Policy::kDataParallel;
+  /// Stop after this many rounds regardless of targets (0 = unlimited).
+  std::uint64_t max_rounds = 0;
+  transform::Config transform;
+};
+
+class GradientSampler : public Sampler {
+ public:
+  explicit GradientSampler(GradientConfig config = {}) : config_(config) {}
+
+  [[nodiscard]] std::string name() const override { return "HTS-GD(this work)"; }
+  [[nodiscard]] RunResult run(const cnf::Formula& formula,
+                              const RunOptions& options) override;
+
+  /// Per-iteration unique counts of the most recent run (cumulative), for
+  /// the Fig. 3 learning curve.
+  [[nodiscard]] const std::vector<std::size_t>& uniques_per_iteration() const {
+    return uniques_per_iteration_;
+  }
+
+  /// Engine buffer bytes of the most recent run (Fig. 3 memory metric).
+  [[nodiscard]] std::size_t engine_memory_bytes() const {
+    return engine_memory_bytes_;
+  }
+
+  /// Transformation statistics of the most recent run.
+  [[nodiscard]] const std::optional<transform::Stats>& transform_stats() const {
+    return transform_stats_;
+  }
+
+ private:
+  GradientConfig config_;
+  std::vector<std::size_t> uniques_per_iteration_;
+  std::size_t engine_memory_bytes_ = 0;
+  std::optional<transform::Stats> transform_stats_;
+};
+
+}  // namespace hts::sampler

@@ -1,0 +1,56 @@
+#pragma once
+
+// Deduplicating store for sampled solutions.
+//
+// Keys are packed bit vectors (one bit per tracked variable).  The paper
+// reports *unique* solution throughput, so the bank is on the hot path of
+// every sampler; it hashes whole keys (no lossy fingerprints — an
+// overcounted unique would inflate throughput).
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+namespace hts::sampler {
+
+class UniqueBank {
+ public:
+  explicit UniqueBank(std::size_t n_bits)
+      : n_bits_(n_bits), n_words_((n_bits + 63) / 64) {}
+
+  /// Inserts a packed key; returns true when it was new.
+  bool insert(const std::vector<std::uint64_t>& key) {
+    return set_.insert(key).second;
+  }
+
+  /// Packs a byte-per-bit assignment and inserts it.
+  bool insert_bits(const std::vector<std::uint8_t>& bits) {
+    std::vector<std::uint64_t> key(n_words_, 0);
+    for (std::size_t i = 0; i < n_bits_; ++i) {
+      if (bits[i] != 0) key[i >> 6] |= (1ULL << (i & 63));
+    }
+    return insert(key);
+  }
+
+  [[nodiscard]] std::size_t size() const { return set_.size(); }
+  [[nodiscard]] std::size_t n_words() const { return n_words_; }
+
+ private:
+  struct KeyHash {
+    std::size_t operator()(const std::vector<std::uint64_t>& key) const noexcept {
+      std::uint64_t h = 0xcbf29ce484222325ULL;
+      for (const std::uint64_t word : key) {
+        h ^= word;
+        h *= 0x100000001b3ULL;
+        h ^= h >> 29;
+      }
+      return static_cast<std::size_t>(h);
+    }
+  };
+
+  std::size_t n_bits_;
+  std::size_t n_words_;
+  std::unordered_set<std::vector<std::uint64_t>, KeyHash> set_;
+};
+
+}  // namespace hts::sampler

@@ -1,0 +1,99 @@
+#include "prob/compiled.hpp"
+
+namespace hts::prob {
+
+CompiledCircuit::CompiledCircuit(const circuit::Circuit& circuit, Options options) {
+  const std::vector<std::uint8_t> cone =
+      options.cone_only ? circuit.constrained_cone()
+                        : std::vector<std::uint8_t>(circuit.n_signals(), 1);
+
+  signal_slot_.assign(circuit.n_signals(), kNoSlot);
+  input_slot_.assign(circuit.n_inputs(), kNoSlot);
+
+  auto fresh_slot = [this] { return static_cast<std::uint32_t>(n_slots_++); };
+
+  for (circuit::SignalId s = 0; s < circuit.n_signals(); ++s) {
+    if (cone[s] == 0) continue;
+    const circuit::Gate& gate = circuit.gate(s);
+    using circuit::GateType;
+    switch (gate.type) {
+      case GateType::kInput:
+        signal_slot_[s] = static_cast<std::int32_t>(fresh_slot());
+        break;
+      case GateType::kConst0:
+      case GateType::kConst1: {
+        const std::uint32_t slot = fresh_slot();
+        signal_slot_[s] = static_cast<std::int32_t>(slot);
+        const_slots_.push_back(
+            ConstSlot{slot, gate.type == GateType::kConst1 ? 1.0f : 0.0f});
+        break;
+      }
+      case GateType::kBuf: {
+        const std::uint32_t slot = fresh_slot();
+        signal_slot_[s] = static_cast<std::int32_t>(slot);
+        tape_.push_back(TapeOp{OpCode::kCopy, slot,
+                               static_cast<std::uint32_t>(signal_slot_[gate.fanins[0]]),
+                               0});
+        break;
+      }
+      case GateType::kNot: {
+        const std::uint32_t slot = fresh_slot();
+        signal_slot_[s] = static_cast<std::int32_t>(slot);
+        tape_.push_back(TapeOp{OpCode::kNot, slot,
+                               static_cast<std::uint32_t>(signal_slot_[gate.fanins[0]]),
+                               0});
+        break;
+      }
+      case GateType::kAnd:
+      case GateType::kOr:
+      case GateType::kXor:
+      case GateType::kNand:
+      case GateType::kNor:
+      case GateType::kXnor: {
+        const OpCode op = (gate.type == GateType::kAnd || gate.type == GateType::kNand)
+                              ? OpCode::kAnd
+                          : (gate.type == GateType::kOr || gate.type == GateType::kNor)
+                              ? OpCode::kOr
+                              : OpCode::kXor;
+        const bool invert = gate.type == GateType::kNand ||
+                            gate.type == GateType::kNor ||
+                            gate.type == GateType::kXnor;
+        // Left-to-right chain over temporaries; the final op (or a trailing
+        // NOT) lands in the gate's own slot.
+        std::uint32_t acc = static_cast<std::uint32_t>(signal_slot_[gate.fanins[0]]);
+        if (gate.fanins.size() == 1) {
+          const std::uint32_t slot = fresh_slot();
+          signal_slot_[s] = static_cast<std::int32_t>(slot);
+          tape_.push_back(TapeOp{invert ? OpCode::kNot : OpCode::kCopy, slot, acc, 0});
+          break;
+        }
+        for (std::size_t i = 1; i < gate.fanins.size(); ++i) {
+          const std::uint32_t dst = fresh_slot();
+          tape_.push_back(TapeOp{
+              op, dst, acc,
+              static_cast<std::uint32_t>(signal_slot_[gate.fanins[i]])});
+          acc = dst;
+        }
+        if (invert) {
+          const std::uint32_t dst = fresh_slot();
+          tape_.push_back(TapeOp{OpCode::kNot, dst, acc, 0});
+          acc = dst;
+        }
+        signal_slot_[s] = static_cast<std::int32_t>(acc);
+        break;
+      }
+    }
+  }
+
+  for (std::size_t i = 0; i < circuit.inputs().size(); ++i) {
+    input_slot_[i] = signal_slot_[circuit.inputs()[i]];
+  }
+  for (const circuit::OutputConstraint& out : circuit.outputs()) {
+    HTS_CHECK_MSG(signal_slot_[out.signal] != kNoSlot,
+                  "output signal missing from compiled cone");
+    outputs_.push_back(Output{static_cast<std::uint32_t>(signal_slot_[out.signal]),
+                              out.target ? 1.0f : 0.0f});
+  }
+}
+
+}  // namespace hts::prob

@@ -1,0 +1,82 @@
+#pragma once
+
+// Compiles a circuit into a flat tape of binary probabilistic operations.
+//
+// Gates are relaxed per Table I of the paper (AND -> P1*P2, OR ->
+// 1-(1-P1)(1-P2), NOT -> 1-P, XOR -> P1+P2-2*P1*P2); n-ary gates binarize
+// into chains over temporary slots, NAND/NOR/XNOR append a NOT.  The tape is
+// evaluated row-independently across the batch, which is exactly what makes
+// the method data-parallel ("GPU-friendly").
+
+#include <cstdint>
+#include <vector>
+
+#include "circuit/circuit.hpp"
+
+namespace hts::prob {
+
+enum class OpCode : std::uint8_t { kCopy, kNot, kAnd, kOr, kXor };
+
+struct TapeOp {
+  OpCode op;
+  std::uint32_t dst;
+  std::uint32_t a;
+  std::uint32_t b;  // unused for kCopy/kNot
+};
+
+inline constexpr std::int32_t kNoSlot = -1;
+
+class CompiledCircuit {
+ public:
+  struct Options {
+    /// Compile only the constrained cone (ablation: unconstrained paths need
+    /// no learning, so their gates can be skipped during GD and evaluated
+    /// only at hardening time).
+    bool cone_only = false;
+  };
+
+  explicit CompiledCircuit(const circuit::Circuit& circuit)
+      : CompiledCircuit(circuit, Options{}) {}
+  CompiledCircuit(const circuit::Circuit& circuit, Options options);
+
+  [[nodiscard]] std::size_t n_slots() const { return n_slots_; }
+  [[nodiscard]] std::size_t n_circuit_inputs() const { return input_slot_.size(); }
+  [[nodiscard]] const std::vector<TapeOp>& tape() const { return tape_; }
+
+  /// Slot of circuit input i, or kNoSlot when outside the compiled cone.
+  [[nodiscard]] const std::vector<std::int32_t>& input_slot() const {
+    return input_slot_;
+  }
+
+  /// Slot of a circuit signal (kNoSlot if not compiled).
+  [[nodiscard]] std::int32_t signal_slot(circuit::SignalId id) const {
+    return signal_slot_[id];
+  }
+
+  struct Output {
+    std::uint32_t slot;
+    float target;  // 0.0 or 1.0
+  };
+  [[nodiscard]] const std::vector<Output>& outputs() const { return outputs_; }
+
+  struct ConstSlot {
+    std::uint32_t slot;
+    float value;
+  };
+  [[nodiscard]] const std::vector<ConstSlot>& const_slots() const {
+    return const_slots_;
+  }
+
+  /// Number of executed probabilistic ops per batch row per forward pass.
+  [[nodiscard]] std::size_t n_ops() const { return tape_.size(); }
+
+ private:
+  std::size_t n_slots_ = 0;
+  std::vector<TapeOp> tape_;
+  std::vector<std::int32_t> input_slot_;
+  std::vector<std::int32_t> signal_slot_;
+  std::vector<Output> outputs_;
+  std::vector<ConstSlot> const_slots_;
+};
+
+}  // namespace hts::prob

@@ -1,0 +1,254 @@
+#include "prob/engine.hpp"
+
+#include <cmath>
+#include <mutex>
+
+namespace hts::prob {
+
+// Storage is tiled: the batch is cut into tiles of kTileRows rows, and each
+// tile stores all of its slots contiguously ([tile][slot][row-in-tile]).
+// A GD iteration touches one tile at a time, so the working set per thread
+// is slots * kTileRows * 4 bytes * 2 (activations + gradients) — cache
+// resident for typical circuits — instead of streaming the whole batch per
+// op.  kTileRows == 64 also makes hardening emit exactly one machine word
+// per (input, tile).
+
+namespace {
+constexpr std::size_t kTileRows = prob::Engine::kTileRows;
+}
+
+Engine::Engine(const CompiledCircuit& compiled, Config config)
+    : compiled_(&compiled), config_(config) {
+  HTS_CHECK(config_.batch > 0);
+  n_tiles_ = (config_.batch + kTileRows - 1) / kTileRows;
+  const std::size_t padded = n_tiles_ * kTileRows;
+  v_.resize(compiled_->n_circuit_inputs() * padded);
+  activations_.resize(compiled_->n_slots() * padded);
+  gradients_.resize(compiled_->n_slots() * padded);
+  v_grad_.resize(compiled_->n_circuit_inputs() * padded);
+  // Constant slots never change: fill once, per tile.
+  for (const CompiledCircuit::ConstSlot& c : compiled_->const_slots()) {
+    for (std::size_t t = 0; t < n_tiles_; ++t) {
+      float* row = activations_.data() +
+                   (t * compiled_->n_slots() + c.slot) * kTileRows;
+      std::fill(row, row + kTileRows, c.value);
+    }
+  }
+}
+
+std::size_t Engine::act_index(std::uint32_t slot, std::size_t row) const {
+  const std::size_t tile = row / kTileRows;
+  return (tile * compiled_->n_slots() + slot) * kTileRows + (row % kTileRows);
+}
+
+std::size_t Engine::v_index(std::size_t input, std::size_t row) const {
+  const std::size_t tile = row / kTileRows;
+  return (tile * compiled_->n_circuit_inputs() + input) * kTileRows +
+         (row % kTileRows);
+}
+
+void Engine::randomize(util::Rng& rng) {
+  for (std::size_t i = 0; i < v_.size(); ++i) {
+    v_[i] = static_cast<float>(rng.next_gaussian()) * config_.init_std;
+  }
+}
+
+void Engine::process_tile(std::size_t tile, bool with_grad, double* loss_accum) {
+  const std::size_t n_slots = compiled_->n_slots();
+  const std::size_t n_inputs = compiled_->n_circuit_inputs();
+  const auto& tape = compiled_->tape();
+  float* act = activations_.data() + tile * n_slots * kTileRows;
+  float* grad = gradients_.data() + tile * n_slots * kTileRows;
+  float* v = v_.data() + tile * n_inputs * kTileRows;
+  // Rows past the batch in the final tile are computed but never harvested
+  // and excluded from the loss.
+  const std::size_t rows =
+      std::min(kTileRows, config_.batch - tile * kTileRows);
+
+  // Embed: input slots get sigmoid(V).
+  const auto& input_slots = compiled_->input_slot();
+  for (std::size_t i = 0; i < n_inputs; ++i) {
+    if (input_slots[i] == kNoSlot) continue;
+    const float* v_row = v + i * kTileRows;
+    float* a_row = act + static_cast<std::size_t>(input_slots[i]) * kTileRows;
+    for (std::size_t r = 0; r < kTileRows; ++r) {
+      a_row[r] = 1.0f / (1.0f + std::exp(-v_row[r]));
+    }
+  }
+
+  // Forward sweep.
+  for (const TapeOp& op : tape) {
+    float* dst = act + static_cast<std::size_t>(op.dst) * kTileRows;
+    const float* a = act + static_cast<std::size_t>(op.a) * kTileRows;
+    const float* b = act + static_cast<std::size_t>(op.b) * kTileRows;
+    switch (op.op) {
+      case OpCode::kCopy:
+        for (std::size_t r = 0; r < kTileRows; ++r) dst[r] = a[r];
+        break;
+      case OpCode::kNot:
+        for (std::size_t r = 0; r < kTileRows; ++r) dst[r] = 1.0f - a[r];
+        break;
+      case OpCode::kAnd:
+        for (std::size_t r = 0; r < kTileRows; ++r) dst[r] = a[r] * b[r];
+        break;
+      case OpCode::kOr:
+        for (std::size_t r = 0; r < kTileRows; ++r) {
+          dst[r] = a[r] + b[r] - a[r] * b[r];
+        }
+        break;
+      case OpCode::kXor:
+        for (std::size_t r = 0; r < kTileRows; ++r) {
+          dst[r] = a[r] + b[r] - 2.0f * a[r] * b[r];
+        }
+        break;
+    }
+  }
+
+  // Loss (optional, over valid rows only).
+  if (loss_accum != nullptr) {
+    double local_loss = 0.0;
+    for (const CompiledCircuit::Output& out : compiled_->outputs()) {
+      const float* y = act + static_cast<std::size_t>(out.slot) * kTileRows;
+      for (std::size_t r = 0; r < rows; ++r) {
+        const double diff = static_cast<double>(y[r]) - out.target;
+        local_loss += diff * diff;
+      }
+    }
+    *loss_accum = local_loss;
+  }
+  if (!with_grad) return;
+
+  // Zero the tile's gradients, then seed dL/dy = 2 (y - t).
+  std::fill(grad, grad + n_slots * kTileRows, 0.0f);
+  for (const CompiledCircuit::Output& out : compiled_->outputs()) {
+    const float* y = act + static_cast<std::size_t>(out.slot) * kTileRows;
+    float* g_row = grad + static_cast<std::size_t>(out.slot) * kTileRows;
+    for (std::size_t r = 0; r < kTileRows; ++r) {
+      g_row[r] += 2.0f * (y[r] - out.target);
+    }
+  }
+
+  // Backward sweep (Table I derivatives).
+  for (auto it = tape.rbegin(); it != tape.rend(); ++it) {
+    const TapeOp& op = *it;
+    const float* gy = grad + static_cast<std::size_t>(op.dst) * kTileRows;
+    float* ga = grad + static_cast<std::size_t>(op.a) * kTileRows;
+    const float* a = act + static_cast<std::size_t>(op.a) * kTileRows;
+    switch (op.op) {
+      case OpCode::kCopy:
+        for (std::size_t r = 0; r < kTileRows; ++r) ga[r] += gy[r];
+        break;
+      case OpCode::kNot:
+        for (std::size_t r = 0; r < kTileRows; ++r) ga[r] -= gy[r];
+        break;
+      case OpCode::kAnd: {
+        float* gb = grad + static_cast<std::size_t>(op.b) * kTileRows;
+        const float* bv = act + static_cast<std::size_t>(op.b) * kTileRows;
+        for (std::size_t r = 0; r < kTileRows; ++r) {
+          ga[r] += gy[r] * bv[r];
+          gb[r] += gy[r] * a[r];
+        }
+        break;
+      }
+      case OpCode::kOr: {
+        float* gb = grad + static_cast<std::size_t>(op.b) * kTileRows;
+        const float* bv = act + static_cast<std::size_t>(op.b) * kTileRows;
+        for (std::size_t r = 0; r < kTileRows; ++r) {
+          ga[r] += gy[r] * (1.0f - bv[r]);
+          gb[r] += gy[r] * (1.0f - a[r]);
+        }
+        break;
+      }
+      case OpCode::kXor: {
+        float* gb = grad + static_cast<std::size_t>(op.b) * kTileRows;
+        const float* bv = act + static_cast<std::size_t>(op.b) * kTileRows;
+        for (std::size_t r = 0; r < kTileRows; ++r) {
+          ga[r] += gy[r] * (1.0f - 2.0f * bv[r]);
+          gb[r] += gy[r] * (1.0f - 2.0f * a[r]);
+        }
+        break;
+      }
+    }
+  }
+
+  // Chain through the sigmoid embedding and take the GD step (Eq. 10).
+  for (std::size_t i = 0; i < n_inputs; ++i) {
+    if (input_slots[i] == kNoSlot) continue;
+    const float* p = act + static_cast<std::size_t>(input_slots[i]) * kTileRows;
+    const float* gp = grad + static_cast<std::size_t>(input_slots[i]) * kTileRows;
+    float* v_row = v + i * kTileRows;
+    for (std::size_t r = 0; r < kTileRows; ++r) {
+      const float gv = gp[r] * p[r] * (1.0f - p[r]);
+      v_row[r] -= config_.learning_rate * gv;
+    }
+  }
+}
+
+void Engine::sweep(bool with_grad) {
+  std::mutex loss_mutex;
+  double total_loss = 0.0;
+  const bool want_loss = config_.compute_loss || !with_grad;
+  tensor::parallel_for(config_.policy, n_tiles_,
+                       [&](std::size_t begin, std::size_t end) {
+                         double chunk_loss = 0.0;
+                         for (std::size_t t = begin; t < end; ++t) {
+                           double tile_loss = 0.0;
+                           process_tile(t, with_grad,
+                                        want_loss ? &tile_loss : nullptr);
+                           chunk_loss += tile_loss;
+                         }
+                         if (want_loss) {
+                           const std::lock_guard<std::mutex> lock(loss_mutex);
+                           total_loss += chunk_loss;
+                         }
+                       });
+  if (want_loss) last_loss_ = total_loss;
+}
+
+void Engine::run_iteration() { sweep(/*with_grad=*/true); }
+
+void Engine::forward_only() { sweep(/*with_grad=*/false); }
+
+void Engine::harden(std::vector<std::uint64_t>& packed_out) const {
+  const std::size_t n = compiled_->n_circuit_inputs();
+  packed_out.assign(n * n_tiles_, 0);
+  for (std::size_t t = 0; t < n_tiles_; ++t) {
+    const float* v = v_.data() + t * n * kTileRows;
+    for (std::size_t i = 0; i < n; ++i) {
+      const float* v_row = v + i * kTileRows;
+      std::uint64_t word = 0;
+      for (std::size_t r = 0; r < kTileRows; ++r) {
+        if (v_row[r] > 0.0f) word |= (1ULL << r);
+      }
+      packed_out[i * n_tiles_ + t] = word;
+    }
+  }
+}
+
+float Engine::activation(std::uint32_t slot, std::size_t row) const {
+  return activations_[act_index(slot, row)];
+}
+
+float Engine::v_value(std::size_t input, std::size_t row) const {
+  return v_[v_index(input, row)];
+}
+
+void Engine::set_v(std::size_t input, std::size_t row, float value) {
+  v_[v_index(input, row)] = value;
+}
+
+std::size_t Engine::memory_bytes() const {
+  return (v_.size() + activations_.size() + gradients_.size() + v_grad_.size()) *
+         sizeof(float);
+}
+
+std::size_t Engine::predicted_bytes(const CompiledCircuit& compiled,
+                                    std::size_t batch) {
+  const std::size_t padded =
+      (batch + kTileRows - 1) / kTileRows * kTileRows;
+  // v_ + v_grad_ (inputs) and activations_ + gradients_ (slots).
+  return (2 * compiled.n_circuit_inputs() + 2 * compiled.n_slots()) * padded *
+         sizeof(float);
+}
+
+}  // namespace hts::prob

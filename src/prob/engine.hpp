@@ -1,0 +1,97 @@
+#pragma once
+
+// Batched gradient-descent engine over a compiled probabilistic circuit.
+//
+// Implements the paper's learning loop: soft inputs V in R^{b x n} embedded
+// through a sigmoid (Eq. 6), the probabilistic forward pass (Eq. 7), the L2
+// loss against the output targets (Eq. 8), analytic backward per Table I,
+// and the plain GD update (Eq. 10).  Each batch row is an independent
+// learning problem; one iteration is a single data-parallel dispatch, so
+// the serial-vs-parallel policy comparison isolates the "GPU" speedup.
+
+#include <cstdint>
+#include <vector>
+
+#include "prob/compiled.hpp"
+#include "tensor/tensor.hpp"
+#include "util/rng.hpp"
+
+namespace hts::prob {
+
+class Engine {
+ public:
+  /// Rows per storage tile; also the word width of harden().
+  static constexpr std::size_t kTileRows = 64;
+
+  struct Config {
+    std::size_t batch = 1024;
+    float learning_rate = 10.0f;  // the paper's setting
+    float init_std = 2.0f;        // stddev of the Gaussian V initialization
+    tensor::Policy policy = tensor::Policy::kDataParallel;
+    bool compute_loss = false;  // accumulate L2 loss during iterations
+  };
+
+  Engine(const CompiledCircuit& compiled, Config config);
+
+  [[nodiscard]] std::size_t batch() const { return config_.batch; }
+  [[nodiscard]] std::size_t n_inputs() const { return compiled_->n_circuit_inputs(); }
+
+  /// Draws fresh V ~ N(0, init_std^2) for every input and row.
+  void randomize(util::Rng& rng);
+
+  /// One GD iteration: embed, forward, backward, update.  Single fused
+  /// data-parallel dispatch over batch rows.
+  void run_iteration();
+
+  /// Embed + forward only (no gradients); used for testing and diagnostics.
+  void forward_only();
+
+  /// Sum over rows and outputs of (y - t)^2 from the most recent
+  /// forward_only() call (always computed), or the most recent
+  /// run_iteration() when compute_loss is set.
+  [[nodiscard]] double last_loss() const { return last_loss_; }
+
+  /// Hardens V into bits (V > 0) packed 64 rows per word: out[i * n_words()
+  /// + w] holds rows [64w, 64w+63] of circuit input i.  Inputs outside the
+  /// compiled cone harden from their (random) V too — those are the paper's
+  /// unconstrained paths, where any random value satisfies.
+  void harden(std::vector<std::uint64_t>& packed_out) const;
+
+  [[nodiscard]] std::size_t n_words() const { return n_tiles_; }
+
+  /// Activation of a compiled slot for a row (post forward pass).
+  [[nodiscard]] float activation(std::uint32_t slot, std::size_t row) const;
+
+  /// Soft-input access for tests.
+  [[nodiscard]] float v_value(std::size_t input, std::size_t row) const;
+  void set_v(std::size_t input, std::size_t row, float value);
+
+  /// Bytes held by this engine's buffers (the Fig. 3 memory metric).
+  [[nodiscard]] std::size_t memory_bytes() const;
+
+  /// What memory_bytes() would report for a hypothetical batch size, without
+  /// allocating.  Lets the Fig. 3 sweep extend past physically allocatable
+  /// points (the paper's V100 runs topped out at 32 GB too).
+  [[nodiscard]] static std::size_t predicted_bytes(const CompiledCircuit& compiled,
+                                                   std::size_t batch);
+
+ private:
+  void process_tile(std::size_t tile, bool with_grad, double* loss_accum);
+  void sweep(bool with_grad);
+  [[nodiscard]] std::size_t act_index(std::uint32_t slot, std::size_t row) const;
+  [[nodiscard]] std::size_t v_index(std::size_t input, std::size_t row) const;
+
+  const CompiledCircuit* compiled_;
+  Config config_;
+  std::size_t n_tiles_ = 0;
+  // All buffers are tiled [tile][slot-or-input][row-in-tile]; see engine.cpp.
+  tensor::Buffer v_;
+  tensor::Buffer activations_;
+  tensor::Buffer gradients_;
+  // Mirrors PyTorch's persistent V.grad allocation so memory_bytes() matches
+  // the substrate the paper measured; the fused update never reads it.
+  tensor::Buffer v_grad_;
+  double last_loss_ = 0.0;
+};
+
+}  // namespace hts::prob

@@ -1,0 +1,41 @@
+#include "solver/brute.hpp"
+
+#include "util/check.hpp"
+
+namespace hts::solver {
+
+void for_each_model(const cnf::Formula& formula,
+                    const std::function<bool(const cnf::Assignment&)>& visit) {
+  const cnf::Var n = formula.n_vars();
+  HTS_CHECK_MSG(n <= kMaxBruteVars, "brute-force enumeration bound exceeded");
+  cnf::Assignment assignment(n, 0);
+  const std::uint64_t total = 1ULL << n;
+  for (std::uint64_t code = 0; code < total; ++code) {
+    for (cnf::Var v = 0; v < n; ++v) {
+      assignment[v] = static_cast<std::uint8_t>((code >> v) & 1ULL);
+    }
+    if (formula.satisfied_by(assignment)) {
+      if (!visit(assignment)) return;
+    }
+  }
+}
+
+std::vector<cnf::Assignment> enumerate_models(const cnf::Formula& formula) {
+  std::vector<cnf::Assignment> models;
+  for_each_model(formula, [&](const cnf::Assignment& model) {
+    models.push_back(model);
+    return true;
+  });
+  return models;
+}
+
+std::uint64_t count_models(const cnf::Formula& formula) {
+  std::uint64_t count = 0;
+  for_each_model(formula, [&](const cnf::Assignment&) {
+    ++count;
+    return true;
+  });
+  return count;
+}
+
+}  // namespace hts::solver

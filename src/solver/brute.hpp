@@ -1,0 +1,27 @@
+#pragma once
+
+// Exhaustive enumeration over small variable counts — the exact oracle that
+// CDCL, the samplers, and the transformation round-trips are tested against.
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "cnf/formula.hpp"
+
+namespace hts::solver {
+
+inline constexpr cnf::Var kMaxBruteVars = 26;
+
+/// All satisfying assignments, in lexicographic order (variable 0 is the
+/// least-significant position).  Requires n_vars <= kMaxBruteVars.
+[[nodiscard]] std::vector<cnf::Assignment> enumerate_models(const cnf::Formula& formula);
+
+/// Exact model count (same bound).
+[[nodiscard]] std::uint64_t count_models(const cnf::Formula& formula);
+
+/// Visits each model; stop early by returning false from the callback.
+void for_each_model(const cnf::Formula& formula,
+                    const std::function<bool(const cnf::Assignment&)>& visit);
+
+}  // namespace hts::solver

@@ -1,0 +1,318 @@
+#include "solver/preprocess.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/check.hpp"
+
+namespace hts::solver {
+
+using cnf::Clause;
+using cnf::LBool;
+using cnf::Lit;
+using cnf::Var;
+
+namespace {
+
+/// Sorted-clause subset test: every literal of `small` appears in `big`.
+bool subsumes(const Clause& small, const Clause& big) {
+  if (small.size() > big.size()) return false;
+  std::size_t j = 0;
+  for (const Lit lit : small) {
+    while (j < big.size() && big[j] < lit) ++j;
+    if (j == big.size() || big[j] != lit) return false;
+    ++j;
+  }
+  return true;
+}
+
+/// Resolvent of a and b on pivot var v; returns false if tautological.
+bool resolve(const Clause& a, const Clause& b, Var v, Clause& out) {
+  out.clear();
+  for (const Lit lit : a) {
+    if (lit.var() != v) out.push_back(lit);
+  }
+  for (const Lit lit : b) {
+    if (lit.var() != v) out.push_back(lit);
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  for (std::size_t i = 0; i + 1 < out.size(); ++i) {
+    if (out[i + 1] == ~out[i]) return false;  // tautology
+  }
+  return true;
+}
+
+}  // namespace
+
+bool Preprocessor::propagate_units(std::vector<Clause>& clauses) {
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const Clause& clause : clauses) {
+      if (clause.size() == 1) {
+        const Lit unit = clause[0];
+        const LBool want = unit.negated() ? LBool::kFalse : LBool::kTrue;
+        if (fixed_[unit.var()] == LBool::kUndef) {
+          fixed_[unit.var()] = want;
+          ++stats_.units_fixed;
+          changed = true;
+        } else if (fixed_[unit.var()] != want) {
+          return false;  // conflicting units
+        }
+      }
+    }
+    if (!changed) continue;
+    // Apply the fixed values.
+    std::vector<Clause> kept;
+    kept.reserve(clauses.size());
+    for (Clause& clause : clauses) {
+      Clause reduced;
+      bool satisfied = false;
+      for (const Lit lit : clause) {
+        const LBool value = fixed_[lit.var()];
+        if (value == LBool::kUndef) {
+          reduced.push_back(lit);
+          continue;
+        }
+        if (lit.value_under(value == LBool::kTrue)) {
+          satisfied = true;
+          break;
+        }
+        // falsified literal: drop it
+      }
+      if (satisfied) continue;
+      if (reduced.empty()) return false;  // empty clause
+      kept.push_back(std::move(reduced));
+    }
+    clauses = std::move(kept);
+  }
+  return true;
+}
+
+void Preprocessor::subsume(std::vector<Clause>& clauses) {
+  // Occurrence lists over sorted clauses.
+  for (Clause& clause : clauses) std::sort(clause.begin(), clause.end());
+
+  std::vector<std::uint8_t> dead(clauses.size(), 0);
+  // Order by size so potential subsumers come first.
+  std::vector<std::size_t> order(clauses.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return clauses[a].size() < clauses[b].size();
+  });
+
+  // Occurrence index (literal code -> clause ids) for candidate filtering.
+  std::vector<std::vector<std::size_t>> occurs;
+  auto rebuild_occurs = [&] {
+    occurs.assign(occurs.size(), {});
+    std::size_t max_code = 1;
+    for (const Clause& c : clauses) {
+      for (const Lit l : c) max_code = std::max<std::size_t>(max_code, l.code());
+    }
+    // Cover complements too (codes come in 2v / 2v+1 pairs): probes index
+    // literals that may not occur anywhere.
+    occurs.assign((max_code | 1) + 1, {});
+    for (std::size_t i = 0; i < clauses.size(); ++i) {
+      for (const Lit l : clauses[i]) occurs[l.code()].push_back(i);
+    }
+  };
+  rebuild_occurs();
+
+  for (const std::size_t i : order) {
+    if (dead[i] || clauses[i].empty()) continue;
+    // Candidates: clauses sharing the rarest literal of clause i.
+    const Clause& small = clauses[i];
+    std::size_t best_lit = 0;
+    std::size_t best_count = static_cast<std::size_t>(-1);
+    for (const Lit lit : small) {
+      if (occurs[lit.code()].size() < best_count) {
+        best_count = occurs[lit.code()].size();
+        best_lit = lit.code();
+      }
+    }
+    for (const std::size_t j : occurs[best_lit]) {
+      if (j == i || dead[j]) continue;
+      if (subsumes(small, clauses[j])) {
+        dead[j] = 1;
+        ++stats_.clauses_subsumed;
+      }
+    }
+    // Self-subsuming resolution: small with one literal flipped subsumes j
+    // => j can drop that literal.
+    for (std::size_t flip = 0; flip < small.size(); ++flip) {
+      Clause probe = small;
+      probe[flip] = ~probe[flip];
+      std::sort(probe.begin(), probe.end());
+      // Resolving `small` with any superset of `probe` on small[flip].var()
+      // lets that clause drop ~small[flip].
+      const Lit drop = ~small[flip];
+      for (const std::size_t j : occurs[drop.code()]) {
+        if (j == i || dead[j]) continue;
+        if (subsumes(probe, clauses[j])) {
+          auto& target = clauses[j];
+          const auto it = std::find(target.begin(), target.end(), drop);
+          if (it != target.end()) {
+            target.erase(it);
+            ++stats_.clauses_strengthened;
+          }
+        }
+      }
+    }
+  }
+
+  std::vector<Clause> kept;
+  kept.reserve(clauses.size());
+  for (std::size_t i = 0; i < clauses.size(); ++i) {
+    if (!dead[i]) kept.push_back(std::move(clauses[i]));
+  }
+  clauses = std::move(kept);
+}
+
+bool Preprocessor::eliminate_variables(std::vector<Clause>& clauses, Var n_vars) {
+  for (Var v = 0; v < n_vars; ++v) {
+    if (fixed_[v] != LBool::kUndef || eliminated_[v] != 0) continue;
+    std::vector<std::size_t> pos;
+    std::vector<std::size_t> neg;
+    for (std::size_t i = 0; i < clauses.size(); ++i) {
+      for (const Lit lit : clauses[i]) {
+        if (lit.var() != v) continue;
+        (lit.negated() ? neg : pos).push_back(i);
+        break;
+      }
+    }
+    if (pos.empty() && neg.empty()) continue;  // free variable
+    if (pos.size() + neg.size() > config_.bve_max_occurrences) continue;
+
+    // Tentatively resolve all pairs.
+    std::vector<Clause> resolvents;
+    bool blowup = false;
+    Clause resolvent;
+    for (const std::size_t pi : pos) {
+      for (const std::size_t ni : neg) {
+        if (!resolve(clauses[pi], clauses[ni], v, resolvent)) continue;
+        if (resolvent.size() > config_.bve_max_resolvent) {
+          blowup = true;
+          break;
+        }
+        resolvents.push_back(resolvent);
+      }
+      if (blowup) break;
+    }
+    if (blowup) continue;
+    if (static_cast<std::ptrdiff_t>(resolvents.size()) >
+        static_cast<std::ptrdiff_t>(pos.size() + neg.size()) +
+            config_.bve_growth_limit) {
+      continue;
+    }
+
+    // Commit: record the occurrences for model reconstruction, then swap the
+    // clause set.
+    Elimination record;
+    record.var = v;
+    std::unordered_set<std::size_t> removed(pos.begin(), pos.end());
+    removed.insert(neg.begin(), neg.end());
+    for (const std::size_t i : removed) record.clauses.push_back(clauses[i]);
+    elimination_stack_.push_back(std::move(record));
+    eliminated_[v] = 1;
+    ++stats_.vars_eliminated;
+
+    std::vector<Clause> next;
+    next.reserve(clauses.size() - removed.size() + resolvents.size());
+    for (std::size_t i = 0; i < clauses.size(); ++i) {
+      if (!removed.contains(i)) next.push_back(std::move(clauses[i]));
+    }
+    for (Clause& r : resolvents) {
+      if (r.empty()) return false;
+      next.push_back(std::move(r));
+    }
+    clauses = std::move(next);
+  }
+  return true;
+}
+
+bool Preprocessor::simplify(cnf::Formula& formula) {
+  fixed_.assign(formula.n_vars(), LBool::kUndef);
+  eliminated_.assign(formula.n_vars(), 0);
+
+  std::vector<Clause> clauses = formula.clauses();
+  // Normalize: sort, dedupe literals, drop tautologies.
+  {
+    std::vector<Clause> kept;
+    kept.reserve(clauses.size());
+    for (Clause& clause : clauses) {
+      std::sort(clause.begin(), clause.end());
+      clause.erase(std::unique(clause.begin(), clause.end()), clause.end());
+      bool tautology = false;
+      for (std::size_t i = 0; i + 1 < clause.size(); ++i) {
+        if (clause[i + 1] == ~clause[i]) {
+          tautology = true;
+          break;
+        }
+      }
+      if (!tautology) kept.push_back(std::move(clause));
+    }
+    clauses = std::move(kept);
+  }
+
+  if (!propagate_units(clauses)) return false;
+  if (config_.enable_subsumption) subsume(clauses);
+  if (!propagate_units(clauses)) return false;
+  if (config_.enable_bve) {
+    if (!eliminate_variables(clauses, formula.n_vars())) return false;
+    if (!propagate_units(clauses)) return false;
+    if (config_.enable_subsumption) subsume(clauses);
+  }
+
+  cnf::Formula simplified(formula.n_vars());
+  for (Clause& clause : clauses) simplified.add_clause(std::move(clause));
+  formula = std::move(simplified);
+  return true;
+}
+
+void Preprocessor::extend_model(cnf::Assignment& model) const {
+  HTS_CHECK(model.size() >= fixed_.size());
+  // Fixed variables first.
+  for (Var v = 0; v < fixed_.size(); ++v) {
+    if (fixed_[v] == LBool::kTrue) model[v] = 1;
+    if (fixed_[v] == LBool::kFalse) model[v] = 0;
+  }
+  // Eliminated variables in reverse elimination order: set each to satisfy
+  // all clauses it was removed with.
+  for (auto it = elimination_stack_.rbegin(); it != elimination_stack_.rend(); ++it) {
+    const Var v = it->var;
+    // Default 0; flip to 1 only if some clause needs it.
+    model[v] = 0;
+    for (const Clause& clause : it->clauses) {
+      bool satisfied = false;
+      bool v_positive_present = false;
+      for (const Lit lit : clause) {
+        if (lit.var() == v) {
+          v_positive_present |= !lit.negated();
+          continue;
+        }
+        if (lit.value_under(model[lit.var()] != 0)) {
+          satisfied = true;
+          break;
+        }
+      }
+      if (!satisfied && v_positive_present) {
+        model[v] = 1;
+      }
+    }
+    // Second pass sanity: with the chosen value every clause must hold.
+    for (const Clause& clause : it->clauses) {
+      bool satisfied = false;
+      for (const Lit lit : clause) {
+        if (lit.value_under(model[lit.var()] != 0)) {
+          satisfied = true;
+          break;
+        }
+      }
+      HTS_DCHECK(satisfied);
+      (void)satisfied;
+    }
+  }
+}
+
+}  // namespace hts::solver

@@ -1,0 +1,79 @@
+#pragma once
+
+// CNF preprocessing in the SatELite tradition: unit propagation to fixpoint,
+// subsumption, self-subsuming resolution (clause strengthening), and
+// bounded variable elimination (BVE) with a model-reconstruction stack.
+//
+// Role: real sampler stacks (UniGen3/CMSGen on CryptoMiniSat) run heavy
+// preprocessing before search; this module provides that substrate for the
+// CDCL-based baselines and doubles as an alternative "simplify before
+// transform" path for the gradient sampler.  Because samplers must report
+// assignments over the *original* variables, elimination records enough
+// information to extend any model of the simplified formula back to a full
+// model of the original one.
+
+#include <cstdint>
+#include <vector>
+
+#include "cnf/formula.hpp"
+
+namespace hts::solver {
+
+struct PreprocessConfig {
+  /// A variable is eliminated only if resolving its occurrences grows the
+  /// clause count by at most this many clauses (0 = classic "never grow").
+  int bve_growth_limit = 0;
+  /// Occurrence cap: variables appearing more often are never eliminated.
+  std::size_t bve_max_occurrences = 16;
+  /// Resolvents longer than this are treated as a blow-up (skip the var).
+  std::size_t bve_max_resolvent = 12;
+  bool enable_subsumption = true;
+  bool enable_bve = true;
+};
+
+class Preprocessor {
+ public:
+  explicit Preprocessor(const PreprocessConfig& config = {}) : config_(config) {}
+
+  /// Simplifies the formula in place.  Returns false when the formula was
+  /// proven UNSAT (the formula is left in an unspecified but valid state).
+  bool simplify(cnf::Formula& formula);
+
+  /// Extends a model of the simplified formula over the original variable
+  /// universe: fills in the values of fixed and eliminated variables.  The
+  /// input must assign all surviving variables.
+  void extend_model(cnf::Assignment& model) const;
+
+  struct Stats {
+    std::size_t units_fixed = 0;
+    std::size_t clauses_subsumed = 0;
+    std::size_t clauses_strengthened = 0;
+    std::size_t vars_eliminated = 0;
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+  /// Variables fixed at preprocessing time (value in fixed_value()).
+  [[nodiscard]] bool is_fixed(cnf::Var v) const {
+    return fixed_[v] != cnf::LBool::kUndef;
+  }
+  [[nodiscard]] bool is_eliminated(cnf::Var v) const { return eliminated_[v] != 0; }
+
+ private:
+  bool propagate_units(std::vector<cnf::Clause>& clauses);
+  void subsume(std::vector<cnf::Clause>& clauses);
+  bool eliminate_variables(std::vector<cnf::Clause>& clauses, cnf::Var n_vars);
+
+  PreprocessConfig config_;
+  Stats stats_;
+  std::vector<cnf::LBool> fixed_;
+  std::vector<std::uint8_t> eliminated_;
+  /// Reconstruction record: the clauses containing `var` at elimination
+  /// time.  During extension, `var` is set to satisfy all of them.
+  struct Elimination {
+    cnf::Var var;
+    std::vector<cnf::Clause> clauses;
+  };
+  std::vector<Elimination> elimination_stack_;
+};
+
+}  // namespace hts::solver

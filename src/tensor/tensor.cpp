@@ -1,0 +1,74 @@
+#include "tensor/tensor.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hts::tensor {
+
+namespace {
+
+std::atomic<std::int64_t> g_live_bytes{0};
+std::atomic<std::int64_t> g_peak_bytes{0};
+
+}  // namespace
+
+void parallel_for(Policy policy, std::size_t n,
+                  const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (n == 0) return;
+  if (policy == Policy::kSerial) {
+    fn(0, n);
+    return;
+  }
+  util::ThreadPool::global().parallel_for(n, fn);
+}
+
+std::int64_t live_bytes() { return g_live_bytes.load(std::memory_order_relaxed); }
+
+std::int64_t peak_bytes() { return g_peak_bytes.load(std::memory_order_relaxed); }
+
+void reset_peak_bytes() {
+  g_peak_bytes.store(g_live_bytes.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+}
+
+namespace detail {
+
+void record_alloc(std::int64_t bytes) {
+  const std::int64_t live =
+      g_live_bytes.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  std::int64_t peak = g_peak_bytes.load(std::memory_order_relaxed);
+  while (live > peak &&
+         !g_peak_bytes.compare_exchange_weak(peak, live, std::memory_order_relaxed)) {
+  }
+}
+
+void record_free(std::int64_t bytes) {
+  g_live_bytes.fetch_sub(bytes, std::memory_order_relaxed);
+}
+
+}  // namespace detail
+
+void sigmoid(Policy policy, const float* in, float* out, std::size_t n) {
+  parallel_for(policy, n, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      out[i] = 1.0f / (1.0f + std::exp(-in[i]));
+    }
+  });
+}
+
+void sigmoid_backward(Policy policy, const float* grad, const float* p, float* out,
+                      std::size_t n) {
+  parallel_for(policy, n, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      out[i] = grad[i] * p[i] * (1.0f - p[i]);
+    }
+  });
+}
+
+void sgd_step(Policy policy, float* v, const float* g, float lr, std::size_t n) {
+  parallel_for(policy, n, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) v[i] -= lr * g[i];
+  });
+}
+
+}  // namespace hts::tensor

@@ -1,0 +1,103 @@
+#pragma once
+
+// Batched float storage and data-parallel execution policies.
+//
+// This module stands in for the paper's PyTorch/V100 substrate.  Kernels are
+// written once and dispatched either serially (models the CPU run of the
+// Fig. 4 ablation) or across a thread pool (models the GPU's batch-parallel
+// execution).  Allocation is tracked byte-accurately so the Fig. 3 (right)
+// memory-vs-batch-size curve can be measured without nvidia-smi.
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <functional>
+#include <vector>
+
+#include "util/check.hpp"
+#include "util/thread_pool.hpp"
+
+namespace hts::tensor {
+
+/// Execution policy for batched kernels.
+enum class Policy : std::uint8_t {
+  kSerial,        // single thread ("CPU")
+  kDataParallel,  // thread-pool over batch rows ("GPU simulator")
+};
+
+/// Dispatches fn(begin, end) over [0, n) according to the policy.
+void parallel_for(Policy policy, std::size_t n,
+                  const std::function<void(std::size_t, std::size_t)>& fn);
+
+// --- allocation accounting --------------------------------------------------
+
+/// Live bytes currently held by Buffer instances.
+[[nodiscard]] std::int64_t live_bytes();
+/// High-water mark since the last reset_peak_bytes().
+[[nodiscard]] std::int64_t peak_bytes();
+void reset_peak_bytes();
+
+namespace detail {
+void record_alloc(std::int64_t bytes);
+void record_free(std::int64_t bytes);
+}  // namespace detail
+
+/// A tracked, contiguous float buffer.  Deliberately minimal: the prob
+/// engine addresses it as a slot-major matrix (slot*batch + row) so the
+/// inner loops stream contiguous memory per operation.
+class Buffer {
+ public:
+  Buffer() = default;
+  explicit Buffer(std::size_t n, float fill = 0.0f) { resize(n, fill); }
+
+  Buffer(const Buffer& other) : data_(other.data_) {
+    detail::record_alloc(static_cast<std::int64_t>(data_.capacity() * sizeof(float)));
+  }
+  Buffer& operator=(const Buffer& other) {
+    if (this != &other) {
+      detail::record_free(static_cast<std::int64_t>(data_.capacity() * sizeof(float)));
+      data_ = other.data_;
+      detail::record_alloc(static_cast<std::int64_t>(data_.capacity() * sizeof(float)));
+    }
+    return *this;
+  }
+  Buffer(Buffer&& other) noexcept = default;
+  Buffer& operator=(Buffer&& other) noexcept = default;
+
+  ~Buffer() {
+    detail::record_free(static_cast<std::int64_t>(data_.capacity() * sizeof(float)));
+  }
+
+  void resize(std::size_t n, float fill = 0.0f) {
+    detail::record_free(static_cast<std::int64_t>(data_.capacity() * sizeof(float)));
+    data_.assign(n, fill);
+    data_.shrink_to_fit();
+    detail::record_alloc(static_cast<std::int64_t>(data_.capacity() * sizeof(float)));
+  }
+
+  void fill(float value) { std::fill(data_.begin(), data_.end(), value); }
+
+  [[nodiscard]] std::size_t size() const { return data_.size(); }
+  [[nodiscard]] float* data() { return data_.data(); }
+  [[nodiscard]] const float* data() const { return data_.data(); }
+  [[nodiscard]] float& operator[](std::size_t i) { return data_[i]; }
+  [[nodiscard]] float operator[](std::size_t i) const { return data_[i]; }
+
+ private:
+  std::vector<float> data_;
+};
+
+// --- elementwise kernels ------------------------------------------------------
+
+/// out[i] = 1 / (1 + exp(-in[i])) over [0, n).
+void sigmoid(Policy policy, const float* in, float* out, std::size_t n);
+
+/// Gradient chain through the sigmoid: out[i] = grad[i] * p[i] * (1 - p[i]),
+/// where p is the already-computed sigmoid output.
+void sigmoid_backward(Policy policy, const float* grad, const float* p, float* out,
+                      std::size_t n);
+
+/// v[i] -= lr * g[i] (plain gradient-descent step, the paper's optimizer).
+void sgd_step(Policy policy, float* v, const float* g, float lr, std::size_t n);
+
+}  // namespace hts::tensor

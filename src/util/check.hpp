@@ -1,0 +1,40 @@
+#pragma once
+
+// Lightweight invariant checking for the hts libraries.
+//
+// HTS_CHECK is active in all build types: it guards API contracts whose
+// violation would otherwise corrupt downstream state (e.g. literal indices
+// out of range).  HTS_DCHECK compiles away in NDEBUG builds and is used on
+// hot paths (solver propagation, tensor kernels).
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace hts::util {
+
+[[noreturn]] inline void check_failed(const char* cond, const char* file, int line,
+                                      const char* msg) {
+  std::fprintf(stderr, "HTS_CHECK failed: %s at %s:%d%s%s\n", cond, file, line,
+               msg[0] != '\0' ? " — " : "", msg);
+  std::abort();
+}
+
+}  // namespace hts::util
+
+#define HTS_CHECK(cond)                                              \
+  do {                                                               \
+    if (!(cond)) ::hts::util::check_failed(#cond, __FILE__, __LINE__, ""); \
+  } while (false)
+
+#define HTS_CHECK_MSG(cond, msg)                                      \
+  do {                                                                \
+    if (!(cond)) ::hts::util::check_failed(#cond, __FILE__, __LINE__, msg); \
+  } while (false)
+
+#ifdef NDEBUG
+#define HTS_DCHECK(cond) \
+  do {                   \
+  } while (false)
+#else
+#define HTS_DCHECK(cond) HTS_CHECK(cond)
+#endif

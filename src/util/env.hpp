@@ -1,0 +1,19 @@
+#pragma once
+
+// Environment-variable knobs for the bench harnesses (HTS_BENCH_BUDGET_MS,
+// HTS_BENCH_SCALE, ...).  Centralized so every bench binary reads the same
+// spelling and defaults.
+
+#include <cstdint>
+#include <string>
+
+namespace hts::util {
+
+/// Reads a double from the environment, falling back to fallback when unset
+/// or unparsable.
+[[nodiscard]] double env_double(const std::string& name, double fallback);
+
+/// Reads an integer from the environment.
+[[nodiscard]] std::int64_t env_int(const std::string& name, std::int64_t fallback);
+
+}  // namespace hts::util

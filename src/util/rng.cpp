@@ -1,0 +1,9 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+
+namespace hts::util {
+
+double Rng::sqrt_neg2log(double s) { return std::sqrt(-2.0 * std::log(s) / s); }
+
+}  // namespace hts::util

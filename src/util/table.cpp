@@ -1,0 +1,96 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace hts::util {
+
+void Table::add_row(std::vector<std::string> row) {
+  HTS_CHECK_MSG(row.size() == header_.size(), "table row width mismatch");
+  rows_.push_back(std::move(row));
+}
+
+std::string Table::to_string() const {
+  std::vector<std::size_t> width(header_.size(), 0);
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out << row[c];
+      if (c + 1 < row.size()) {
+        out << std::string(width[c] - row[c].size() + 2, ' ');
+      }
+    }
+    out << '\n';
+  };
+  emit_row(header_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < width.size(); ++c) {
+    total += width[c] + (c + 1 < width.size() ? 2 : 0);
+  }
+  out << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) emit_row(row);
+  return out.str();
+}
+
+std::string Table::to_csv() const {
+  std::ostringstream out;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      // Values with commas (grouped numbers) are quoted.
+      const bool quote = row[c].find(',') != std::string::npos;
+      if (quote) out << '"';
+      out << row[c];
+      if (quote) out << '"';
+      if (c + 1 < row.size()) out << ',';
+    }
+    out << '\n';
+  };
+  emit(header_);
+  for (const auto& row : rows_) emit(row);
+  return out.str();
+}
+
+std::string format_fixed(double value, int decimals) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*f", decimals, value);
+  return buffer;
+}
+
+std::string format_grouped(double value, int decimals) {
+  std::string plain = format_fixed(value, decimals);
+  const auto dot = plain.find('.');
+  std::size_t int_end = (dot == std::string::npos) ? plain.size() : dot;
+  std::size_t int_begin = (!plain.empty() && plain[0] == '-') ? 1 : 0;
+  std::string grouped;
+  grouped.reserve(plain.size() + plain.size() / 3);
+  grouped.append(plain, 0, int_begin);
+  const std::size_t digits = int_end - int_begin;
+  for (std::size_t i = 0; i < digits; ++i) {
+    if (i > 0 && (digits - i) % 3 == 0) grouped.push_back(',');
+    grouped.push_back(plain[int_begin + i]);
+  }
+  grouped.append(plain, int_end, std::string::npos);
+  return grouped;
+}
+
+std::string format_si(double value) {
+  const double magnitude = std::fabs(value);
+  if (magnitude >= 1e9) return format_fixed(value / 1e9, 2) + "G";
+  if (magnitude >= 1e6) return format_fixed(value / 1e6, 2) + "M";
+  if (magnitude >= 1e3) return format_fixed(value / 1e3, 2) + "k";
+  return format_fixed(value, 2);
+}
+
+std::string format_speedup(double ratio) { return format_fixed(ratio, 1) + "x"; }
+
+}  // namespace hts::util

@@ -1,0 +1,44 @@
+#pragma once
+
+// Console table / CSV emission used by the bench harnesses so their output
+// mirrors the paper's tables and figure series.
+
+#include <string>
+#include <vector>
+
+namespace hts::util {
+
+/// Column-aligned ASCII table with a header row, printed like the paper's
+/// Table II.  All cells are strings; format_* helpers build them.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+  void add_row(std::vector<std::string> row);
+
+  /// Renders with column alignment and a separator under the header.
+  [[nodiscard]] std::string to_string() const;
+
+  /// Comma-separated form for downstream plotting.
+  [[nodiscard]] std::string to_csv() const;
+
+  [[nodiscard]] std::size_t n_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Fixed-precision decimal, e.g. format_fixed(3.14159, 2) == "3.14".
+[[nodiscard]] std::string format_fixed(double value, int decimals);
+
+/// Thousands-separated count, e.g. 4777137.7 -> "4,777,137.7".
+[[nodiscard]] std::string format_grouped(double value, int decimals = 1);
+
+/// Engineering shorthand, e.g. 2.47e6 -> "2.47M".
+[[nodiscard]] std::string format_si(double value);
+
+/// "12.3x" speedup cell.
+[[nodiscard]] std::string format_speedup(double ratio);
+
+}  // namespace hts::util

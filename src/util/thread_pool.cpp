@@ -1,0 +1,72 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace hts::util {
+
+ThreadPool::ThreadPool(std::size_t n_threads) {
+  if (n_threads == 0) {
+    n_threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(n_threads);
+  for (std::size_t i = 0; i < n_threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  work_ready_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    Task task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_ready_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (stop_ && queue_.empty()) return;
+      task = queue_.back();
+      queue_.pop_back();
+    }
+    (*task.fn)(task.begin, task.end);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (--outstanding_ == 0) work_done_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::parallel_for(
+    std::size_t n, const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (n == 0) return;
+  const std::size_t n_workers = workers_.size();
+  // Chunk so each worker gets a handful of tasks; the tail chunk may be short.
+  const std::size_t n_chunks = std::min(n, n_workers * 4);
+  if (n_chunks <= 1) {
+    fn(0, n);
+    return;
+  }
+  const std::size_t chunk = (n + n_chunks - 1) / n_chunks;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (std::size_t begin = 0; begin < n; begin += chunk) {
+      queue_.push_back(Task{&fn, begin, std::min(begin + chunk, n)});
+      ++outstanding_;
+    }
+  }
+  work_ready_.notify_all();
+  std::unique_lock<std::mutex> lock(mutex_);
+  work_done_.wait(lock, [this] { return outstanding_ == 0; });
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool;
+  return pool;
+}
+
+}  // namespace hts::util

@@ -1,0 +1,56 @@
+#pragma once
+
+// A work-stealing-free, chunked parallel-for thread pool.
+//
+// This is the "GPU simulator" substrate: the paper's sampler is data-parallel
+// across batch rows, and we reproduce the GPU-vs-CPU ablation (Fig. 4, left)
+// by running identical kernels either serially or across this pool.
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace hts::util {
+
+class ThreadPool {
+ public:
+  /// n_threads == 0 selects the hardware concurrency.
+  explicit ThreadPool(std::size_t n_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t size() const { return workers_.size(); }
+
+  /// Runs fn(begin, end) over a partition of [0, n) across the pool and the
+  /// calling thread, blocking until all chunks complete.  fn must be safe to
+  /// invoke concurrently on disjoint ranges.
+  void parallel_for(std::size_t n,
+                    const std::function<void(std::size_t, std::size_t)>& fn);
+
+  /// Global pool sized to the machine; shared by tensor kernels.
+  static ThreadPool& global();
+
+ private:
+  struct Task {
+    const std::function<void(std::size_t, std::size_t)>* fn = nullptr;
+    std::size_t begin = 0;
+    std::size_t end = 0;
+  };
+
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::vector<Task> queue_;
+  std::mutex mutex_;
+  std::condition_variable work_ready_;
+  std::condition_variable work_done_;
+  std::size_t outstanding_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace hts::util

@@ -1,0 +1,57 @@
+#pragma once
+
+// Wall-clock timing used by the sampling harnesses and benches.
+
+#include <chrono>
+#include <cstdint>
+
+namespace hts::util {
+
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  [[nodiscard]] double milliseconds() const { return seconds() * 1e3; }
+
+  [[nodiscard]] std::uint64_t nanoseconds() const {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - start_)
+            .count());
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// A soft deadline: components poll expired() to honour sampling timeouts
+/// (the paper gives each sampler a 2 h budget; our benches scale it down).
+class Deadline {
+ public:
+  /// budget_ms <= 0 means "no deadline".
+  explicit Deadline(double budget_ms = -1.0) : budget_ms_(budget_ms) {}
+
+  [[nodiscard]] bool expired() const {
+    return budget_ms_ > 0.0 && timer_.milliseconds() >= budget_ms_;
+  }
+
+  [[nodiscard]] double remaining_ms() const {
+    if (budget_ms_ <= 0.0) return 1e18;
+    return budget_ms_ - timer_.milliseconds();
+  }
+
+  [[nodiscard]] double elapsed_ms() const { return timer_.milliseconds(); }
+  [[nodiscard]] double budget_ms() const { return budget_ms_; }
+
+ private:
+  Timer timer_;
+  double budget_ms_;
+};
+
+}  // namespace hts::util

@@ -1,0 +1,491 @@
+#include "verilog/verilog.hpp"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+namespace hts::verilog {
+
+namespace {
+
+using circuit::GateType;
+using circuit::SignalId;
+
+// --- lexer -------------------------------------------------------------------
+
+enum class TokKind : std::uint8_t {
+  kIdent,
+  kPunct,   // ( ) , ; =
+  kConst0,  // 1'b0
+  kConst1,  // 1'b1
+  kOp,      // ~ & | ^
+  kEnd,
+};
+
+struct Token {
+  TokKind kind = TokKind::kEnd;
+  std::string text;
+  std::size_t line = 0;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& text) : text_(text) { advance(); }
+
+  [[nodiscard]] const Token& peek() const { return current_; }
+
+  Token take() {
+    Token t = current_;
+    advance();
+    return t;
+  }
+
+  [[nodiscard]] std::size_t line() const { return line_; }
+
+ private:
+  void advance() {
+    skip_space_and_comments();
+    current_.line = line_;
+    if (pos_ >= text_.size()) {
+      current_ = Token{TokKind::kEnd, "", line_};
+      return;
+    }
+    const char c = text_[pos_];
+    if (std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_' || c == '\\') {
+      std::size_t begin = pos_;
+      if (c == '\\') {
+        // Escaped identifier: up to whitespace.
+        ++pos_;
+        begin = pos_;
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_])) == 0) {
+          ++pos_;
+        }
+      } else {
+        while (pos_ < text_.size() &&
+               (std::isalnum(static_cast<unsigned char>(text_[pos_])) != 0 ||
+                text_[pos_] == '_' || text_[pos_] == '$')) {
+          ++pos_;
+        }
+      }
+      current_ = Token{TokKind::kIdent, text_.substr(begin, pos_ - begin), line_};
+      return;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
+      // Only the 1'b0 / 1'b1 literals are meaningful here.
+      const std::size_t begin = pos_;
+      while (pos_ < text_.size() &&
+             (std::isalnum(static_cast<unsigned char>(text_[pos_])) != 0 ||
+              text_[pos_] == '\'')) {
+        ++pos_;
+      }
+      const std::string lit = text_.substr(begin, pos_ - begin);
+      if (lit == "1'b0") {
+        current_ = Token{TokKind::kConst0, lit, line_};
+      } else if (lit == "1'b1") {
+        current_ = Token{TokKind::kConst1, lit, line_};
+      } else {
+        throw ParseError("unsupported literal '" + lit + "'", line_);
+      }
+      return;
+    }
+    ++pos_;
+    switch (c) {
+      case '(': case ')': case ',': case ';': case '=':
+        current_ = Token{TokKind::kPunct, std::string(1, c), line_};
+        return;
+      case '~': case '&': case '|': case '^':
+        current_ = Token{TokKind::kOp, std::string(1, c), line_};
+        return;
+      default:
+        throw ParseError(std::string("unexpected character '") + c + "'", line_);
+    }
+  }
+
+  void skip_space_and_comments() {
+    for (;;) {
+      while (pos_ < text_.size() &&
+             std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+        if (text_[pos_] == '\n') ++line_;
+        ++pos_;
+      }
+      if (pos_ + 1 < text_.size() && text_[pos_] == '/' && text_[pos_ + 1] == '/') {
+        while (pos_ < text_.size() && text_[pos_] != '\n') ++pos_;
+        continue;
+      }
+      if (pos_ + 1 < text_.size() && text_[pos_] == '/' && text_[pos_ + 1] == '*') {
+        pos_ += 2;
+        while (pos_ + 1 < text_.size() &&
+               !(text_[pos_] == '*' && text_[pos_ + 1] == '/')) {
+          if (text_[pos_] == '\n') ++line_;
+          ++pos_;
+        }
+        if (pos_ + 1 >= text_.size()) throw ParseError("unterminated comment", line_);
+        pos_ += 2;
+        continue;
+      }
+      return;
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+  std::size_t line_ = 1;
+  Token current_;
+};
+
+// --- parser ------------------------------------------------------------------
+
+const std::unordered_map<std::string, GateType> kGatePrimitives = {
+    {"and", GateType::kAnd},   {"or", GateType::kOr},
+    {"nand", GateType::kNand}, {"nor", GateType::kNor},
+    {"xor", GateType::kXor},   {"xnor", GateType::kXnor},
+    {"not", GateType::kNot},   {"buf", GateType::kBuf},
+};
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : lex_(text) {}
+
+  Module parse() {
+    expect_ident("module");
+    module_.name = expect(TokKind::kIdent).text;
+    expect_punct("(");
+    // Port list: names only (direction comes from the declarations).
+    if (!is_punct(")")) {
+      for (;;) {
+        port_order_.push_back(expect(TokKind::kIdent).text);
+        if (is_punct(")")) break;
+        expect_punct(",");
+      }
+    }
+    expect_punct(")");
+    expect_punct(";");
+
+    // Body: declarations first (any order), then gates / assigns.
+    for (;;) {
+      const Token t = lex_.peek();
+      if (t.kind == TokKind::kEnd) throw ParseError("missing endmodule", t.line);
+      if (t.kind != TokKind::kIdent) {
+        throw ParseError("expected statement, got '" + t.text + "'", t.line);
+      }
+      if (t.text == "endmodule") {
+        lex_.take();
+        break;
+      }
+      if (t.text == "input") {
+        parse_decl(Decl::kInput);
+      } else if (t.text == "output") {
+        parse_decl(Decl::kOutput);
+      } else if (t.text == "wire") {
+        parse_decl(Decl::kWire);
+      } else if (t.text == "assign") {
+        parse_assign();
+      } else if (kGatePrimitives.contains(t.text)) {
+        parse_gate();
+      } else {
+        throw ParseError("unsupported construct '" + t.text + "'", t.line);
+      }
+    }
+    finish();
+    return std::move(module_);
+  }
+
+ private:
+  enum class Decl : std::uint8_t { kInput, kOutput, kWire };
+
+  void parse_decl(Decl decl) {
+    lex_.take();  // keyword
+    for (;;) {
+      const Token name = expect(TokKind::kIdent);
+      declare(name.text, decl, name.line);
+      if (is_punct(";")) break;
+      expect_punct(",");
+    }
+    expect_punct(";");
+  }
+
+  void declare(const std::string& name, Decl decl, std::size_t line) {
+    if (decl_.contains(name)) throw ParseError("duplicate net '" + name + "'", line);
+    decl_[name] = decl;
+    if (decl == Decl::kInput) {
+      const SignalId s = module_.circuit.add_input(name);
+      module_.net[name] = s;
+      module_.input_names.push_back(name);
+    }
+    if (decl == Decl::kOutput) output_decl_order_.push_back(name);
+  }
+
+  /// Resolves a net that must already carry a value (gate/assign operand).
+  SignalId use(const std::string& name, std::size_t line) {
+    const auto it = module_.net.find(name);
+    if (it == module_.net.end()) {
+      if (!decl_.contains(name)) {
+        throw ParseError("use of undeclared net '" + name + "'", line);
+      }
+      throw ParseError("net '" + name + "' used before it is driven "
+                       "(declare gates in topological order)",
+                       line);
+    }
+    return it->second;
+  }
+
+  void drive(const std::string& name, SignalId signal, std::size_t line) {
+    if (!decl_.contains(name)) {
+      throw ParseError("assignment to undeclared net '" + name + "'", line);
+    }
+    if (decl_[name] == Decl::kInput) {
+      throw ParseError("cannot drive input port '" + name + "'", line);
+    }
+    if (module_.net.contains(name)) {
+      throw ParseError("net '" + name + "' driven twice", line);
+    }
+    module_.net[name] = signal;
+    module_.circuit.set_name(signal, name);
+  }
+
+  void parse_gate() {
+    const Token keyword = lex_.take();
+    const GateType type = kGatePrimitives.at(keyword.text);
+    // Optional instance name.
+    if (lex_.peek().kind == TokKind::kIdent) lex_.take();
+    expect_punct("(");
+    const Token out = expect(TokKind::kIdent);
+    std::vector<SignalId> fanins;
+    while (is_punct(",")) {
+      expect_punct(",");
+      const Token in = expect(TokKind::kIdent);
+      fanins.push_back(use(in.text, in.line));
+    }
+    expect_punct(")");
+    expect_punct(";");
+    if (fanins.empty()) {
+      throw ParseError("gate '" + keyword.text + "' needs at least one input",
+                       keyword.line);
+    }
+    if ((type == GateType::kNot || type == GateType::kBuf) && fanins.size() != 1) {
+      throw ParseError(keyword.text + " takes exactly one input", keyword.line);
+    }
+    drive(out.text, module_.circuit.add_gate(type, std::move(fanins)), out.line);
+  }
+
+  // assign LHS = expr;  with precedence  ~  >  &  >  ^  >  |
+  void parse_assign() {
+    lex_.take();  // 'assign'
+    const Token lhs = expect(TokKind::kIdent);
+    expect_punct("=");
+    const SignalId value = parse_or();
+    expect_punct(";");
+    // The expression may alias an existing signal (e.g. assign y = a;):
+    // insert a BUF so the named net has a dedicated driver.
+    drive(lhs.text, module_.circuit.add_gate(GateType::kBuf, {value}), lhs.line);
+  }
+
+  SignalId parse_or() {
+    SignalId left = parse_xor();
+    while (is_op("|")) {
+      lex_.take();
+      const SignalId right = parse_xor();
+      left = module_.circuit.add_gate(GateType::kOr, {left, right});
+    }
+    return left;
+  }
+
+  SignalId parse_xor() {
+    SignalId left = parse_and();
+    while (is_op("^")) {
+      lex_.take();
+      const SignalId right = parse_and();
+      left = module_.circuit.add_gate(GateType::kXor, {left, right});
+    }
+    return left;
+  }
+
+  SignalId parse_and() {
+    SignalId left = parse_unary();
+    while (is_op("&")) {
+      lex_.take();
+      const SignalId right = parse_unary();
+      left = module_.circuit.add_gate(GateType::kAnd, {left, right});
+    }
+    return left;
+  }
+
+  SignalId parse_unary() {
+    if (is_op("~")) {
+      lex_.take();
+      return module_.circuit.add_gate(GateType::kNot, {parse_unary()});
+    }
+    const Token t = lex_.take();
+    if (t.kind == TokKind::kConst0) return module_.circuit.add_const(false);
+    if (t.kind == TokKind::kConst1) return module_.circuit.add_const(true);
+    if (t.kind == TokKind::kPunct && t.text == "(") {
+      const SignalId inner = parse_or();
+      expect_punct(")");
+      return inner;
+    }
+    if (t.kind == TokKind::kIdent) return use(t.text, t.line);
+    throw ParseError("expected operand, got '" + t.text + "'", t.line);
+  }
+
+  void finish() {
+    // Ports must be declared; outputs must be driven.
+    for (const std::string& port : port_order_) {
+      if (!decl_.contains(port)) {
+        throw ParseError("port '" + port + "' never declared", lex_.line());
+      }
+    }
+    for (const std::string& name : output_decl_order_) {
+      const auto it = module_.net.find(name);
+      if (it == module_.net.end()) {
+        throw ParseError("output '" + name + "' is never driven", lex_.line());
+      }
+      module_.output_ports.push_back(it->second);
+      module_.output_names.push_back(name);
+    }
+  }
+
+  // --- token helpers ---------------------------------------------------------
+
+  Token expect(TokKind kind) {
+    const Token t = lex_.take();
+    if (t.kind != kind) throw ParseError("unexpected token '" + t.text + "'", t.line);
+    return t;
+  }
+
+  void expect_punct(const std::string& p) {
+    const Token t = lex_.take();
+    if (t.kind != TokKind::kPunct || t.text != p) {
+      throw ParseError("expected '" + p + "', got '" + t.text + "'", t.line);
+    }
+  }
+
+  void expect_ident(const std::string& word) {
+    const Token t = lex_.take();
+    if (t.kind != TokKind::kIdent || t.text != word) {
+      throw ParseError("expected '" + word + "', got '" + t.text + "'", t.line);
+    }
+  }
+
+  [[nodiscard]] bool is_punct(const std::string& p) const {
+    return lex_.peek().kind == TokKind::kPunct && lex_.peek().text == p;
+  }
+
+  [[nodiscard]] bool is_op(const std::string& op) const {
+    return lex_.peek().kind == TokKind::kOp && lex_.peek().text == op;
+  }
+
+  Lexer lex_;
+  Module module_;
+  std::unordered_map<std::string, Decl> decl_;
+  std::vector<std::string> port_order_;
+  std::vector<std::string> output_decl_order_;
+};
+
+}  // namespace
+
+Module parse_module(const std::string& text) { return Parser(text).parse(); }
+
+Module parse_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open verilog file: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse_module(buffer.str());
+}
+
+std::string write_module(const circuit::Circuit& circuit,
+                         const std::string& module_name) {
+  using circuit::GateType;
+  std::ostringstream out;
+  auto net_name = [&](SignalId s) {
+    const std::string& given = circuit.name(s);
+    if (!given.empty()) {
+      // Names may hold alias lists ("x2,x3"); take the first.
+      const auto comma = given.find(',');
+      return comma == std::string::npos ? given : given.substr(0, comma);
+    }
+    return "n" + std::to_string(s);
+  };
+
+  std::vector<SignalId> outputs;
+  for (const auto& constraint : circuit.outputs()) outputs.push_back(constraint.signal);
+
+  out << "module " << module_name << " (";
+  bool first = true;
+  for (const SignalId s : circuit.inputs()) {
+    if (!first) out << ", ";
+    first = false;
+    out << net_name(s);
+  }
+  for (const SignalId s : outputs) {
+    if (!first) out << ", ";
+    first = false;
+    out << net_name(s);
+  }
+  out << ");\n";
+
+  for (const SignalId s : circuit.inputs()) out << "  input " << net_name(s) << ";\n";
+  for (const SignalId s : outputs) out << "  output " << net_name(s) << ";\n";
+  for (SignalId s = 0; s < circuit.n_signals(); ++s) {
+    const GateType type = circuit.gate(s).type;
+    if (type == GateType::kInput) continue;
+    bool is_output = false;
+    for (const SignalId o : outputs) is_output |= o == s;
+    if (!is_output) out << "  wire " << net_name(s) << ";\n";
+  }
+
+  for (SignalId s = 0; s < circuit.n_signals(); ++s) {
+    const circuit::Gate& gate = circuit.gate(s);
+    const char* primitive = nullptr;
+    switch (gate.type) {
+      case GateType::kInput:
+        continue;
+      case GateType::kConst0:
+        out << "  assign " << net_name(s) << " = 1'b0;\n";
+        continue;
+      case GateType::kConst1:
+        out << "  assign " << net_name(s) << " = 1'b1;\n";
+        continue;
+      case GateType::kBuf:
+        primitive = "buf";
+        break;
+      case GateType::kNot:
+        primitive = "not";
+        break;
+      case GateType::kAnd:
+        primitive = "and";
+        break;
+      case GateType::kOr:
+        primitive = "or";
+        break;
+      case GateType::kXor:
+        primitive = "xor";
+        break;
+      case GateType::kNand:
+        primitive = "nand";
+        break;
+      case GateType::kNor:
+        primitive = "nor";
+        break;
+      case GateType::kXnor:
+        primitive = "xnor";
+        break;
+    }
+    out << "  " << primitive << " g" << s << " (" << net_name(s);
+    for (const SignalId fanin : gate.fanins) out << ", " << net_name(fanin);
+    out << ");\n";
+  }
+
+  if (!circuit.outputs().empty()) {
+    out << "  // output constraints (sampling targets):\n";
+    for (const auto& constraint : circuit.outputs()) {
+      out << "  //   " << net_name(constraint.signal) << " == "
+          << (constraint.target ? 1 : 0) << "\n";
+    }
+  }
+  out << "endmodule\n";
+  return out.str();
+}
+
+}  // namespace hts::verilog

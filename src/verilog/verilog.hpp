@@ -1,0 +1,65 @@
+#pragma once
+
+// Structural Verilog frontend/backend for the circuit IR.
+//
+// The paper's CRV motivation (and its DEMOTIC sibling) starts from design
+// constraints written in HDL; this module lets users hand such netlists
+// directly to the samplers, skipping CNF entirely, or dump extracted
+// circuits for inspection in standard tools.
+//
+// Supported subset (gate-level structural Verilog):
+//   module NAME (port, ...);
+//     input a, b;  output y;  wire w1, w2;
+//     and  g1 (y, a, b);           // first terminal = output
+//     or / nand / nor / xor / xnor / not / buf
+//     assign w = expr;             // ~ & | ^ parentheses, 1'b0 / 1'b1
+//   endmodule
+//
+// Everything else (behavioural blocks, vectors, parameters) is rejected
+// with a position-tagged error.
+
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "circuit/circuit.hpp"
+
+namespace hts::verilog {
+
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(const std::string& message, std::size_t line)
+      : std::runtime_error("verilog line " + std::to_string(line) + ": " + message),
+        line_(line) {}
+  [[nodiscard]] std::size_t line() const { return line_; }
+
+ private:
+  std::size_t line_;
+};
+
+struct Module {
+  std::string name;
+  circuit::Circuit circuit;
+  /// Declared output ports in declaration order (not yet constrained —
+  /// callers add_output with their chosen targets).
+  std::vector<circuit::SignalId> output_ports;
+  std::vector<std::string> output_names;
+  /// Input ports in declaration order (== circuit.inputs()).
+  std::vector<std::string> input_names;
+  /// name -> signal for every named net.
+  std::unordered_map<std::string, circuit::SignalId> net;
+};
+
+/// Parses one module.  Throws ParseError on malformed or unsupported input.
+[[nodiscard]] Module parse_module(const std::string& text);
+
+/// Reads a .v file from disk.
+[[nodiscard]] Module parse_file(const std::string& path);
+
+/// Emits a circuit as a structural Verilog module.  Output constraints are
+/// emitted as a comment block (Verilog has no native way to say "must be 1").
+[[nodiscard]] std::string write_module(const circuit::Circuit& circuit,
+                                       const std::string& module_name);
+
+}  // namespace hts::verilog

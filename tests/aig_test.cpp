@@ -1,0 +1,159 @@
+// Tests for the AIG: strashing laws, CSE across gate types, round-trip
+// equivalence of optimize_with_aig (randomized sweeps), signal-map fidelity,
+// and op-count reductions on redundant circuits.
+
+#include <gtest/gtest.h>
+
+#include "aig/aig.hpp"
+#include "util/rng.hpp"
+
+namespace hts::aig {
+namespace {
+
+using circuit::Circuit;
+using circuit::GateType;
+using circuit::SignalId;
+
+TEST(Aig, ConstantsAndTrivialRules) {
+  Aig aig;
+  const Lit a = aig.add_input();
+  EXPECT_EQ(aig.land(a, kLitFalse), kLitFalse);
+  EXPECT_EQ(aig.land(a, kLitTrue), a);
+  EXPECT_EQ(aig.land(a, a), a);
+  EXPECT_EQ(aig.land(a, lit_not(a)), kLitFalse);
+  EXPECT_EQ(aig.n_ands(), 0u);
+}
+
+TEST(Aig, StrashingDeduplicates) {
+  Aig aig;
+  const Lit a = aig.add_input();
+  const Lit b = aig.add_input();
+  const Lit ab1 = aig.land(a, b);
+  const Lit ab2 = aig.land(b, a);  // commuted
+  EXPECT_EQ(ab1, ab2);
+  EXPECT_EQ(aig.n_ands(), 1u);
+}
+
+TEST(Aig, DerivedOpsSemantics) {
+  Aig aig;
+  const Lit a = aig.add_input();
+  const Lit b = aig.add_input();
+  const Lit o = aig.lor(a, b);
+  const Lit x = aig.lxor(a, b);
+  for (int bits = 0; bits < 4; ++bits) {
+    const std::vector<std::uint8_t> in{static_cast<std::uint8_t>(bits & 1),
+                                       static_cast<std::uint8_t>((bits >> 1) & 1)};
+    EXPECT_EQ(aig.eval(o, in), (in[0] != 0) || (in[1] != 0));
+    EXPECT_EQ(aig.eval(x, in), (in[0] != 0) != (in[1] != 0));
+    EXPECT_EQ(aig.eval(lit_not(o), in), !((in[0] != 0) || (in[1] != 0)));
+  }
+}
+
+TEST(AigOptimize, RemovesDuplicateLogic) {
+  // Two structurally identical AND cones: after strashing, one survives.
+  Circuit c;
+  const SignalId a = c.add_input();
+  const SignalId b = c.add_input();
+  const SignalId g1 = c.add_gate(GateType::kAnd, {a, b});
+  const SignalId g2 = c.add_gate(GateType::kAnd, {a, b});  // duplicate
+  const SignalId o = c.add_gate(GateType::kOr, {g1, g2});  // or(x, x) = x
+  c.add_output(o, true);
+  const OptimizeResult result = optimize_with_aig(c);
+  EXPECT_EQ(result.ands_after, 1u);
+  EXPECT_LT(result.ands_after, result.ands_before);
+  // Same logic: output satisfied iff a & b.
+  for (int bits = 0; bits < 4; ++bits) {
+    const std::vector<std::uint8_t> in{static_cast<std::uint8_t>(bits & 1),
+                                       static_cast<std::uint8_t>((bits >> 1) & 1)};
+    EXPECT_EQ(result.circuit.outputs_satisfied(result.circuit.eval(in)),
+              (in[0] != 0) && (in[1] != 0));
+  }
+}
+
+TEST(AigOptimize, FoldsConstantsAndDoubleNegation) {
+  Circuit c;
+  const SignalId a = c.add_input();
+  const SignalId k1 = c.add_const(true);
+  const SignalId n1 = c.add_gate(GateType::kNot, {a});
+  const SignalId n2 = c.add_gate(GateType::kNot, {n1});  // == a
+  const SignalId g = c.add_gate(GateType::kAnd, {n2, k1});  // == a
+  c.add_output(g, true);
+  const OptimizeResult result = optimize_with_aig(c);
+  EXPECT_EQ(result.ands_after, 0u);  // whole circuit collapses to the input
+  EXPECT_EQ(result.circuit.eval({1})[result.signal_map[g]], 1);
+  EXPECT_EQ(result.circuit.eval({0})[result.signal_map[g]], 0);
+}
+
+TEST(AigOptimize, SignalMapCoversEverySignal) {
+  Circuit c;
+  const SignalId a = c.add_input();
+  const SignalId b = c.add_input();
+  const SignalId x = c.add_gate(GateType::kXor, {a, b});
+  const SignalId n = c.add_gate(GateType::kNor, {a, x});
+  c.add_output(n, false);
+  const OptimizeResult result = optimize_with_aig(c);
+  ASSERT_EQ(result.signal_map.size(), c.n_signals());
+  for (int bits = 0; bits < 4; ++bits) {
+    const std::vector<std::uint8_t> in{static_cast<std::uint8_t>(bits & 1),
+                                       static_cast<std::uint8_t>((bits >> 1) & 1)};
+    const auto old_values = c.eval(in);
+    const auto new_values = result.circuit.eval(in);
+    for (SignalId s = 0; s < c.n_signals(); ++s) {
+      EXPECT_EQ(old_values[s], new_values[result.signal_map[s]])
+          << "signal " << s << " bits " << bits;
+    }
+  }
+}
+
+class AigRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(AigRoundTrip, RandomCircuitsStayEquivalent) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 2654435761u + 13);
+  Circuit c;
+  const std::size_t n_in = 3 + rng.next_below(4);
+  for (std::size_t i = 0; i < n_in; ++i) c.add_input();
+  const int n_gates = 5 + static_cast<int>(rng.next_below(15));
+  for (int g = 0; g < n_gates; ++g) {
+    const auto pick = [&] {
+      return static_cast<SignalId>(rng.next_below(c.n_signals()));
+    };
+    const SignalId a = pick();
+    SignalId b = pick();
+    const GateType types[8] = {GateType::kAnd, GateType::kOr,  GateType::kXor,
+                               GateType::kNand, GateType::kNor, GateType::kXnor,
+                               GateType::kNot, GateType::kBuf};
+    const GateType type = types[rng.next_below(8)];
+    if (type == GateType::kNot || type == GateType::kBuf) {
+      c.add_gate(type, {a});
+    } else if (a == b) {
+      c.add_gate(GateType::kNot, {a});
+    } else {
+      c.add_gate(type, {a, b});
+    }
+  }
+  c.add_output(static_cast<SignalId>(c.n_signals() - 1), rng.next_bool());
+  c.add_output(static_cast<SignalId>(c.n_signals() / 2), rng.next_bool());
+
+  const OptimizeResult result = optimize_with_aig(c);
+  // Exhaustive equivalence over all inputs (<= 2^6).
+  std::vector<std::uint8_t> in(n_in);
+  for (std::uint64_t bits = 0; bits < (1ULL << n_in); ++bits) {
+    for (std::size_t i = 0; i < n_in; ++i) {
+      in[i] = static_cast<std::uint8_t>((bits >> i) & 1);
+    }
+    const auto old_values = c.eval(in);
+    const auto new_values = result.circuit.eval(in);
+    ASSERT_EQ(c.outputs_satisfied(old_values),
+              result.circuit.outputs_satisfied(new_values))
+        << "bits " << bits;
+    for (SignalId s = 0; s < c.n_signals(); ++s) {
+      ASSERT_EQ(old_values[s], new_values[result.signal_map[s]])
+          << "signal " << s << " bits " << bits;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSeeds, AigRoundTrip, ::testing::Range(0, 25));
+
+}  // namespace
+}  // namespace hts::aig

@@ -1,0 +1,193 @@
+// Tests for the CNF core: literal encoding, formula evaluation, op counting,
+// and the DIMACS parser/writer (round trips, tolerance, error reporting).
+
+#include <gtest/gtest.h>
+
+#include "cnf/dimacs.hpp"
+#include "cnf/formula.hpp"
+#include "util/rng.hpp"
+
+namespace hts::cnf {
+namespace {
+
+TEST(Lit, EncodingRoundTrip) {
+  const Lit positive(5, false);
+  EXPECT_EQ(positive.var(), 5u);
+  EXPECT_FALSE(positive.negated());
+  EXPECT_EQ(positive.code(), 10u);
+  const Lit negative = ~positive;
+  EXPECT_EQ(negative.var(), 5u);
+  EXPECT_TRUE(negative.negated());
+  EXPECT_EQ(negative.code(), 11u);
+  EXPECT_EQ(~negative, positive);
+}
+
+TEST(Lit, DimacsConversion) {
+  EXPECT_EQ(Lit::from_dimacs(3).var(), 2u);
+  EXPECT_FALSE(Lit::from_dimacs(3).negated());
+  EXPECT_TRUE(Lit::from_dimacs(-1).negated());
+  EXPECT_EQ(Lit::from_dimacs(-1).var(), 0u);
+  EXPECT_EQ(Lit::from_dimacs(-7).to_dimacs(), -7);
+  EXPECT_EQ(Lit::from_dimacs(7).to_dimacs(), 7);
+}
+
+TEST(Lit, ValueUnder) {
+  const Lit pos(0, false);
+  const Lit neg(0, true);
+  EXPECT_TRUE(pos.value_under(true));
+  EXPECT_FALSE(pos.value_under(false));
+  EXPECT_FALSE(neg.value_under(true));
+  EXPECT_TRUE(neg.value_under(false));
+}
+
+Formula tiny_formula() {
+  // (x1 | ~x2) & (x2 | x3) & (~x1 | ~x3)
+  Formula f(3);
+  f.add_clause({Lit(0, false), Lit(1, true)});
+  f.add_clause({Lit(1, false), Lit(2, false)});
+  f.add_clause({Lit(0, true), Lit(2, true)});
+  return f;
+}
+
+TEST(Formula, SatisfiedBy) {
+  const Formula f = tiny_formula();
+  EXPECT_TRUE(f.satisfied_by({1, 1, 0}));
+  EXPECT_FALSE(f.satisfied_by({0, 1, 0}));   // violates clause 1
+  EXPECT_FALSE(f.satisfied_by({1, 0, 1}));   // violates clause 3
+}
+
+TEST(Formula, CountSatisfiedAndFirstFalsified) {
+  const Formula f = tiny_formula();
+  EXPECT_EQ(f.count_satisfied({1, 1, 0}), 3u);
+  EXPECT_EQ(f.count_satisfied({0, 1, 0}), 2u);
+  EXPECT_EQ(f.first_falsified({1, 1, 0}), 3u);
+  EXPECT_EQ(f.first_falsified({0, 1, 0}), 0u);
+}
+
+TEST(Formula, LiteralAndOpCounts) {
+  const Formula f = tiny_formula();
+  EXPECT_EQ(f.n_literals(), 6u);
+  // Each 2-literal clause: 1 OR; conjunction: 2 ANDs; 3 negated literals.
+  EXPECT_EQ(f.op_count_2input(true), 3u + 2u + 3u);
+  EXPECT_EQ(f.op_count_2input(false), 3u + 2u);
+}
+
+TEST(Formula, OccurrenceCounts) {
+  const Formula f = tiny_formula();
+  const auto occ = f.occurrences();
+  EXPECT_EQ(occ[0].positive, 1u);
+  EXPECT_EQ(occ[0].negative, 1u);
+  EXPECT_EQ(occ[1].positive, 1u);
+  EXPECT_EQ(occ[1].negative, 1u);
+  EXPECT_EQ(occ[2].positive, 1u);
+  EXPECT_EQ(occ[2].negative, 1u);
+}
+
+TEST(Formula, CompactRemovesUnusedVars) {
+  Formula f(10);
+  f.add_clause({Lit(2, false), Lit(7, true)});
+  const auto remap = f.compact();
+  EXPECT_EQ(f.n_vars(), 2u);
+  EXPECT_EQ(remap[2], 0u);
+  EXPECT_EQ(remap[7], 1u);
+  EXPECT_EQ(remap[0], kInvalidVar);
+  EXPECT_EQ(f.clause(0)[0].var(), 0u);
+  EXPECT_EQ(f.clause(0)[1].var(), 1u);
+}
+
+TEST(Formula, NewVarGrows) {
+  Formula f(1);
+  EXPECT_EQ(f.new_var(), 1u);
+  EXPECT_EQ(f.n_vars(), 2u);
+}
+
+TEST(Dimacs, ParsesBasic) {
+  const Formula f = parse_dimacs_string("p cnf 3 2\n1 -2 0\n2 3 0\n");
+  EXPECT_EQ(f.n_vars(), 3u);
+  ASSERT_EQ(f.n_clauses(), 2u);
+  EXPECT_EQ(f.clause(0)[0].to_dimacs(), 1);
+  EXPECT_EQ(f.clause(0)[1].to_dimacs(), -2);
+}
+
+TEST(Dimacs, SkipsCommentsAndBlankLines) {
+  const Formula f = parse_dimacs_string(
+      "c a comment\nc another\n\np cnf 2 1\nc inline comment line\n1 2 0\n");
+  EXPECT_EQ(f.n_vars(), 2u);
+  EXPECT_EQ(f.n_clauses(), 1u);
+}
+
+TEST(Dimacs, HandlesClausesAcrossLines) {
+  const Formula f = parse_dimacs_string("p cnf 3 1\n1\n-2\n3 0\n");
+  ASSERT_EQ(f.n_clauses(), 1u);
+  EXPECT_EQ(f.clause(0).size(), 3u);
+}
+
+TEST(Dimacs, ToleratesClauseCountMismatch) {
+  const Formula f = parse_dimacs_string("p cnf 2 5\n1 0\n2 0\n");
+  EXPECT_EQ(f.n_clauses(), 2u);
+}
+
+TEST(Dimacs, ErrorOnMissingHeader) {
+  EXPECT_THROW((void)parse_dimacs_string("1 2 0\n"), DimacsError);
+}
+
+TEST(Dimacs, ErrorOnLiteralBeyondHeader) {
+  EXPECT_THROW((void)parse_dimacs_string("p cnf 2 1\n3 0\n"), DimacsError);
+}
+
+TEST(Dimacs, ErrorOnUnterminatedClause) {
+  EXPECT_THROW((void)parse_dimacs_string("p cnf 2 1\n1 2\n"), DimacsError);
+}
+
+TEST(Dimacs, ErrorOnJunkToken) {
+  EXPECT_THROW((void)parse_dimacs_string("p cnf 2 1\n1 x 0\n"), DimacsError);
+}
+
+TEST(Dimacs, ErrorReportsLineNumber) {
+  try {
+    (void)parse_dimacs_string("p cnf 2 2\n1 0\nbogus 0\n");
+    FAIL() << "expected DimacsError";
+  } catch (const DimacsError& e) {
+    EXPECT_GE(e.line(), 3u);
+  }
+}
+
+TEST(Dimacs, EmptyClauseListOk) {
+  const Formula f = parse_dimacs_string("p cnf 4 0\n");
+  EXPECT_EQ(f.n_vars(), 4u);
+  EXPECT_EQ(f.n_clauses(), 0u);
+}
+
+TEST(Dimacs, WriteParseRoundTrip) {
+  util::Rng rng(99);
+  Formula original(12);
+  for (int c = 0; c < 30; ++c) {
+    Clause clause;
+    const std::size_t width = 1 + rng.next_below(4);
+    for (std::size_t i = 0; i < width; ++i) {
+      clause.push_back(Lit(static_cast<Var>(rng.next_below(12)), rng.next_bool()));
+    }
+    original.add_clause(clause);
+  }
+  const Formula parsed = parse_dimacs_string(to_dimacs_string(original, "roundtrip"));
+  ASSERT_EQ(parsed.n_vars(), original.n_vars());
+  ASSERT_EQ(parsed.n_clauses(), original.n_clauses());
+  for (std::size_t c = 0; c < original.n_clauses(); ++c) {
+    EXPECT_EQ(parsed.clause(c), original.clause(c)) << "clause " << c;
+  }
+}
+
+TEST(Dimacs, CommentBlockWritten) {
+  Formula f(1);
+  f.add_clause({Lit(0, false)});
+  const std::string text = to_dimacs_string(f, "line one\nline two");
+  EXPECT_NE(text.find("c line one"), std::string::npos);
+  EXPECT_NE(text.find("c line two"), std::string::npos);
+}
+
+TEST(Dimacs, FileNotFoundThrows) {
+  EXPECT_THROW((void)parse_dimacs_file("/nonexistent/path.cnf"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace hts::cnf

@@ -1,0 +1,187 @@
+// Tests for the CNF preprocessor: unit propagation, subsumption,
+// self-subsuming resolution, bounded variable elimination, UNSAT detection,
+// and — critically for samplers — exact model-count preservation plus
+// model reconstruction back over eliminated variables.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "cnf/dimacs.hpp"
+#include "solver/brute.hpp"
+#include "solver/cdcl.hpp"
+#include "solver/preprocess.hpp"
+#include "util/rng.hpp"
+
+namespace hts::solver {
+namespace {
+
+using cnf::Lit;
+using cnf::Var;
+
+TEST(Preprocess, UnitPropagationFixesChain) {
+  auto f = cnf::parse_dimacs_string("p cnf 3 3\n1 0\n-1 2 0\n-2 3 0\n");
+  Preprocessor pp;
+  ASSERT_TRUE(pp.simplify(f));
+  EXPECT_EQ(f.n_clauses(), 0u);  // everything propagated away
+  EXPECT_EQ(pp.stats().units_fixed, 3u);
+  cnf::Assignment model(3, 0);
+  pp.extend_model(model);
+  EXPECT_EQ(model, (cnf::Assignment{1, 1, 1}));
+}
+
+TEST(Preprocess, ConflictingUnitsUnsat) {
+  auto f = cnf::parse_dimacs_string("p cnf 1 2\n1 0\n-1 0\n");
+  Preprocessor pp;
+  EXPECT_FALSE(pp.simplify(f));
+}
+
+TEST(Preprocess, UnitsExposeEmptyClause) {
+  auto f = cnf::parse_dimacs_string("p cnf 2 3\n1 0\n2 0\n-1 -2 0\n");
+  Preprocessor pp;
+  EXPECT_FALSE(pp.simplify(f));
+}
+
+TEST(Preprocess, SubsumptionDropsSupersets) {
+  auto f = cnf::parse_dimacs_string("p cnf 3 2\n1 2 0\n1 2 3 0\n");
+  PreprocessConfig config;
+  config.enable_bve = false;
+  Preprocessor pp(config);
+  ASSERT_TRUE(pp.simplify(f));
+  EXPECT_EQ(f.n_clauses(), 1u);
+  EXPECT_EQ(pp.stats().clauses_subsumed, 1u);
+}
+
+TEST(Preprocess, SelfSubsumingResolutionStrengthens) {
+  // (a | b) and (a | ~b | c): the second strengthens to (a | c).
+  auto f = cnf::parse_dimacs_string("p cnf 3 2\n1 2 0\n1 -2 3 0\n");
+  PreprocessConfig config;
+  config.enable_bve = false;
+  Preprocessor pp(config);
+  ASSERT_TRUE(pp.simplify(f));
+  EXPECT_GE(pp.stats().clauses_strengthened, 1u);
+  // Semantics preserved.
+  const auto g = cnf::parse_dimacs_string("p cnf 3 2\n1 2 0\n1 -2 3 0\n");
+  EXPECT_EQ(count_models(f), count_models(g));
+}
+
+TEST(Preprocess, BveEliminatesPureGateVariable) {
+  // t <-> a & b (Tseitin AND), t used once: BVE removes t entirely.
+  auto f = cnf::parse_dimacs_string(
+      "p cnf 3 4\n3 -1 -2 0\n-3 1 0\n-3 2 0\n3 0\n");
+  Preprocessor pp;
+  ASSERT_TRUE(pp.simplify(f));
+  // After units+BVE the formula collapses to a=1, b=1 (both fixed).
+  cnf::Assignment model(3, 0);
+  pp.extend_model(model);
+  const auto original = cnf::parse_dimacs_string(
+      "p cnf 3 4\n3 -1 -2 0\n-3 1 0\n-3 2 0\n3 0\n");
+  EXPECT_TRUE(original.satisfied_by(model));
+}
+
+class PreprocessRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(PreprocessRoundTrip, ModelExtensionYieldsOriginalModels) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 48271 + 11);
+  // Random small formulas: every model of the simplified formula must extend
+  // to a model of the original, and the solution COUNT projected onto
+  // surviving variables must be preserved (BVE never merges two distinct
+  // projections).
+  const Var n = 8 + static_cast<Var>(rng.next_below(4));
+  cnf::Formula original(n);
+  const std::size_t n_clauses = 2 * n + rng.next_below(n);
+  for (std::size_t c = 0; c < n_clauses; ++c) {
+    cnf::Clause clause;
+    const std::size_t width = 2 + rng.next_below(2);
+    while (clause.size() < width) {
+      const Lit lit(static_cast<Var>(rng.next_below(n)), rng.next_bool());
+      bool dup = false;
+      for (const Lit l : clause) dup |= l.var() == lit.var();
+      if (!dup) clause.push_back(lit);
+    }
+    original.add_clause(clause);
+  }
+
+  cnf::Formula simplified = original;
+  Preprocessor pp;
+  const bool sat_possible = pp.simplify(simplified);
+  const std::uint64_t original_count = count_models(original);
+  if (!sat_possible) {
+    EXPECT_EQ(original_count, 0u) << "preprocessor claimed UNSAT wrongly";
+    return;
+  }
+
+  // Every simplified model extends to an original model.
+  std::size_t checked = 0;
+  for_each_model(simplified, [&](const cnf::Assignment& model) {
+    cnf::Assignment extended = model;
+    pp.extend_model(extended);
+    EXPECT_TRUE(original.satisfied_by(extended));
+    return ++checked < 256;
+  });
+  if (original_count > 0) {
+    EXPECT_GT(checked, 0u) << "SAT formula lost all models";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSeeds, PreprocessRoundTrip, ::testing::Range(0, 25));
+
+TEST(Preprocess, SolverAgreesAfterSimplify) {
+  util::Rng rng(991);
+  for (int trial = 0; trial < 15; ++trial) {
+    const Var n = 14;
+    cnf::Formula original(n);
+    for (std::size_t c = 0; c < 60; ++c) {
+      cnf::Clause clause;
+      while (clause.size() < 3) {
+        const Lit lit(static_cast<Var>(rng.next_below(n)), rng.next_bool());
+        bool dup = false;
+        for (const Lit l : clause) dup |= l.var() == lit.var();
+        if (!dup) clause.push_back(lit);
+      }
+      original.add_clause(clause);
+    }
+    const bool brute_sat = count_models(original) > 0;
+    cnf::Formula simplified = original;
+    Preprocessor pp;
+    if (!pp.simplify(simplified)) {
+      EXPECT_FALSE(brute_sat) << trial;
+      continue;
+    }
+    cnf::Assignment model;
+    const Status status = solve_formula(simplified, &model);
+    EXPECT_EQ(status == Status::kSat, brute_sat) << trial;
+    if (status == Status::kSat) {
+      model.resize(original.n_vars(), 0);
+      pp.extend_model(model);
+      EXPECT_TRUE(original.satisfied_by(model)) << trial;
+    }
+  }
+}
+
+TEST(Preprocess, TseitinChainsShrinkSubstantially) {
+  // A buffer chain Tseitin CNF: BVE should chew through the chain vars.
+  auto f = cnf::parse_dimacs_string(
+      "p cnf 6 11\n-1 2 0\n1 -2 0\n-2 3 0\n2 -3 0\n-3 4 0\n3 -4 0\n"
+      "-4 5 0\n4 -5 0\n-5 6 0\n5 -6 0\n6 0\n");
+  Preprocessor pp;
+  ASSERT_TRUE(pp.simplify(f));
+  EXPECT_LE(f.n_clauses(), 2u);
+  cnf::Assignment model(6, 0);
+  pp.extend_model(model);
+  EXPECT_EQ(model, (cnf::Assignment{1, 1, 1, 1, 1, 1}));
+}
+
+TEST(Preprocess, DisabledPassesRespectConfig) {
+  auto f = cnf::parse_dimacs_string("p cnf 3 2\n1 2 0\n1 2 3 0\n");
+  PreprocessConfig config;
+  config.enable_subsumption = false;
+  config.enable_bve = false;
+  Preprocessor pp(config);
+  ASSERT_TRUE(pp.simplify(f));
+  EXPECT_EQ(f.n_clauses(), 2u);  // nothing removed
+  EXPECT_EQ(pp.stats().clauses_subsumed, 0u);
+}
+
+}  // namespace
+}  // namespace hts::solver

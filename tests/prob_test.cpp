@@ -1,0 +1,375 @@
+// Tests for the tensor backend and the probabilistic engine: Table I
+// forward/derivative semantics, finite-difference gradient checks on random
+// circuits, loss descent, hardening, cone-only compilation, serial/parallel
+// equivalence, and memory accounting.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "prob/compiled.hpp"
+#include "prob/engine.hpp"
+#include "tensor/tensor.hpp"
+#include "util/rng.hpp"
+
+namespace hts::prob {
+namespace {
+
+using circuit::Circuit;
+using circuit::GateType;
+using circuit::SignalId;
+
+// --- tensor backend ------------------------------------------------------------
+
+TEST(Tensor, SigmoidValues) {
+  const float in[3] = {0.0f, 10.0f, -10.0f};
+  float out[3];
+  tensor::sigmoid(tensor::Policy::kSerial, in, out, 3);
+  EXPECT_NEAR(out[0], 0.5f, 1e-6f);
+  EXPECT_GT(out[1], 0.9999f);
+  EXPECT_LT(out[2], 0.0001f);
+}
+
+TEST(Tensor, SigmoidBackwardChain) {
+  const float grad[1] = {2.0f};
+  const float p[1] = {0.25f};
+  float out[1];
+  tensor::sigmoid_backward(tensor::Policy::kSerial, grad, p, out, 1);
+  EXPECT_NEAR(out[0], 2.0f * 0.25f * 0.75f, 1e-6f);
+}
+
+TEST(Tensor, SgdStep) {
+  float v[2] = {1.0f, -1.0f};
+  const float g[2] = {0.5f, -0.5f};
+  tensor::sgd_step(tensor::Policy::kSerial, v, g, 10.0f, 2);
+  EXPECT_FLOAT_EQ(v[0], -4.0f);
+  EXPECT_FLOAT_EQ(v[1], 4.0f);
+}
+
+TEST(Tensor, PoliciesAgree) {
+  util::Rng rng(5);
+  constexpr std::size_t kN = 10000;
+  std::vector<float> in(kN), serial(kN), parallel(kN);
+  for (auto& x : in) x = static_cast<float>(rng.next_gaussian());
+  tensor::sigmoid(tensor::Policy::kSerial, in.data(), serial.data(), kN);
+  tensor::sigmoid(tensor::Policy::kDataParallel, in.data(), parallel.data(), kN);
+  for (std::size_t i = 0; i < kN; ++i) ASSERT_FLOAT_EQ(serial[i], parallel[i]);
+}
+
+TEST(Tensor, BufferTracksBytes) {
+  tensor::reset_peak_bytes();
+  const std::int64_t before = tensor::live_bytes();
+  {
+    tensor::Buffer buffer(1024);
+    EXPECT_GE(tensor::live_bytes() - before,
+              static_cast<std::int64_t>(1024 * sizeof(float)));
+  }
+  EXPECT_EQ(tensor::live_bytes(), before);
+  EXPECT_GE(tensor::peak_bytes() - before,
+            static_cast<std::int64_t>(1024 * sizeof(float)));
+}
+
+// --- compilation -----------------------------------------------------------------
+
+TEST(Compiled, BinarizesWideGates) {
+  Circuit c;
+  std::vector<SignalId> ins;
+  for (int i = 0; i < 4; ++i) ins.push_back(c.add_input());
+  c.add_output(c.add_gate(GateType::kAnd, ins), true);
+  const CompiledCircuit compiled(c);
+  // 4-input AND -> 3 binary AND ops.
+  EXPECT_EQ(compiled.n_ops(), 3u);
+  ASSERT_EQ(compiled.outputs().size(), 1u);
+  EXPECT_FLOAT_EQ(compiled.outputs()[0].target, 1.0f);
+}
+
+TEST(Compiled, InvertedGatesAppendNot) {
+  Circuit c;
+  const SignalId a = c.add_input();
+  const SignalId b = c.add_input();
+  c.add_output(c.add_gate(GateType::kNor, {a, b}), false);
+  const CompiledCircuit compiled(c);
+  EXPECT_EQ(compiled.n_ops(), 2u);  // OR + NOT
+  EXPECT_FLOAT_EQ(compiled.outputs()[0].target, 0.0f);
+}
+
+TEST(Compiled, ConeOnlySkipsUnconstrainedLogic) {
+  Circuit c;
+  const SignalId a = c.add_input();
+  const SignalId b = c.add_input();
+  (void)c.add_gate(GateType::kNot, {a});  // unconstrained cone
+  const SignalId g = c.add_gate(GateType::kNot, {b});
+  c.add_output(g, true);
+  const CompiledCircuit full(c);
+  const CompiledCircuit cone(c, CompiledCircuit::Options{true});
+  EXPECT_EQ(full.n_ops(), 2u);
+  EXPECT_EQ(cone.n_ops(), 1u);
+  EXPECT_EQ(cone.input_slot()[0], kNoSlot);  // input a outside the cone
+  EXPECT_NE(cone.input_slot()[1], kNoSlot);
+}
+
+TEST(Compiled, ConstantsGetFixedSlots) {
+  Circuit c;
+  const SignalId k1 = c.add_const(true);
+  c.add_output(k1, true);
+  const CompiledCircuit compiled(c);
+  ASSERT_EQ(compiled.const_slots().size(), 1u);
+  EXPECT_FLOAT_EQ(compiled.const_slots()[0].value, 1.0f);
+}
+
+// --- engine forward semantics (Table I) ---------------------------------------------
+
+class TableIFixture : public ::testing::Test {
+ protected:
+  /// Builds a 2-input gate circuit, sets P1/P2 via logit, runs forward, and
+  /// returns the output activation.
+  float forward_gate(GateType type, float p1, float p2) {
+    Circuit c;
+    const SignalId a = c.add_input();
+    const SignalId b = c.add_input();
+    const SignalId g = c.add_gate(type, {a, b});
+    c.add_output(g, true);
+    const CompiledCircuit compiled(c);
+    Engine::Config config;
+    config.batch = 1;
+    config.policy = tensor::Policy::kSerial;
+    config.compute_loss = true;
+    Engine engine(compiled, config);
+    engine.set_v(0, 0, logit(p1));
+    engine.set_v(1, 0, logit(p2));
+    engine.forward_only();
+    return engine.activation(
+        static_cast<std::uint32_t>(compiled.signal_slot(g)), 0);
+  }
+
+  static float logit(float p) { return std::log(p / (1.0f - p)); }
+};
+
+TEST_F(TableIFixture, AndIsProduct) {
+  EXPECT_NEAR(forward_gate(GateType::kAnd, 0.3f, 0.7f), 0.21f, 1e-4f);
+}
+
+TEST_F(TableIFixture, OrIsInclusionExclusion) {
+  EXPECT_NEAR(forward_gate(GateType::kOr, 0.3f, 0.7f), 1.0f - 0.7f * 0.3f, 1e-4f);
+}
+
+TEST_F(TableIFixture, XorIsDisagreementProbability) {
+  EXPECT_NEAR(forward_gate(GateType::kXor, 0.3f, 0.7f),
+              0.3f * 0.3f + 0.7f * 0.7f, 1e-4f);
+}
+
+TEST_F(TableIFixture, XnorComplementsXor) {
+  EXPECT_NEAR(forward_gate(GateType::kXnor, 0.3f, 0.7f),
+              1.0f - (0.3f * 0.3f + 0.7f * 0.7f), 1e-4f);
+}
+
+TEST_F(TableIFixture, NandNorComplement) {
+  EXPECT_NEAR(forward_gate(GateType::kNand, 0.5f, 0.5f), 0.75f, 1e-4f);
+  EXPECT_NEAR(forward_gate(GateType::kNor, 0.5f, 0.5f), 0.25f, 1e-4f);
+}
+
+// --- gradient check ------------------------------------------------------------------
+
+/// Builds a random circuit, computes dL/dV analytically via one
+/// run_iteration with lr chosen to expose the gradient, and compares with a
+/// central finite difference of the loss.
+class GradientCheck : public ::testing::TestWithParam<int> {};
+
+TEST_P(GradientCheck, MatchesFiniteDifferences) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 31337 + 3);
+  Circuit c;
+  const std::size_t n_in = 3 + rng.next_below(3);
+  for (std::size_t i = 0; i < n_in; ++i) c.add_input();
+  for (int g = 0; g < 8; ++g) {
+    const auto pick = [&] {
+      return static_cast<SignalId>(rng.next_below(c.n_signals()));
+    };
+    const SignalId a = pick();
+    SignalId b = pick();
+    switch (rng.next_below(4)) {
+      case 0:
+        c.add_gate(GateType::kNot, {a});
+        break;
+      case 1:
+        if (a == b) b = pick();
+        c.add_gate(a == b ? GateType::kNot : GateType::kAnd,
+                   a == b ? std::vector<SignalId>{a} : std::vector<SignalId>{a, b});
+        break;
+      case 2:
+        if (a == b) b = pick();
+        c.add_gate(a == b ? GateType::kBuf : GateType::kOr,
+                   a == b ? std::vector<SignalId>{a} : std::vector<SignalId>{a, b});
+        break;
+      default:
+        if (a == b) b = pick();
+        c.add_gate(a == b ? GateType::kNot : GateType::kXor,
+                   a == b ? std::vector<SignalId>{a} : std::vector<SignalId>{a, b});
+        break;
+    }
+  }
+  c.add_output(static_cast<SignalId>(c.n_signals() - 1), true);
+  c.add_output(static_cast<SignalId>(c.n_signals() - 2), false);
+
+  const CompiledCircuit compiled(c);
+  Engine::Config config;
+  config.batch = 1;
+  config.policy = tensor::Policy::kSerial;
+  config.compute_loss = true;
+  config.learning_rate = 1.0f;
+
+  // Analytic gradient: dL/dV = (V_before - V_after) / lr.
+  Engine engine(compiled, config);
+  util::Rng init_rng(GetParam());
+  engine.randomize(init_rng);
+  std::vector<float> v_before(n_in);
+  for (std::size_t i = 0; i < n_in; ++i) v_before[i] = engine.v_value(i, 0);
+  engine.run_iteration();
+  std::vector<float> analytic(n_in);
+  for (std::size_t i = 0; i < n_in; ++i) {
+    analytic[i] = (v_before[i] - engine.v_value(i, 0)) / config.learning_rate;
+  }
+
+  // Finite differences on a fresh engine with the same init.
+  Engine probe(compiled, config);
+  constexpr float kEps = 1e-3f;
+  for (std::size_t i = 0; i < n_in; ++i) {
+    auto loss_at = [&](float delta) {
+      for (std::size_t j = 0; j < n_in; ++j) {
+        probe.set_v(j, 0, v_before[j] + (i == j ? delta : 0.0f));
+      }
+      probe.forward_only();
+      return probe.last_loss();
+    };
+    const double numeric = (loss_at(kEps) - loss_at(-kEps)) / (2.0 * kEps);
+    EXPECT_NEAR(analytic[i], numeric, 5e-3)
+        << "input " << i << " seed " << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomCircuits, GradientCheck, ::testing::Range(0, 20));
+
+// --- learning behaviour ---------------------------------------------------------------
+
+TEST(Engine, LossDecreasesOnConjunction) {
+  // Single output AND(a, b) forced to 1: GD pushes both inputs up.  Rows
+  // whose initialization saturates the sigmoid on the wrong side descend
+  // slowly (vanishing gradient) — the sampler handles those by
+  // re-randomizing each round — so the assertion is monotone descent plus a
+  // healthy fraction of converged rows, not full convergence.
+  Circuit c;
+  const SignalId a = c.add_input();
+  const SignalId b = c.add_input();
+  c.add_output(c.add_gate(GateType::kAnd, {a, b}), true);
+  const CompiledCircuit compiled(c);
+  Engine::Config config;
+  config.batch = 64;
+  config.learning_rate = 10.0f;
+  config.init_std = 1.0f;  // mild init: fewer saturated rows
+  config.policy = tensor::Policy::kSerial;
+  config.compute_loss = true;
+  Engine engine(compiled, config);
+  util::Rng rng(1);
+  engine.randomize(rng);
+  engine.forward_only();
+  const double initial = engine.last_loss();
+  for (int iter = 0; iter < 10; ++iter) engine.run_iteration();
+  engine.forward_only();
+  EXPECT_LT(engine.last_loss(), initial * 0.75);
+  // A solid majority of rows must harden to the (1, 1) solution.
+  std::vector<std::uint64_t> packed;
+  engine.harden(packed);
+  const std::uint64_t both = packed[0] & packed[1];
+  EXPECT_GT(std::popcount(both), 32);
+}
+
+TEST(Engine, SerialAndParallelIterationsMatch) {
+  Circuit c;
+  const SignalId a = c.add_input();
+  const SignalId b = c.add_input();
+  const SignalId x = c.add_gate(GateType::kXor, {a, b});
+  c.add_output(x, true);
+  const CompiledCircuit compiled(c);
+
+  auto run = [&](tensor::Policy policy) {
+    Engine::Config config;
+    config.batch = 257;  // odd size: exercises partial chunks
+    config.policy = policy;
+    Engine engine(compiled, config);
+    util::Rng rng(99);
+    engine.randomize(rng);
+    for (int i = 0; i < 3; ++i) engine.run_iteration();
+    std::vector<float> vs;
+    for (std::size_t r = 0; r < 257; ++r) {
+      vs.push_back(engine.v_value(0, r));
+      vs.push_back(engine.v_value(1, r));
+    }
+    return vs;
+  };
+  const auto serial = run(tensor::Policy::kSerial);
+  const auto parallel = run(tensor::Policy::kDataParallel);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    ASSERT_FLOAT_EQ(serial[i], parallel[i]) << i;
+  }
+}
+
+TEST(Engine, HardenPacksVSign) {
+  Circuit c;
+  (void)c.add_input();
+  const CompiledCircuit compiled(c);
+  Engine::Config config;
+  config.batch = 70;  // crosses a word boundary
+  config.policy = tensor::Policy::kSerial;
+  Engine engine(compiled, config);
+  for (std::size_t r = 0; r < 70; ++r) {
+    engine.set_v(0, r, (r % 3 == 0) ? 1.5f : -1.5f);
+  }
+  std::vector<std::uint64_t> packed;
+  engine.harden(packed);
+  ASSERT_EQ(packed.size(), engine.n_words());
+  for (std::size_t r = 0; r < 70; ++r) {
+    EXPECT_EQ((packed[r >> 6] >> (r & 63)) & 1, (r % 3 == 0) ? 1u : 0u) << r;
+  }
+}
+
+TEST(Engine, MemoryScalesWithBatch) {
+  Circuit c;
+  const SignalId a = c.add_input();
+  const SignalId b = c.add_input();
+  c.add_output(c.add_gate(GateType::kAnd, {a, b}), true);
+  const CompiledCircuit compiled(c);
+  Engine::Config small;
+  small.batch = 128;
+  Engine::Config big;
+  big.batch = 1024;
+  const Engine engine_small(compiled, small);
+  const Engine engine_big(compiled, big);
+  const double ratio = static_cast<double>(engine_big.memory_bytes()) /
+                       static_cast<double>(engine_small.memory_bytes());
+  EXPECT_NEAR(ratio, 8.0, 0.2);  // linear in batch
+}
+
+TEST(Engine, UnconstrainedInputsKeepRandomInit) {
+  // Input `a` feeds nothing; its V must not move under GD.
+  Circuit c;
+  const SignalId a = c.add_input();
+  const SignalId b = c.add_input();
+  c.add_output(c.add_gate(GateType::kNot, {b}), true);
+  const CompiledCircuit compiled(c);
+  Engine::Config config;
+  config.batch = 8;
+  config.policy = tensor::Policy::kSerial;
+  Engine engine(compiled, config);
+  util::Rng rng(7);
+  engine.randomize(rng);
+  std::vector<float> before;
+  for (std::size_t r = 0; r < 8; ++r) before.push_back(engine.v_value(0, r));
+  for (int i = 0; i < 3; ++i) engine.run_iteration();
+  for (std::size_t r = 0; r < 8; ++r) {
+    EXPECT_FLOAT_EQ(engine.v_value(0, r), before[r]) << r;
+  }
+  (void)a;
+}
+
+}  // namespace
+}  // namespace hts::prob

@@ -1,0 +1,225 @@
+// Cross-cutting regression cases: gate-signature corners of Algorithm 1
+// (NAND/NOR/implication blocks), partial-word masking in the GD harvester,
+// store_all_draws semantics, XOR-heavy simplification, and solver/walksat
+// agreement on benchmark-family instances.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "benchgen/families.hpp"
+#include "benchgen/suite.hpp"
+#include "circuit/tseitin.hpp"
+#include "cnf/dimacs.hpp"
+#include "core/gradient_sampler.hpp"
+#include "expr/expr.hpp"
+#include "solver/brute.hpp"
+#include "solver/cdcl.hpp"
+#include "solver/walksat.hpp"
+#include "transform/transform.hpp"
+
+namespace hts {
+namespace {
+
+// --- Algorithm 1 signature corners ---------------------------------------------
+
+TEST(TransformSignatures, NandRecoveredAsComplementedAnd) {
+  // f <-> ~(a & b): clauses (f|a)(f|b)(~f|~a|~b); f = var 3.
+  const auto f = cnf::parse_dimacs_string("p cnf 3 3\n3 1 0\n3 2 0\n-3 -1 -2 0\n");
+  const auto r = transform::transform_cnf(f);
+  EXPECT_EQ(r.stats.n_gate_definitions, 1u);
+  EXPECT_EQ(r.stats.n_flushed_blocks, 0u);
+  const std::uint64_t expected = solver::count_models(f);
+  // Count circuit solutions.
+  std::uint64_t got = 0;
+  std::vector<std::uint8_t> in(r.circuit.n_inputs());
+  for (std::uint64_t bits = 0; bits < (1ULL << in.size()); ++bits) {
+    for (std::size_t i = 0; i < in.size(); ++i) {
+      in[i] = static_cast<std::uint8_t>((bits >> i) & 1);
+    }
+    if (r.circuit.outputs_satisfied(r.circuit.eval(in))) ++got;
+  }
+  EXPECT_EQ(got, expected);
+}
+
+TEST(TransformSignatures, NorRecovered) {
+  // f <-> ~(a | b): clauses (~f|~a)(~f|~b)(f|a|b); f = var 3.
+  const auto f = cnf::parse_dimacs_string("p cnf 3 3\n-3 -1 0\n-3 -2 0\n3 1 2 0\n");
+  const auto r = transform::transform_cnf(f);
+  EXPECT_EQ(r.stats.n_gate_definitions, 1u);
+  EXPECT_EQ(solver::count_models(f), 4u);
+}
+
+TEST(TransformSignatures, ImplicationBlockIsBufferLike) {
+  // (a -> b) alone is under-specified (no equivalence): must flush, not
+  // invent a gate.
+  const auto f = cnf::parse_dimacs_string("p cnf 2 1\n-1 2 0\n");
+  const auto r = transform::transform_cnf(f);
+  EXPECT_EQ(r.stats.n_gate_definitions, 0u);
+  EXPECT_EQ(r.stats.n_flushed_blocks, 1u);
+  std::uint64_t got = 0;
+  std::vector<std::uint8_t> in(r.circuit.n_inputs());
+  for (std::uint64_t bits = 0; bits < (1ULL << in.size()); ++bits) {
+    for (std::size_t i = 0; i < in.size(); ++i) {
+      in[i] = static_cast<std::uint8_t>((bits >> i) & 1);
+    }
+    if (r.circuit.outputs_satisfied(r.circuit.eval(in))) ++got;
+  }
+  EXPECT_EQ(got, 3u);
+}
+
+TEST(TransformSignatures, XnorSignatureRecovered) {
+  // f <-> (a XNOR b): 4 clauses; f = var 3.
+  const auto f = cnf::parse_dimacs_string(
+      "p cnf 3 4\n3 1 2 0\n3 -1 -2 0\n-3 -1 2 0\n-3 1 -2 0\n");
+  const auto r = transform::transform_cnf(f);
+  EXPECT_EQ(r.stats.n_gate_definitions, 1u);
+  EXPECT_EQ(solver::count_models(f), 4u);
+}
+
+TEST(TransformSignatures, TwoIndependentGatesDifferentBlocks) {
+  // Two disjoint inverter definitions: two blocks, two gates.
+  const auto f = cnf::parse_dimacs_string(
+      "p cnf 4 4\n2 1 0\n-2 -1 0\n4 3 0\n-4 -3 0\n");
+  const auto r = transform::transform_cnf(f);
+  EXPECT_EQ(r.stats.n_gate_definitions, 2u);
+  EXPECT_EQ(r.circuit.outputs().size(), 0u);  // nothing constrained
+}
+
+// --- expression engine: XOR-heavy corners ----------------------------------------
+
+TEST(ExprXor, WideXorSimplifyStaysCheap) {
+  expr::Manager mgr;
+  std::vector<expr::ExprId> vars;
+  for (std::uint32_t v = 0; v < 6; ++v) vars.push_back(mgr.var(v));
+  const expr::ExprId wide = mgr.mk_xor(std::vector<expr::ExprId>(vars));
+  // 6-input XOR: 5 ops; QM-based SOP resynthesis would need 32 cubes — the
+  // simplifier must keep the XOR form.
+  const expr::ExprId simplified = mgr.simplify(wide);
+  EXPECT_EQ(mgr.op_count_2input(simplified), 5u);
+  EXPECT_TRUE(mgr.equivalent(wide, simplified));
+}
+
+TEST(ExprXor, NestedXorParityFolds) {
+  expr::Manager mgr;
+  const auto a = mgr.var(0);
+  const auto b = mgr.var(1);
+  // ((a ^ b) ^ (a ^ b)) == 0 ; ((a ^ b) ^ a) == b.
+  EXPECT_EQ(mgr.mk_xor2(mgr.mk_xor2(a, b), mgr.mk_xor2(a, b)), mgr.const0());
+  EXPECT_EQ(mgr.mk_xor2(mgr.mk_xor2(a, b), a), b);
+}
+
+// --- harvester / run-options corners ---------------------------------------------
+
+TEST(GdHarvest, PartialWordBatchMasksTailLanes) {
+  // batch = 65: the second word has one valid lane; counts must not include
+  // phantom lanes 1..63 of that word.
+  const auto f = cnf::parse_dimacs_string("p cnf 2 1\n1 2 0\n");
+  sampler::GradientConfig config;
+  config.batch = 65;
+  config.policy = tensor::Policy::kSerial;
+  config.max_rounds = 1;
+  sampler::GradientSampler sampler(config);
+  sampler::RunOptions options;
+  options.min_solutions = 0;
+  options.budget_ms = -1.0;
+  const auto result = sampler.run(f, options);
+  EXPECT_LE(result.n_valid, 65u * 6);  // <= batch x collects per round
+}
+
+TEST(GdHarvest, StoreAllDrawsKeepsDuplicates) {
+  const auto f = cnf::parse_dimacs_string("p cnf 2 1\n1 2 0\n");  // 3 models
+  sampler::GradientConfig config;
+  config.batch = 512;
+  config.policy = tensor::Policy::kSerial;
+  config.max_rounds = 2;
+  sampler::GradientSampler sampler(config);
+
+  sampler::RunOptions unique_only;
+  unique_only.min_solutions = 0;
+  unique_only.budget_ms = -1.0;
+  unique_only.store_limit = 100000;
+  const auto r1 = sampler.run(f, unique_only);
+  EXPECT_LE(r1.solutions.size(), 3u);
+
+  sampler::RunOptions all_draws = unique_only;
+  all_draws.store_all_draws = true;
+  const auto r2 = sampler.run(f, all_draws);
+  EXPECT_GT(r2.solutions.size(), 3u);
+  EXPECT_EQ(r2.solutions.size(), r2.n_valid);
+}
+
+// --- solver agreement on benchmark-family instances --------------------------------
+
+TEST(SolverFamilies, CdclSolvesEveryTinyFamilyInstance) {
+  benchgen::GenOptions gen;
+  gen.scale = 0.02;
+  for (const auto& name : benchgen::table2_names()) {
+    const auto instance = benchgen::make_instance(name, gen);
+    cnf::Assignment model;
+    ASSERT_EQ(solver::solve_formula(instance.formula, &model), solver::Status::kSat)
+        << name;
+    EXPECT_TRUE(instance.formula.satisfied_by(model)) << name;
+  }
+}
+
+TEST(SolverFamilies, WalkSatSolvesOrFamily) {
+  const auto instance = benchgen::make_instance("or-50-10-7-UC-10");
+  solver::WalkSatConfig config;
+  config.max_flips = 500000;
+  solver::WalkSat walksat(instance.formula, config);
+  const auto model = walksat.search();
+  ASSERT_TRUE(model.has_value());
+  EXPECT_TRUE(instance.formula.satisfied_by(*model));
+}
+
+TEST(SolverFamilies, BlockingEnumerationMatchesBruteOnFig1) {
+  // The Fig. 1 demo instance has exactly 32 models; CDCL enumeration with
+  // blocking clauses must find them all.
+  const auto f = cnf::parse_dimacs_string(
+      "p cnf 14 21\n-1 -2 0\n1 2 0\n-2 3 0\n2 -3 0\n-3 4 0\n3 -4 0\n"
+      "-4 -11 5 0\n-4 11 -5 0\n4 -12 5 0\n4 12 -5 0\n-6 7 0\n6 -7 0\n"
+      "-7 8 0\n7 -8 0\n-8 -9 0\n8 9 0\n-9 -13 10 0\n-9 13 -10 0\n"
+      "9 -14 10 0\n9 14 -10 0\n10 0\n");
+  solver::CdclSolver solver;
+  solver.add_formula(f);
+  std::size_t count = 0;
+  while (solver.solve() == solver::Status::kSat) {
+    ++count;
+    ASSERT_LE(count, 32u);
+    if (!solver.block_model()) break;
+  }
+  EXPECT_EQ(count, 32u);
+}
+
+// --- Tseitin signature shape checks --------------------------------------------------
+
+TEST(TseitinShapes, NandNorClauseCounts) {
+  circuit::Circuit c;
+  const auto a = c.add_input();
+  const auto b = c.add_input();
+  const auto d = c.add_input();
+  (void)c.add_gate(circuit::GateType::kNand, {a, b, d});
+  const auto enc = circuit::tseitin_encode(c);
+  // n-input NAND: 1 wide + n binaries.
+  EXPECT_EQ(enc.formula.n_clauses(), 4u);
+  // Every input assignment has exactly one consistent completion.
+  EXPECT_EQ(solver::count_models(enc.formula), 8u);
+}
+
+TEST(TseitinShapes, RoundTripThroughTransformShrinks) {
+  // Tseitin then Algorithm 1 must come back to about the original size for
+  // each family (the whole premise of the paper).
+  benchgen::GenOptions gen;
+  gen.scale = 0.05;
+  for (const auto& name : {"or-50-10-7-UC-10", "75-10-1-q"}) {
+    const auto instance = benchgen::make_instance(name, gen);
+    const auto r = transform::transform_cnf(instance.formula);
+    const double recovered = static_cast<double>(r.circuit.n_gates());
+    const double original = static_cast<double>(instance.circuit.n_gates());
+    EXPECT_LT(recovered, original * 1.5) << name;
+  }
+}
+
+}  // namespace
+}  // namespace hts

@@ -1,0 +1,235 @@
+// Tests for the util substrate: RNG determinism/statistics, timers, thread
+// pool correctness under contention, table formatting, env knobs.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <set>
+
+#include "util/env.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+#include "util/thread_pool.hpp"
+#include "util/timer.hpp"
+
+namespace hts::util {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, ReseedReproduces) {
+  Rng rng(7);
+  const std::uint64_t first = rng.next_u64();
+  (void)rng.next_u64();
+  rng.reseed(7);
+  EXPECT_EQ(rng.next_u64(), first);
+}
+
+TEST(Rng, NextBelowRespectsBound) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.next_below(17), 17u);
+  }
+}
+
+TEST(Rng, NextBelowCoversAllResidues) {
+  Rng rng(5);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(rng.next_below(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, NextBelowRoughlyUniform) {
+  Rng rng(11);
+  constexpr int kBuckets = 8;
+  constexpr int kDraws = 80000;
+  int counts[kBuckets] = {};
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.next_below(kBuckets)];
+  for (const int c : counts) {
+    EXPECT_NEAR(c, kDraws / kBuckets, kDraws / kBuckets * 0.1);
+  }
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(13);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.next_double();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, GaussianMoments) {
+  Rng rng(17);
+  constexpr int kDraws = 200000;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (int i = 0; i < kDraws; ++i) {
+    const double x = rng.next_gaussian();
+    sum += x;
+    sum_sq += x * x;
+  }
+  EXPECT_NEAR(sum / kDraws, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / kDraws, 1.0, 0.03);
+}
+
+TEST(Rng, NextInRangeInclusive) {
+  Rng rng(19);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    const auto x = rng.next_in_range(-3, 3);
+    EXPECT_GE(x, -3);
+    EXPECT_LE(x, 3);
+    saw_lo |= x == -3;
+    saw_hi |= x == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, ShufflePermutes) {
+  Rng rng(23);
+  std::vector<int> v(50);
+  std::iota(v.begin(), v.end(), 0);
+  auto shuffled = v;
+  rng.shuffle(shuffled);
+  EXPECT_NE(shuffled, v);  // astronomically unlikely to be identity
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, v);
+}
+
+TEST(Rng, ForkIndependent) {
+  Rng parent(29);
+  Rng child = parent.fork();
+  // Child stream differs from a continued parent stream.
+  EXPECT_NE(child.next_u64(), parent.next_u64());
+}
+
+TEST(Timer, MeasuresElapsed) {
+  Timer timer;
+  volatile double sink = 0;
+  for (int i = 0; i < 200000; ++i) sink = sink + 1.0;
+  EXPECT_GT(timer.nanoseconds(), 0u);
+  EXPECT_GE(timer.seconds(), 0.0);
+}
+
+TEST(Deadline, NoBudgetNeverExpires) {
+  const Deadline deadline;
+  EXPECT_FALSE(deadline.expired());
+  EXPECT_GT(deadline.remaining_ms(), 1e12);
+}
+
+TEST(Deadline, TinyBudgetExpires) {
+  const Deadline deadline(0.0001);
+  volatile double sink = 0;
+  for (int i = 0; i < 100000; ++i) sink = sink + 1.0;
+  EXPECT_TRUE(deadline.expired());
+}
+
+TEST(ThreadPool, CoversFullRangeOnce) {
+  ThreadPool pool(4);
+  constexpr std::size_t kN = 100000;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.parallel_for(kN, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+  });
+  for (std::size_t i = 0; i < kN; ++i) ASSERT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ThreadPool, HandlesEmptyAndTinyRanges) {
+  ThreadPool pool(4);
+  int calls = 0;
+  pool.parallel_for(0, [&](std::size_t, std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  std::atomic<int> count{0};
+  pool.parallel_for(1, [&](std::size_t begin, std::size_t end) {
+    count += static_cast<int>(end - begin);
+  });
+  EXPECT_EQ(count.load(), 1);
+}
+
+TEST(ThreadPool, ReusableAcrossManyDispatches) {
+  ThreadPool pool(3);
+  std::atomic<std::size_t> total{0};
+  for (int round = 0; round < 200; ++round) {
+    pool.parallel_for(97, [&](std::size_t begin, std::size_t end) {
+      total += end - begin;
+    });
+  }
+  EXPECT_EQ(total.load(), 97u * 200);
+}
+
+TEST(Table, AlignsAndRendersRows) {
+  Table table({"name", "value"});
+  table.add_row({"alpha", "1"});
+  table.add_row({"b", "22222"});
+  const std::string text = table.to_string();
+  EXPECT_NE(text.find("alpha"), std::string::npos);
+  EXPECT_NE(text.find("22222"), std::string::npos);
+  EXPECT_NE(text.find("----"), std::string::npos);
+}
+
+TEST(Table, CsvQuotesGroupedNumbers) {
+  Table table({"a"});
+  table.add_row({format_grouped(1234567.8)});
+  const std::string csv = table.to_csv();
+  EXPECT_NE(csv.find("\"1,234,567.8\""), std::string::npos);
+}
+
+TEST(TableFormat, Fixed) {
+  EXPECT_EQ(format_fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(format_fixed(-1.0, 1), "-1.0");
+}
+
+TEST(TableFormat, Grouped) {
+  EXPECT_EQ(format_grouped(4777137.7), "4,777,137.7");
+  EXPECT_EQ(format_grouped(999.0, 0), "999");
+  EXPECT_EQ(format_grouped(-12345.0, 0), "-12,345");
+  EXPECT_EQ(format_grouped(0.5, 1), "0.5");
+}
+
+TEST(TableFormat, Si) {
+  EXPECT_EQ(format_si(2470000.0), "2.47M");
+  EXPECT_EQ(format_si(1500.0), "1.50k");
+  EXPECT_EQ(format_si(12.0), "12.00");
+}
+
+TEST(TableFormat, Speedup) { EXPECT_EQ(format_speedup(523.64), "523.6x"); }
+
+TEST(Env, DoubleFallbackAndParse) {
+  ::unsetenv("HTS_TEST_ENV_D");
+  EXPECT_DOUBLE_EQ(env_double("HTS_TEST_ENV_D", 1.5), 1.5);
+  ::setenv("HTS_TEST_ENV_D", "2.25", 1);
+  EXPECT_DOUBLE_EQ(env_double("HTS_TEST_ENV_D", 1.5), 2.25);
+  ::setenv("HTS_TEST_ENV_D", "garbage", 1);
+  EXPECT_DOUBLE_EQ(env_double("HTS_TEST_ENV_D", 1.5), 1.5);
+  ::unsetenv("HTS_TEST_ENV_D");
+}
+
+TEST(Env, IntFallbackAndParse) {
+  ::unsetenv("HTS_TEST_ENV_I");
+  EXPECT_EQ(env_int("HTS_TEST_ENV_I", 7), 7);
+  ::setenv("HTS_TEST_ENV_I", "42", 1);
+  EXPECT_EQ(env_int("HTS_TEST_ENV_I", 7), 42);
+  ::unsetenv("HTS_TEST_ENV_I");
+}
+
+}  // namespace
+}  // namespace hts::util
