@@ -1,0 +1,81 @@
+// Round-parallel scaling bench: unique-solutions/sec of the gradient sampler
+// as GdLoopConfig::n_workers grows, on one representative instance per
+// benchgen family.  The DEMOTIC observation this reproduces: rounds of the
+// GD loop are embarrassingly parallel, so on a W-core machine W workers with
+// decorrelated streams should multiply unique throughput until the bank or
+// the memory bandwidth saturates.
+//
+// Extra knobs on top of bench_common's:
+//   HTS_BENCH_WORKERS  comma-free max worker count to sweep to
+//                      (default: hardware concurrency)
+
+#include <cstdio>
+#include <thread>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace hts;
+
+sampler::RunResult run_with_workers(const cnf::Formula& formula,
+                                    const bench::BenchEnv& env,
+                                    std::size_t n_vars, std::size_t n_workers) {
+  sampler::GradientConfig config;
+  config.batch = bench::pick_batch(env, n_vars);
+  config.n_workers = n_workers;
+  // Keep each engine's kernels on the caller thread: round-parallel workers
+  // are the parallelism axis under test, so stacking the data-parallel pool
+  // on top would blur whose speedup is measured.
+  config.policy = tensor::Policy::kSerial;
+  sampler::GradientSampler sampler(config);
+  return sampler.run(formula, bench::run_options(env));
+}
+
+}  // namespace
+
+int main() {
+  bench::BenchEnv env;
+  const std::size_t hardware =
+      std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  const auto max_workers = static_cast<std::size_t>(util::env_int(
+      "HTS_BENCH_WORKERS", static_cast<long long>(hardware)));
+
+  std::printf("=== Round-parallel scaling: unique sol/s vs n_workers ===\n");
+  std::printf("budget %.0f ms, target %zu uniques, hardware threads %zu\n\n",
+              env.budget_ms, env.min_solutions, hardware);
+
+  const std::vector<std::string> instances = {"or-50-10-7-UC-10", "75-10-1-q",
+                                              "s15850a_3_2", "Prod-8"};
+  util::Table table({"Instance", "Workers", "Unique", "Latency(ms)", "Sol/s",
+                     "Speedup"});
+
+  for (const std::string& name : instances) {
+    std::fprintf(stderr, "[round_parallel] %s ...\n", name.c_str());
+    const benchgen::Instance instance = bench::make_scaled_instance(name, env);
+    const auto& formula = instance.formula;
+
+    double serial_throughput = 0.0;
+    for (std::size_t workers = 1; workers <= max_workers; workers *= 2) {
+      const sampler::RunResult result =
+          run_with_workers(formula, env, formula.n_vars(), workers);
+      const double throughput = result.throughput();
+      if (workers == 1) serial_throughput = throughput;
+      table.add_row({name, std::to_string(workers),
+                     std::to_string(result.n_unique),
+                     util::format_fixed(result.elapsed_ms, 2),
+                     util::format_grouped(throughput, 1),
+                     serial_throughput > 0.0
+                         ? util::format_speedup(throughput / serial_throughput)
+                         : "n/a"});
+    }
+  }
+
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf("CSV:\n%s", table.to_csv().c_str());
+  std::printf("\nReading: speedup ~W on a W-core machine means round-parallel\n"
+              "sampling is compute-bound and scaling cleanly; a flat line on a\n"
+              "single-core host only confirms the serial path's overheads are\n"
+              "not regressed by the worker machinery.\n");
+  return 0;
+}

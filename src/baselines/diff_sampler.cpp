@@ -52,6 +52,7 @@ sampler::RunResult DiffSampler::run(const cnf::Formula& formula,
   loop_config.learning_rate = config_.learning_rate;
   loop_config.init_std = config_.init_std;
   loop_config.policy = config_.policy;
+  loop_config.n_workers = config_.n_workers;
 
   sampler::RunResult result =
       run_gd_loop(gd_problem, formula, options, loop_config, nullptr);

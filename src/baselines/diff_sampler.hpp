@@ -22,6 +22,9 @@ struct DiffSamplerConfig {
   float learning_rate = 10.0f;
   float init_std = 2.0f;
   tensor::Policy policy = tensor::Policy::kDataParallel;
+  /// Round-parallel workers (see GdLoopConfig::n_workers) — the DEMOTIC-style
+  /// baseline scales the same way the paper's sampler does.
+  std::size_t n_workers = 1;
 };
 
 /// Builds the flat problem: inputs = original variables, one OR gate per

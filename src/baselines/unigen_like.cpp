@@ -115,17 +115,42 @@ sampler::RunResult UniGenLike::run(const cnf::Formula& formula,
     }
 
     if (interrupted) {
-      // Budget ran out mid-cell; salvage what was found, then loop exits on
-      // the deadline check.
+      // Salvage what was found before the interruption.  Partial cells are
+      // search-order-biased, so like overflow cells below they are banked
+      // for the unique count but kept out of the emitted `solutions` stream
+      // — except at deadline expiry, where nothing further will be emitted
+      // anyway and the salvage is the run's last word (legacy behaviour).
+      const bool emit = deadline.expired();
       for (const cnf::Assignment& model : cell) {
         ++result.n_valid;
-        if (bank.insert_bits(model) && result.solutions.size() < options.store_limit) {
+        if (bank.insert_bits(model) && emit &&
+            result.solutions.size() < options.store_limit) {
           result.solutions.push_back(model);
         }
+      }
+      if (!emit) {
+        // kUnknown without an expired deadline means the per-cell conflict
+        // budget ran out: this m's XOR-hashed formula is too hard for plain
+        // CDCL.  Retrying the same m would loop forever on the same wall;
+        // bisect back toward the largest m known to overflow, where cells
+        // are cheap again.
+        if (m > overflow_below) m = (overflow_below + m) / 2;
       }
       continue;
     }
     if (overflow) {
+      // The cell is too big to emit from uniformly, but its models are
+      // perfectly valid solutions; bank them for the unique count (the
+      // sampler's throughput metric) while keeping them out of the emitted
+      // `solutions` stream so distribution analyses still see only
+      // cell-uniform UniGen-style output.
+      for (const cnf::Assignment& model : cell) {
+        ++result.n_valid;
+        if (bank.insert_bits(model)) {
+          result.progress.push_back(
+              sampler::ProgressPoint{timer.milliseconds(), bank.size()});
+        }
+      }
       overflow_below = std::max(overflow_below, m);
       if (empty_above > formula.n_vars()) {
         m = m * 2 + 1;  // gallop until an upper bound exists

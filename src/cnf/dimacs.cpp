@@ -13,6 +13,9 @@ struct Cursor {
   std::istream* in;
   std::size_t line = 1;
   bool at_line_start = true;
+  /// Whether the most recent token was the first on its line (distinguishes
+  /// a SATLIB '%' footer line from a stray '%' inside a clause line).
+  bool token_started_line = false;
 
   /// Reads the next whitespace-delimited token, tracking line numbers and
   /// skipping comment lines (a 'c' in the first column).  Returns false at
@@ -36,6 +39,7 @@ struct Cursor {
       break;
     }
     if (ch == EOF) return false;
+    token_started_line = at_line_start;
     at_line_start = false;
     while (ch != EOF && std::isspace(ch) == 0) {
       token.push_back(static_cast<char>(ch));
@@ -95,6 +99,27 @@ Formula parse_dimacs(std::istream& in) {
   Clause current;
   bool clause_open = false;
   while (cursor.next_token(token)) {
+    if (token == "%" && cursor.token_started_line) {
+      // SATLIB footer: a '%' starting a line ends the clause section;
+      // whatever follows (conventionally a lone '0' and blank lines) is
+      // ignored.  A '%' elsewhere still falls through to parse_int's error —
+      // mid-line it marks corruption, not a footer.
+      if (clause_open) {
+        throw DimacsError("last clause missing terminating 0", cursor.line);
+      }
+      if (static_cast<long long>(formula.n_clauses()) < declared_clauses) {
+        // A footer before all declared clauses arrived marks a truncated
+        // file, not a SATLIB ending (real SATLIB footers follow the full
+        // clause list).  Surplus clauses stay tolerated, matching the
+        // parser's leniency at EOF.
+        throw DimacsError("'%' footer after only " +
+                              std::to_string(formula.n_clauses()) + " of " +
+                              std::to_string(declared_clauses) +
+                              " declared clauses",
+                          cursor.line);
+      }
+      return formula;
+    }
     const long long value = parse_int(token, cursor.line);
     if (value == 0) {
       formula.add_clause(current);

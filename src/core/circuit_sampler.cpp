@@ -24,6 +24,7 @@ RunResult CircuitSampler::run(const RunOptions& options) {
   loop_config.cone_only = config_.cone_only;
   loop_config.policy = config_.policy;
   loop_config.max_rounds = config_.max_rounds;
+  loop_config.n_workers = config_.n_workers;
 
   // verify_against_cnf is meaningless here (there is no CNF); the loop
   // already verifies every row against the circuit's output constraints.

@@ -24,6 +24,8 @@ struct CircuitSamplerConfig {
   bool cone_only = false;
   tensor::Policy policy = tensor::Policy::kDataParallel;
   std::uint64_t max_rounds = 0;
+  /// Round-parallel workers (see GdLoopConfig::n_workers).
+  std::size_t n_workers = 1;
 };
 
 class CircuitSampler {

@@ -1,106 +1,43 @@
 #include "core/gd_loop.hpp"
 
 #include <algorithm>
-#include <bit>
+#include <atomic>
+#include <memory>
+#include <thread>
 
+#include "core/harvester.hpp"
 #include "core/unique_bank.hpp"
 #include "prob/engine.hpp"
+#include "util/rng.hpp"
 #include "util/timer.hpp"
 
 namespace hts::sampler {
 
 namespace {
 
-/// Harvests valid, new solutions out of a hardened batch.
-class Harvester {
- public:
-  Harvester(const GdProblem& problem, const cnf::Formula& formula,
-            const RunOptions& options, RunResult& result)
-      : problem_(problem),
-        formula_(formula),
-        options_(options),
-        result_(result),
-        bank_(problem.circuit->n_inputs()) {}
-
-  [[nodiscard]] std::size_t n_unique() const { return bank_.size(); }
-
-  /// packed: n_inputs x n_words hardened input bits covering `batch` rows.
-  void collect(const std::vector<std::uint64_t>& packed, std::size_t n_words,
-               std::size_t batch) {
-    const circuit::Circuit& circuit = *problem_.circuit;
-    const std::size_t n_inputs = circuit.n_inputs();
-    std::vector<std::uint64_t> input_words(n_inputs);
-    for (std::size_t w = 0; w < n_words; ++w) {
-      for (std::size_t i = 0; i < n_inputs; ++i) {
-        input_words[i] = packed[i * n_words + w];
-      }
-      const std::vector<std::uint64_t> values = circuit.eval64(input_words);
-      std::uint64_t ok = circuit.outputs_satisfied64(values);
-      // Mask off lanes past the batch in the final partial word.
-      const std::size_t rows_here = std::min<std::size_t>(64, batch - w * 64);
-      if (rows_here < 64) ok &= (1ULL << rows_here) - 1;
-      while (ok != 0) {
-        const int r = std::countr_zero(ok);
-        ok &= ok - 1;
-        accept_row(input_words, values, static_cast<std::size_t>(r));
-      }
-    }
-  }
-
- private:
-  void accept_row(const std::vector<std::uint64_t>& input_words,
-                  const std::vector<std::uint64_t>& values, std::size_t r) {
-    std::vector<std::uint64_t> key(bank_.n_words(), 0);
-    for (std::size_t i = 0; i < input_words.size(); ++i) {
-      if (((input_words[i] >> r) & 1ULL) != 0) key[i >> 6] |= (1ULL << (i & 63));
-    }
-    ++result_.n_valid;
-    const bool is_new = bank_.insert(key);
-    if (!is_new && !options_.store_all_draws) return;
-
-    const bool want_assignment = result_.solutions.size() < options_.store_limit ||
-                                 (is_new && options_.verify_against_cnf);
-    if (!want_assignment) return;
-    const auto& var_signal = *problem_.var_signal;
-    cnf::Assignment assignment(var_signal.size(), 0);
-    for (cnf::Var v = 0; v < var_signal.size(); ++v) {
-      assignment[v] = static_cast<std::uint8_t>((values[var_signal[v]] >> r) & 1ULL);
-    }
-    if (options_.verify_against_cnf && !formula_.satisfied_by(assignment)) {
-      ++result_.n_invalid;
-    }
-    if (result_.solutions.size() < options_.store_limit) {
-      result_.solutions.push_back(std::move(assignment));
-    }
-  }
-
-  const GdProblem& problem_;
-  const cnf::Formula& formula_;
-  const RunOptions& options_;
-  RunResult& result_;
-  UniqueBank bank_;
-};
-
-}  // namespace
-
-RunResult run_gd_loop(const GdProblem& problem, const cnf::Formula& formula,
-                      const RunOptions& options, const GdLoopConfig& config,
-                      GdLoopExtras* extras) {
-  RunResult result;
-
-  prob::CompiledCircuit compiled(*problem.circuit,
-                                 prob::CompiledCircuit::Options{config.cone_only});
+[[nodiscard]] prob::Engine::Config make_engine_config(const GdLoopConfig& config) {
   prob::Engine::Config engine_config;
   engine_config.batch = config.batch;
   engine_config.learning_rate = config.learning_rate;
   engine_config.init_std = config.init_std;
   engine_config.policy = config.policy;
-  prob::Engine engine(compiled, engine_config);
+  return engine_config;
+}
+
+/// The legacy single-thread loop, kept verbatim so n_workers == 1 reproduces
+/// pre-refactor results bit for bit (same RNG consumption order, same bank
+/// insertion order, same progress checkpoints).
+RunResult run_serial(const GdProblem& problem, const cnf::Formula& formula,
+                     const RunOptions& options, const GdLoopConfig& config,
+                     const prob::CompiledCircuit& compiled, GdLoopExtras* extras) {
+  RunResult result;
+  prob::Engine engine(compiled, make_engine_config(config));
 
   util::Rng rng(options.seed);
   util::Deadline deadline(options.budget_ms);
   util::Timer timer;
-  Harvester harvester(problem, formula, options, result);
+  UniqueBank bank(problem.circuit->n_inputs());
+  Harvester<UniqueBank> harvester(problem, formula, options, bank, result);
 
   std::vector<std::size_t> uniques_per_iteration(
       static_cast<std::size_t>(config.iterations) + 1, 0);
@@ -155,6 +92,172 @@ RunResult run_gd_loop(const GdProblem& problem, const cnf::Formula& formula,
     extras->rounds = rounds;
   }
   return result;
+}
+
+/// Round-parallel execution: N workers, each owning an engine and a
+/// decorrelated RNG stream, race through independent randomize -> iterate ->
+/// harden rounds and merge uniques into one shared sharded bank.  Rounds are
+/// claimed from a shared counter (so max_rounds bounds the total), and the
+/// target / deadline checks read the *global* unique count, so workers stop
+/// as soon as the fleet collectively reaches the goal.
+RunResult run_parallel(const GdProblem& problem, const cnf::Formula& formula,
+                       const RunOptions& options, const GdLoopConfig& config,
+                       const prob::CompiledCircuit& compiled,
+                       std::size_t n_workers, GdLoopExtras* extras) {
+  struct WorkerOutput {
+    RunResult result;
+    std::vector<std::size_t> uniques_per_iteration;
+    std::size_t engine_bytes = 0;
+    std::uint64_t rounds = 0;
+  };
+
+  const std::size_t n_slots = static_cast<std::size_t>(config.iterations) + 1;
+  std::vector<WorkerOutput> outputs(n_workers);
+  for (WorkerOutput& out : outputs) out.uniques_per_iteration.assign(n_slots, 0);
+
+  ShardedUniqueBank bank(problem.circuit->n_inputs());
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> next_round{0};
+
+  // Engines are built before the clock starts, mirroring the serial path
+  // where construction precedes the Deadline: buffer allocation for a large
+  // instance can cost more than a tight budget, and a worker that wakes up
+  // already expired would contribute nothing.
+  std::vector<std::unique_ptr<prob::Engine>> engines;
+  engines.reserve(n_workers);
+  for (std::size_t w = 0; w < n_workers; ++w) {
+    engines.push_back(
+        std::make_unique<prob::Engine>(compiled, make_engine_config(config)));
+  }
+
+  util::Deadline deadline(options.budget_ms);
+  util::Timer timer;
+
+  auto reached_target = [&] {
+    return options.min_solutions > 0 && bank.size() >= options.min_solutions;
+  };
+
+  auto worker_fn = [&](std::size_t w) {
+    WorkerOutput& out = outputs[w];
+    prob::Engine& engine = *engines[w];
+    util::Rng rng = util::Rng::stream(options.seed, w);
+    Harvester<ShardedUniqueBank> harvester(problem, formula, options, bank,
+                                           out.result);
+    std::vector<std::uint64_t> packed;
+
+    while (!stop.load(std::memory_order_relaxed)) {
+      if (reached_target() || deadline.expired()) {
+        stop.store(true, std::memory_order_relaxed);
+        break;
+      }
+      const std::uint64_t round = next_round.fetch_add(1);
+      if (config.max_rounds != 0 && round >= config.max_rounds) break;
+      ++out.rounds;
+      engine.randomize(rng);
+      if (config.collect_each_iteration) {
+        engine.harden(packed);
+        harvester.collect(packed, engine.n_words(), config.batch);
+        out.uniques_per_iteration[0] =
+            std::max(out.uniques_per_iteration[0], bank.size());
+      }
+      for (int iter = 1; iter <= config.iterations; ++iter) {
+        engine.run_iteration();
+        if (config.collect_each_iteration || iter == config.iterations) {
+          engine.harden(packed);
+          harvester.collect(packed, engine.n_words(), config.batch);
+          const auto slot = static_cast<std::size_t>(iter);
+          out.uniques_per_iteration[slot] =
+              std::max(out.uniques_per_iteration[slot], bank.size());
+          out.result.progress.push_back(
+              ProgressPoint{timer.milliseconds(), bank.size()});
+        }
+        if (reached_target() || deadline.expired()) {
+          stop.store(true, std::memory_order_relaxed);
+          break;
+        }
+      }
+    }
+    out.engine_bytes = engine.memory_bytes();
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(n_workers - 1);
+  for (std::size_t w = 1; w < n_workers; ++w) threads.emplace_back(worker_fn, w);
+  worker_fn(0);
+  for (std::thread& t : threads) t.join();
+
+  // ---- merge ----
+  RunResult result;
+  std::vector<std::size_t> uniques_per_iteration(n_slots, 0);
+  std::uint64_t rounds = 0;
+  std::size_t engine_bytes = 0;
+  for (WorkerOutput& out : outputs) {
+    result.n_valid += out.result.n_valid;
+    result.n_invalid += out.result.n_invalid;
+    result.progress.insert(result.progress.end(), out.result.progress.begin(),
+                           out.result.progress.end());
+    for (cnf::Assignment& solution : out.result.solutions) {
+      if (result.solutions.size() >= options.store_limit) break;
+      result.solutions.push_back(std::move(solution));
+    }
+    for (std::size_t i = 0; i < n_slots; ++i) {
+      uniques_per_iteration[i] =
+          std::max(uniques_per_iteration[i], out.uniques_per_iteration[i]);
+    }
+    rounds += out.rounds;
+    engine_bytes += out.engine_bytes;
+  }
+  // Each worker's checkpoints are individually chronological; interleave
+  // them into one timeline.  Counts are global-bank snapshots, so enforcing
+  // a running maximum restores monotonicity across the interleaving.
+  std::sort(result.progress.begin(), result.progress.end(),
+            [](const ProgressPoint& a, const ProgressPoint& b) {
+              return a.elapsed_ms < b.elapsed_ms;
+            });
+  std::size_t running_max = 0;
+  for (ProgressPoint& point : result.progress) {
+    running_max = std::max(running_max, point.n_unique);
+    point.n_unique = running_max;
+  }
+
+  result.n_unique = bank.size();
+  result.elapsed_ms = timer.milliseconds();
+  result.timed_out = !reached_target() && options.min_solutions > 0;
+  for (std::size_t i = 1; i < n_slots; ++i) {
+    uniques_per_iteration[i] =
+        std::max(uniques_per_iteration[i], uniques_per_iteration[i - 1]);
+  }
+  if (extras != nullptr) {
+    extras->uniques_per_iteration = std::move(uniques_per_iteration);
+    // Total footprint of the fleet (the Fig. 3 memory metric scales with
+    // workers just as batch does).
+    extras->engine_memory_bytes = engine_bytes;
+    extras->rounds = rounds;
+  }
+  return result;
+}
+
+}  // namespace
+
+RunResult run_gd_loop(const GdProblem& problem, const cnf::Formula& formula,
+                      const RunOptions& options, const GdLoopConfig& config,
+                      GdLoopExtras* extras) {
+  prob::CompiledCircuit compiled(*problem.circuit,
+                                 prob::CompiledCircuit::Options{config.cone_only});
+  std::size_t n_workers = config.n_workers;
+  if (n_workers == 0) {
+    n_workers = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  if (config.max_rounds != 0 && n_workers > config.max_rounds) {
+    // A worker that can never claim a round would still pay for a full
+    // engine allocation and inflate the reported memory footprint.
+    n_workers = static_cast<std::size_t>(config.max_rounds);
+  }
+  if (n_workers <= 1) {
+    return run_serial(problem, formula, options, config, compiled, extras);
+  }
+  return run_parallel(problem, formula, options, config, compiled, n_workers,
+                      extras);
 }
 
 }  // namespace hts::sampler

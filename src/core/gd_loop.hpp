@@ -31,6 +31,13 @@ struct GdLoopConfig {
   /// Stop after this many randomize->iterate rounds (0 = unlimited).  Used
   /// by the Fig. 3 learning-curve harness to observe exactly one round.
   std::uint64_t max_rounds = 0;
+  /// Round-parallel workers.  1 (default) runs the exact legacy serial loop
+  /// (bit-identical results for a fixed seed); 0 selects the hardware
+  /// concurrency; N > 1 runs N workers, each owning a prob::Engine and a
+  /// decorrelated RNG stream (util::Rng::stream(seed, worker)), merging
+  /// uniques into one shared ShardedUniqueBank.  Rounds are claimed from a
+  /// shared counter so max_rounds bounds the *total* across workers.
+  std::size_t n_workers = 1;
 };
 
 struct GdLoopExtras {

@@ -33,6 +33,7 @@ RunResult GradientSampler::run(const cnf::Formula& formula,
   loop_config.cone_only = config_.cone_only;
   loop_config.policy = config_.policy;
   loop_config.max_rounds = config_.max_rounds;
+  loop_config.n_workers = config_.n_workers;
 
   GdLoopExtras extras;
   result = run_gd_loop(gd_problem, formula, options, loop_config, &extras);

@@ -33,6 +33,10 @@ struct GradientConfig {
   tensor::Policy policy = tensor::Policy::kDataParallel;
   /// Stop after this many rounds regardless of targets (0 = unlimited).
   std::uint64_t max_rounds = 0;
+  /// Round-parallel workers (see GdLoopConfig::n_workers): 1 = the legacy
+  /// serial loop, 0 = hardware concurrency, N > 1 = N engines racing through
+  /// decorrelated rounds into a shared unique bank.
+  std::size_t n_workers = 1;
   transform::Config transform;
 };
 

@@ -1,0 +1,96 @@
+#pragma once
+
+// Harvests valid, new solutions out of a hardened batch.
+//
+// Extracted from the GD loop so the serial path (one Harvester over a plain
+// UniqueBank) and the round-parallel path (one Harvester per worker, all
+// merging into a shared ShardedUniqueBank) run the identical
+// unpack -> eval64 -> mask -> project pipeline.  `Bank` only needs
+// insert(key), size() and n_words(); uniqueness is decided wherever the bank
+// lives, so a worker's duplicate of another worker's solution is rejected at
+// the merge point, not after.
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "core/gd_loop.hpp"
+#include "core/unique_bank.hpp"
+
+namespace hts::sampler {
+
+template <typename Bank>
+class Harvester {
+ public:
+  /// `result` receives per-harvester accounting (n_valid, n_invalid, stored
+  /// solutions); in the round-parallel path it is a worker-local RunResult
+  /// merged after the join.  `bank` decides uniqueness and may be shared.
+  Harvester(const GdProblem& problem, const cnf::Formula& formula,
+            const RunOptions& options, Bank& bank, RunResult& result)
+      : problem_(problem),
+        formula_(formula),
+        options_(options),
+        result_(result),
+        bank_(bank) {}
+
+  [[nodiscard]] std::size_t n_unique() const { return bank_.size(); }
+
+  /// packed: n_inputs x n_words hardened input bits covering `batch` rows.
+  void collect(const std::vector<std::uint64_t>& packed, std::size_t n_words,
+               std::size_t batch) {
+    const circuit::Circuit& circuit = *problem_.circuit;
+    const std::size_t n_inputs = circuit.n_inputs();
+    std::vector<std::uint64_t> input_words(n_inputs);
+    for (std::size_t w = 0; w < n_words; ++w) {
+      for (std::size_t i = 0; i < n_inputs; ++i) {
+        input_words[i] = packed[i * n_words + w];
+      }
+      const std::vector<std::uint64_t> values = circuit.eval64(input_words);
+      std::uint64_t ok = circuit.outputs_satisfied64(values);
+      // Mask off lanes past the batch in the final partial word.
+      const std::size_t rows_here = std::min<std::size_t>(64, batch - w * 64);
+      if (rows_here < 64) ok &= (1ULL << rows_here) - 1;
+      while (ok != 0) {
+        const int r = std::countr_zero(ok);
+        ok &= ok - 1;
+        accept_row(input_words, values, static_cast<std::size_t>(r));
+      }
+    }
+  }
+
+ private:
+  void accept_row(const std::vector<std::uint64_t>& input_words,
+                  const std::vector<std::uint64_t>& values, std::size_t r) {
+    std::vector<std::uint64_t> key(bank_.n_words(), 0);
+    for (std::size_t i = 0; i < input_words.size(); ++i) {
+      if (((input_words[i] >> r) & 1ULL) != 0) key[i >> 6] |= (1ULL << (i & 63));
+    }
+    ++result_.n_valid;
+    const bool is_new = bank_.insert(key);
+    if (!is_new && !options_.store_all_draws) return;
+
+    const bool want_assignment = result_.solutions.size() < options_.store_limit ||
+                                 (is_new && options_.verify_against_cnf);
+    if (!want_assignment) return;
+    const auto& var_signal = *problem_.var_signal;
+    cnf::Assignment assignment(var_signal.size(), 0);
+    for (cnf::Var v = 0; v < var_signal.size(); ++v) {
+      assignment[v] = static_cast<std::uint8_t>((values[var_signal[v]] >> r) & 1ULL);
+    }
+    if (options_.verify_against_cnf && !formula_.satisfied_by(assignment)) {
+      ++result_.n_invalid;
+    }
+    if (result_.solutions.size() < options_.store_limit) {
+      result_.solutions.push_back(std::move(assignment));
+    }
+  }
+
+  const GdProblem& problem_;
+  const cnf::Formula& formula_;
+  const RunOptions& options_;
+  RunResult& result_;
+  Bank& bank_;
+};
+
+}  // namespace hts::sampler

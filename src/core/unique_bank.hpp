@@ -6,12 +6,51 @@
 // reports *unique* solution throughput, so the bank is on the hot path of
 // every sampler; it hashes whole keys (no lossy fingerprints — an
 // overcounted unique would inflate throughput).
+//
+// Two variants share the interface:
+//   UniqueBank         single-thread, zero synchronization (the serial loop).
+//   ShardedUniqueBank  mutex-per-shard, for round-parallel workers merging
+//                      concurrently; shard selection reuses the key hash so
+//                      uncorrelated solutions spread across shards and
+//                      contention stays proportional to 1/n_shards.
 
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <unordered_set>
 #include <vector>
 
 namespace hts::sampler {
+
+namespace detail {
+
+/// FNV-1a over the packed words with an extra avalanche xor-shift; shared by
+/// both bank variants so a key lands in the same shard its set hash implies.
+struct PackedKeyHash {
+  std::size_t operator()(const std::vector<std::uint64_t>& key) const noexcept {
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (const std::uint64_t word : key) {
+      h ^= word;
+      h *= 0x100000001b3ULL;
+      h ^= h >> 29;
+    }
+    return static_cast<std::size_t>(h);
+  }
+};
+
+/// Packs a byte-per-bit assignment into the canonical key layout.  Shared by
+/// both bank variants so they can never disagree on key identity.
+[[nodiscard]] inline std::vector<std::uint64_t> pack_bits(
+    const std::vector<std::uint8_t>& bits, std::size_t n_bits,
+    std::size_t n_words) {
+  std::vector<std::uint64_t> key(n_words, 0);
+  for (std::size_t i = 0; i < n_bits; ++i) {
+    if (bits[i] != 0) key[i >> 6] |= (1ULL << (i & 63));
+  }
+  return key;
+}
+
+}  // namespace detail
 
 class UniqueBank {
  public:
@@ -25,32 +64,76 @@ class UniqueBank {
 
   /// Packs a byte-per-bit assignment and inserts it.
   bool insert_bits(const std::vector<std::uint8_t>& bits) {
-    std::vector<std::uint64_t> key(n_words_, 0);
-    for (std::size_t i = 0; i < n_bits_; ++i) {
-      if (bits[i] != 0) key[i >> 6] |= (1ULL << (i & 63));
-    }
-    return insert(key);
+    return insert(detail::pack_bits(bits, n_bits_, n_words_));
   }
 
   [[nodiscard]] std::size_t size() const { return set_.size(); }
   [[nodiscard]] std::size_t n_words() const { return n_words_; }
 
  private:
-  struct KeyHash {
-    std::size_t operator()(const std::vector<std::uint64_t>& key) const noexcept {
-      std::uint64_t h = 0xcbf29ce484222325ULL;
-      for (const std::uint64_t word : key) {
-        h ^= word;
-        h *= 0x100000001b3ULL;
-        h ^= h >> 29;
-      }
-      return static_cast<std::size_t>(h);
+  std::size_t n_bits_;
+  std::size_t n_words_;
+  std::unordered_set<std::vector<std::uint64_t>, detail::PackedKeyHash> set_;
+};
+
+/// Concurrent UniqueBank: the key hash picks a shard, the shard's mutex
+/// serializes only the colliding sliver of traffic, and a relaxed atomic
+/// keeps size() O(1) so the round-parallel target check (`bank.size() >=
+/// min_solutions`, polled every iteration by every worker) never touches a
+/// lock.
+class ShardedUniqueBank {
+ public:
+  static constexpr std::size_t kDefaultShards = 64;
+
+  explicit ShardedUniqueBank(std::size_t n_bits,
+                             std::size_t n_shards = kDefaultShards)
+      : n_bits_(n_bits),
+        n_words_((n_bits + 63) / 64),
+        shards_(round_up_pow2(n_shards)) {}
+
+  /// Inserts a packed key; returns true when it was new.  Safe to call from
+  /// any number of threads concurrently.
+  bool insert(const std::vector<std::uint64_t>& key) {
+    const std::size_t h = detail::PackedKeyHash{}(key);
+    // High bits pick the shard; unordered_set consumes the low bits, so the
+    // two decisions stay independent.
+    Shard& shard = shards_[(h >> 48) & (shards_.size() - 1)];
+    bool is_new = false;
+    {
+      std::lock_guard<std::mutex> lock(shard.mutex);
+      is_new = shard.set.insert(key).second;
     }
+    if (is_new) size_.fetch_add(1, std::memory_order_relaxed);
+    return is_new;
+  }
+
+  /// Packs a byte-per-bit assignment and inserts it.
+  bool insert_bits(const std::vector<std::uint8_t>& bits) {
+    return insert(detail::pack_bits(bits, n_bits_, n_words_));
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    return size_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::size_t n_words() const { return n_words_; }
+  [[nodiscard]] std::size_t n_shards() const { return shards_.size(); }
+
+ private:
+  struct Shard {
+    std::mutex mutex;
+    std::unordered_set<std::vector<std::uint64_t>, detail::PackedKeyHash> set;
   };
+
+  [[nodiscard]] static std::size_t round_up_pow2(std::size_t n) {
+    std::size_t p = 1;
+    while (p < n) p <<= 1;
+    return p;
+  }
 
   std::size_t n_bits_;
   std::size_t n_words_;
-  std::unordered_set<std::vector<std::uint64_t>, KeyHash> set_;
+  std::vector<Shard> shards_;
+  std::atomic<std::size_t> size_{0};
 };
 
 }  // namespace hts::sampler

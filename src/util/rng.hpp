@@ -115,6 +115,18 @@ class Rng {
   /// A statistically independent child generator (for per-thread streams).
   [[nodiscard]] Rng fork() { return Rng(next_u64() ^ 0x9e3779b97f4a7c15ULL); }
 
+  /// Decorrelated stream `stream_id` of a base seed: the (seed, stream) pair
+  /// is expanded through two SplitMix64 steps so worker i's sequence shares
+  /// no lattice structure with worker j's even for adjacent ids.  Unlike
+  /// fork(), the result depends only on (seed, stream_id), never on how much
+  /// of the parent sequence was consumed — round-parallel workers get
+  /// schedule-independent streams.
+  [[nodiscard]] static Rng stream(std::uint64_t seed, std::uint64_t stream_id) {
+    std::uint64_t sm = seed;
+    sm = splitmix64(sm) + stream_id * 0x9e3779b97f4a7c15ULL;
+    return Rng(splitmix64(sm));
+  }
+
  private:
   [[nodiscard]] static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
     return (x << k) | (x >> (64 - k));

@@ -36,7 +36,7 @@ void ThreadPool::worker_loop() {
     (*task.fn)(task.begin, task.end);
     {
       std::lock_guard<std::mutex> lock(mutex_);
-      if (--outstanding_ == 0) work_done_.notify_all();
+      if (--*task.remaining == 0) work_done_.notify_all();
     }
   }
 }
@@ -52,16 +52,19 @@ void ThreadPool::parallel_for(
     return;
   }
   const std::size_t chunk = (n + n_chunks - 1) / n_chunks;
+  // Per-call completion count: concurrent parallel_for calls from distinct
+  // threads each wait only for their own chunks.
+  std::size_t remaining = 0;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     for (std::size_t begin = 0; begin < n; begin += chunk) {
-      queue_.push_back(Task{&fn, begin, std::min(begin + chunk, n)});
-      ++outstanding_;
+      queue_.push_back(Task{&fn, begin, std::min(begin + chunk, n), &remaining});
+      ++remaining;
     }
   }
   work_ready_.notify_all();
   std::unique_lock<std::mutex> lock(mutex_);
-  work_done_.wait(lock, [this] { return outstanding_ == 0; });
+  work_done_.wait(lock, [&remaining] { return remaining == 0; });
 }
 
 ThreadPool& ThreadPool::global() {

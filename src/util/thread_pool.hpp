@@ -40,6 +40,12 @@ class ThreadPool {
     const std::function<void(std::size_t, std::size_t)>* fn = nullptr;
     std::size_t begin = 0;
     std::size_t end = 0;
+    /// Per-call chunk countdown living on the caller's stack (the caller
+    /// blocks until it reaches zero, so the pointer outlives the task).
+    /// Guarded by mutex_.  Distinct calls track completion independently,
+    /// so concurrent callers — e.g. round-parallel GD workers dispatching
+    /// data-parallel kernels — never wait on each other's chunks.
+    std::size_t* remaining = nullptr;
   };
 
   void worker_loop();
@@ -49,7 +55,6 @@ class ThreadPool {
   std::mutex mutex_;
   std::condition_variable work_ready_;
   std::condition_variable work_done_;
-  std::size_t outstanding_ = 0;
   bool stop_ = false;
 };
 

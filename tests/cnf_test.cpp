@@ -152,6 +152,65 @@ TEST(Dimacs, ErrorReportsLineNumber) {
   }
 }
 
+TEST(Dimacs, ParsesCrlfLineEndings) {
+  const Formula f = parse_dimacs_string(
+      "c dos file\r\np cnf 3 2\r\n1 -2 0\r\n2 3 0\r\n");
+  EXPECT_EQ(f.n_vars(), 3u);
+  ASSERT_EQ(f.n_clauses(), 2u);
+  EXPECT_EQ(f.clause(0)[0].to_dimacs(), 1);
+  EXPECT_EQ(f.clause(1)[1].to_dimacs(), 3);
+}
+
+TEST(Dimacs, CrlfCommentAfterClauseLine) {
+  // The 'c' of a comment must still be recognized at line start when the
+  // previous line ended in \r\n.
+  const Formula f = parse_dimacs_string(
+      "p cnf 2 1\r\nc comment between\r\n1 2 0\r\n");
+  EXPECT_EQ(f.n_clauses(), 1u);
+}
+
+TEST(Dimacs, BlankAndWhitespaceOnlyLines) {
+  const Formula f = parse_dimacs_string(
+      "p cnf 2 2\n\n   \n\t\n1 0\n\n2 0\n\n\n");
+  EXPECT_EQ(f.n_clauses(), 2u);
+}
+
+TEST(Dimacs, SatlibPercentZeroFooter) {
+  // SATLIB uf/uuf instances end with "%\n0\n" (sometimes plus blank lines);
+  // the footer must not become a clause or a parse error.
+  const Formula f = parse_dimacs_string("p cnf 3 2\n1 -2 0\n2 3 0\n%\n0\n\n");
+  EXPECT_EQ(f.n_vars(), 3u);
+  EXPECT_EQ(f.n_clauses(), 2u);
+}
+
+TEST(Dimacs, SatlibFooterWithCrlf) {
+  const Formula f = parse_dimacs_string("p cnf 2 1\r\n1 2 0\r\n%\r\n0\r\n");
+  EXPECT_EQ(f.n_clauses(), 1u);
+}
+
+TEST(Dimacs, PercentFooterAloneOk) {
+  const Formula f = parse_dimacs_string("p cnf 2 1\n1 2 0\n%\n");
+  EXPECT_EQ(f.n_clauses(), 1u);
+}
+
+TEST(Dimacs, ErrorOnUnterminatedClauseBeforeFooter) {
+  EXPECT_THROW((void)parse_dimacs_string("p cnf 2 1\n1 2\n%\n0\n"), DimacsError);
+}
+
+TEST(Dimacs, ErrorOnFooterBeforeDeclaredClauses) {
+  // A '%' line before all declared clauses arrived is truncation, not a
+  // SATLIB footer.
+  EXPECT_THROW((void)parse_dimacs_string("p cnf 4 2\n1 0\n%\n2 0\n"),
+               DimacsError);
+}
+
+TEST(Dimacs, ErrorOnMidLinePercent) {
+  // Only a '%' starting a line is a footer; one inside a clause line is
+  // corruption and must not silently truncate the formula.
+  EXPECT_THROW((void)parse_dimacs_string("p cnf 4 2\n1 2 0 % oops\n3 4 0\n"),
+               DimacsError);
+}
+
 TEST(Dimacs, EmptyClauseListOk) {
   const Formula f = parse_dimacs_string("p cnf 4 0\n");
   EXPECT_EQ(f.n_vars(), 4u);

@@ -7,6 +7,8 @@
 #include <cstdlib>
 #include <numeric>
 #include <set>
+#include <thread>
+#include <vector>
 
 #include "util/env.hpp"
 #include "util/rng.hpp"
@@ -174,6 +176,87 @@ TEST(ThreadPool, ReusableAcrossManyDispatches) {
     });
   }
   EXPECT_EQ(total.load(), 97u * 200);
+}
+
+TEST(ThreadPool, ZeroRangeIsNoopEvenOnBusyPool) {
+  ThreadPool pool(2);
+  std::atomic<int> calls{0};
+  pool.parallel_for(1000, [&](std::size_t, std::size_t) { calls.fetch_add(1); });
+  const int after_warmup = calls.load();
+  pool.parallel_for(0, [&](std::size_t, std::size_t) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), after_warmup);
+}
+
+TEST(ThreadPool, FewerItemsThanThreadsCoversExactly) {
+  ThreadPool pool(8);
+  std::vector<std::atomic<int>> hits(3);
+  pool.parallel_for(3, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+  });
+  for (std::size_t i = 0; i < hits.size(); ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ThreadPool, CompletesWithoutException) {
+  ThreadPool pool(4);
+  EXPECT_NO_THROW({
+    for (int round = 0; round < 50; ++round) {
+      pool.parallel_for(round, [](std::size_t, std::size_t) {});
+    }
+  });
+}
+
+// Round-parallel workers all dispatch data-parallel kernels through the one
+// global pool; concurrent parallel_for calls from distinct caller threads
+// must each see their full range covered exactly once.
+TEST(ThreadPool, ConcurrentCallersEachCoverTheirRange) {
+  ThreadPool pool(4);
+  constexpr std::size_t kCallers = 4;
+  constexpr std::size_t kN = 5000;
+  std::vector<std::vector<std::atomic<int>>> hits(kCallers);
+  for (auto& h : hits) {
+    h = std::vector<std::atomic<int>>(kN);
+  }
+  std::vector<std::thread> callers;
+  callers.reserve(kCallers);
+  for (std::size_t c = 0; c < kCallers; ++c) {
+    callers.emplace_back([&, c] {
+      for (int round = 0; round < 20; ++round) {
+        pool.parallel_for(kN, [&, c](std::size_t begin, std::size_t end) {
+          for (std::size_t i = begin; i < end; ++i) hits[c][i].fetch_add(1);
+        });
+      }
+    });
+  }
+  for (auto& t : callers) t.join();
+  for (std::size_t c = 0; c < kCallers; ++c) {
+    for (std::size_t i = 0; i < kN; ++i) ASSERT_EQ(hits[c][i].load(), 20) << c << ' ' << i;
+  }
+}
+
+TEST(Rng, StreamIsDeterministicPerId) {
+  Rng a = Rng::stream(99, 3);
+  Rng b = Rng::stream(99, 3);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, StreamsDecorrelated) {
+  Rng a = Rng::stream(99, 0);
+  Rng b = Rng::stream(99, 1);
+  int same = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, StreamIndependentOfParentConsumption) {
+  // Unlike fork(), stream() must not depend on any generator state — only on
+  // (seed, id) — so worker streams are schedule-independent.
+  Rng parent(5);
+  (void)parent.next_u64();
+  Rng a = Rng::stream(5, 2);
+  Rng b = Rng::stream(5, 2);
+  EXPECT_EQ(a.next_u64(), b.next_u64());
 }
 
 TEST(Table, AlignsAndRendersRows) {
