@@ -10,8 +10,12 @@
 //   HTS_BENCH_SEED           base RNG seed
 //   HTS_BENCH_BATCH          gradient sampler batch size (0 = per-instance)
 
+#include <cmath>
+#include <cstdio>
+#include <fstream>
 #include <memory>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 #include "baselines/cmsgen_like.hpp"
@@ -88,5 +92,121 @@ inline std::string throughput_cell(const sampler::RunResult& result,
   if (result.timed_out && result.n_unique < min_solutions / 20) return "TO";
   return util::format_grouped(result.throughput(), 1);
 }
+
+// --- machine-readable results -------------------------------------------------
+//
+// Benches accept `--json <path>` and mirror their result rows into
+//   { "bench": <name>, "env": {...}, "records": [ {...}, ... ] }
+// so runs can be archived as BENCH_<name>.json and diffed across commits —
+// the perf trajectory lives next to the human-readable tables.
+
+/// One flat JSON object built field by field (insertion order preserved).
+class JsonRecord {
+ public:
+  JsonRecord& field(const std::string& name, const std::string& value) {
+    std::string escaped;
+    escaped.reserve(value.size() + 2);
+    for (const char ch : value) {
+      if (ch == '"' || ch == '\\') {
+        escaped += '\\';
+        escaped += ch;
+      } else if (static_cast<unsigned char>(ch) < 0x20) {
+        char buffer[8];
+        std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                      static_cast<unsigned>(static_cast<unsigned char>(ch)));
+        escaped += buffer;
+      } else {
+        escaped += ch;
+      }
+    }
+    return raw(name, "\"" + escaped + "\"");
+  }
+  JsonRecord& field(const std::string& name, const char* value) {
+    return field(name, std::string(value));
+  }
+  JsonRecord& field(const std::string& name, double value) {
+    if (!std::isfinite(value)) return raw(name, "null");  // JSON has no Inf/NaN
+    char buffer[32];
+    std::snprintf(buffer, sizeof(buffer), "%.10g", value);
+    return raw(name, buffer);
+  }
+  template <typename T, typename = std::enable_if_t<std::is_integral_v<T>>>
+  JsonRecord& field(const std::string& name, T value) {
+    return raw(name, std::to_string(value));
+  }
+  JsonRecord& field(const std::string& name, bool value) {
+    return raw(name, value ? "true" : "false");
+  }
+
+  [[nodiscard]] std::string str() const { return "{" + body_ + "}"; }
+
+ private:
+  JsonRecord& raw(const std::string& name, const std::string& value) {
+    if (!body_.empty()) body_ += ", ";
+    body_ += "\"" + name + "\": " + value;
+    return *this;
+  }
+  std::string body_;
+};
+
+/// Collects records and writes the bench JSON file.  Inactive (all calls
+/// no-ops) unless `--json <path>` was passed on the command line.
+class JsonWriter {
+ public:
+  JsonWriter(int argc, char** argv, std::string bench_name)
+      : bench_name_(std::move(bench_name)) {
+    for (int i = 1; i < argc; ++i) {
+      if (std::string(argv[i]) == "--json") {
+        if (i + 1 >= argc) {
+          std::fprintf(stderr, "[%s] --json requires a path argument\n",
+                       bench_name_.c_str());
+          missing_path_ = true;
+          break;
+        }
+        path_ = argv[i + 1];
+        break;
+      }
+    }
+  }
+
+  [[nodiscard]] bool active() const { return !path_.empty(); }
+
+  void add(const JsonRecord& record) {
+    if (active()) records_.push_back(record.str());
+  }
+
+  /// Writes the file and reports where; returns false (with a message on
+  /// stderr) when the path is not writable or `--json` came without one.
+  bool write(const BenchEnv& env) const {
+    if (!active()) return !missing_path_;
+    std::ofstream out(path_);
+    if (!out) {
+      std::fprintf(stderr, "[%s] cannot write %s\n", bench_name_.c_str(),
+                   path_.c_str());
+      return false;
+    }
+    JsonRecord env_record;
+    env_record.field("budget_ms", env.budget_ms)
+        .field("min_solutions", env.min_solutions)
+        .field("scale", env.scale)
+        .field("seed", env.seed)
+        .field("batch", env.batch);
+    out << "{\n  \"bench\": \"" << bench_name_ << "\",\n  \"env\": "
+        << env_record.str() << ",\n  \"records\": [\n";
+    for (std::size_t i = 0; i < records_.size(); ++i) {
+      out << "    " << records_[i] << (i + 1 < records_.size() ? "," : "")
+          << "\n";
+    }
+    out << "  ]\n}\n";
+    std::printf("wrote %s (%zu records)\n", path_.c_str(), records_.size());
+    return true;
+  }
+
+ private:
+  std::string bench_name_;
+  std::string path_;
+  bool missing_path_ = false;
+  std::vector<std::string> records_;
+};
 
 }  // namespace hts::bench

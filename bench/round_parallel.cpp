@@ -8,6 +8,9 @@
 // Extra knobs on top of bench_common's:
 //   HTS_BENCH_WORKERS  comma-free max worker count to sweep to
 //                      (default: hardware concurrency)
+//
+// Accepts `--json <path>` to mirror the result rows machine-readably (see
+// bench_common.hpp's JsonWriter).
 
 #include <cstdio>
 #include <thread>
@@ -34,8 +37,9 @@ sampler::RunResult run_with_workers(const cnf::Formula& formula,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   bench::BenchEnv env;
+  bench::JsonWriter json(argc, argv, "round_parallel");
   const std::size_t hardware =
       std::max<std::size_t>(1, std::thread::hardware_concurrency());
   const auto max_workers = static_cast<std::size_t>(util::env_int(
@@ -68,6 +72,16 @@ int main() {
                      serial_throughput > 0.0
                          ? util::format_speedup(throughput / serial_throughput)
                          : "n/a"});
+      bench::JsonRecord record;
+      record.field("instance", name)
+          .field("workers", workers)
+          .field("unique", result.n_unique)
+          .field("elapsed_ms", result.elapsed_ms)
+          .field("sol_per_sec", throughput)
+          .field("speedup_vs_serial",
+                 serial_throughput > 0.0 ? throughput / serial_throughput : 0.0)
+          .field("timed_out", result.timed_out);
+      json.add(record);
     }
   }
 
@@ -77,5 +91,6 @@ int main() {
               "sampling is compute-bound and scaling cleanly; a flat line on a\n"
               "single-core host only confirms the serial path's overheads are\n"
               "not regressed by the worker machinery.\n");
+  if (!json.write(env)) return 1;
   return 0;
 }

@@ -1,0 +1,148 @@
+// Tape-engine bench: GD iterations/sec of the vectorized engine vs the
+// pre-optimization baseline, on one representative instance per benchgen
+// family (serial policy, same batch, same circuit — the speedup isolates the
+// tape optimizer + SIMD kernels + fast sigmoid, not parallelism).
+//
+// Modes:
+//   baseline   raw gate-per-gate tape, exact std::exp sigmoid — the pre-PR
+//              engine's opset and numerics
+//   opt        optimized tape (copy-prop, folds, fused NOTs, DCE), exact
+//              sigmoid — isolates the tape optimizer
+//   opt+fsig   optimized tape + fast polynomial sigmoid — the default
+//              engine configuration every sampler now runs
+//
+// Accepts `--json <path>` (bench_common JSON schema) so the perf trajectory
+// can be archived; CI's perf-smoke job runs this bench with a tiny budget.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "prob/compiled.hpp"
+#include "prob/engine.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace hts;
+
+struct ModeResult {
+  std::size_t iterations = 0;
+  double elapsed_ms = 0.0;
+  double iters_per_sec = 0.0;
+};
+
+ModeResult time_iterations(const prob::CompiledCircuit& compiled,
+                           std::size_t batch, bool fast_sigmoid,
+                           double budget_ms, std::uint64_t seed) {
+  prob::Engine::Config config;
+  config.batch = batch;
+  config.policy = tensor::Policy::kSerial;
+  config.fast_sigmoid = fast_sigmoid;
+  prob::Engine engine(compiled, config);
+  util::Rng rng(seed);
+  engine.randomize(rng);
+  engine.run_iteration();  // warm up caches and page in the buffers
+
+  ModeResult result;
+  util::Timer timer;
+  do {
+    engine.run_iteration();
+    ++result.iterations;
+    result.elapsed_ms = timer.milliseconds();
+  } while (result.elapsed_ms < budget_ms);
+  result.iters_per_sec = result.elapsed_ms > 0.0
+                             ? 1000.0 * static_cast<double>(result.iterations) /
+                                   result.elapsed_ms
+                             : 0.0;
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::BenchEnv env;
+  bench::JsonWriter json(argc, argv, "tape_engine");
+  // A fraction of the sampler budget per (instance, mode) keeps the default
+  // full sweep near the usual bench runtime.
+  const double budget_ms = env.budget_ms / 5.0;
+
+  std::printf("=== Tape engine: GD iterations/sec, optimized vs baseline ===\n");
+  std::printf("budget %.0f ms per mode, serial policy\n\n", budget_ms);
+
+  const std::vector<std::string> instances = {"or-50-10-7-UC-10", "75-10-1-q",
+                                              "s15850a_3_2", "Prod-8"};
+  util::Table table({"Instance", "Mode", "Ops", "Slots", "Iters/s", "Speedup"});
+
+  bool any_doubled = false;
+  for (const std::string& name : instances) {
+    std::fprintf(stderr, "[tape_engine] %s ...\n", name.c_str());
+    const benchgen::Instance instance = bench::make_scaled_instance(name, env);
+    const std::size_t batch =
+        bench::pick_batch(env, instance.formula.n_vars());
+
+    const prob::CompiledCircuit raw(
+        instance.circuit, prob::CompiledCircuit::Options{false, false});
+    const prob::CompiledCircuit opt(instance.circuit);
+    const prob::OptStats& stats = opt.opt_stats();
+
+    const ModeResult base =
+        time_iterations(raw, batch, /*fast_sigmoid=*/false, budget_ms, env.seed);
+    const ModeResult opt_exact =
+        time_iterations(opt, batch, /*fast_sigmoid=*/false, budget_ms, env.seed);
+    const ModeResult opt_fast =
+        time_iterations(opt, batch, /*fast_sigmoid=*/true, budget_ms, env.seed);
+
+    struct Row {
+      const char* mode;
+      const prob::CompiledCircuit* compiled;
+      const ModeResult* result;
+    };
+    const Row rows[] = {{"baseline", &raw, &base},
+                        {"opt", &opt, &opt_exact},
+                        {"opt+fsig", &opt, &opt_fast}};
+    for (const Row& row : rows) {
+      const double speedup = base.iters_per_sec > 0.0
+                                 ? row.result->iters_per_sec / base.iters_per_sec
+                                 : 0.0;
+      table.add_row({name, row.mode, std::to_string(row.compiled->n_ops()),
+                     std::to_string(row.compiled->n_slots()),
+                     util::format_grouped(row.result->iters_per_sec, 1),
+                     util::format_speedup(speedup)});
+      bench::JsonRecord record;
+      record.field("instance", name)
+          .field("mode", row.mode)
+          .field("batch", batch)
+          .field("ops", row.compiled->n_ops())
+          .field("slots", row.compiled->n_slots())
+          .field("iterations", row.result->iterations)
+          .field("elapsed_ms", row.result->elapsed_ms)
+          .field("iters_per_sec", row.result->iters_per_sec)
+          .field("speedup_vs_baseline", speedup)
+          .field("tape_ops_removed", stats.ops_before - stats.ops_after)
+          .field("slots_removed", stats.slots_before - stats.slots_after)
+          .field("copies_propagated", stats.copies_propagated)
+          .field("consts_folded", stats.consts_folded)
+          .field("nots_fused", stats.nots_fused)
+          .field("ops_dead", stats.ops_dead);
+      json.add(record);
+      if (speedup >= 2.0) any_doubled = true;
+    }
+    std::printf("%s: tape %zu -> %zu ops (%.1f%%), %zu -> %zu slots; "
+                "copy-prop %zu, folded %zu, fused %zu, dead %zu\n",
+                name.c_str(), stats.ops_before, stats.ops_after,
+                100.0 * static_cast<double>(stats.ops_before - stats.ops_after) /
+                    static_cast<double>(stats.ops_before == 0 ? 1
+                                                              : stats.ops_before),
+                stats.slots_before, stats.slots_after, stats.copies_propagated,
+                stats.consts_folded, stats.nots_fused, stats.ops_dead);
+  }
+
+  std::printf("\n%s\n", table.to_string().c_str());
+  std::printf("CSV:\n%s", table.to_csv().c_str());
+  std::printf("\nReading: `opt` isolates the tape optimizer, `opt+fsig` is the\n"
+              "engine every sampler now runs.  The acceptance bar is >= 2x\n"
+              "iterations/sec over baseline on at least one family%s.\n",
+              any_doubled ? " -- met" : " -- NOT met at this budget");
+  if (!json.write(env)) return 1;
+  return 0;
+}

@@ -53,6 +53,8 @@ sampler::RunResult DiffSampler::run(const cnf::Formula& formula,
   loop_config.init_std = config_.init_std;
   loop_config.policy = config_.policy;
   loop_config.n_workers = config_.n_workers;
+  loop_config.restart_solved = config_.restart_solved;
+  loop_config.fast_sigmoid = config_.fast_sigmoid;
 
   sampler::RunResult result =
       run_gd_loop(gd_problem, formula, options, loop_config, nullptr);

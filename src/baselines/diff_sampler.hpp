@@ -25,6 +25,10 @@ struct DiffSamplerConfig {
   /// Round-parallel workers (see GdLoopConfig::n_workers) — the DEMOTIC-style
   /// baseline scales the same way the paper's sampler does.
   std::size_t n_workers = 1;
+  /// Solved-row restarts (see GdLoopConfig::restart_solved).
+  bool restart_solved = true;
+  /// Vectorized fast sigmoid for the embed step (see Engine::Config).
+  bool fast_sigmoid = true;
 };
 
 /// Builds the flat problem: inputs = original variables, one OR gate per

@@ -26,6 +26,10 @@ struct CircuitSamplerConfig {
   std::uint64_t max_rounds = 0;
   /// Round-parallel workers (see GdLoopConfig::n_workers).
   std::size_t n_workers = 1;
+  /// Solved-row restarts (see GdLoopConfig::restart_solved).
+  bool restart_solved = true;
+  /// Vectorized fast sigmoid for the embed step (see Engine::Config).
+  bool fast_sigmoid = true;
 };
 
 class CircuitSampler {

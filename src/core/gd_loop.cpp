@@ -21,6 +21,7 @@ namespace {
   engine_config.learning_rate = config.learning_rate;
   engine_config.init_std = config.init_std;
   engine_config.policy = config.policy;
+  engine_config.fast_sigmoid = config.fast_sigmoid;
   return engine_config;
 }
 
@@ -42,11 +43,21 @@ RunResult run_serial(const GdProblem& problem, const cnf::Formula& formula,
   std::vector<std::size_t> uniques_per_iteration(
       static_cast<std::size_t>(config.iterations) + 1, 0);
   std::uint64_t rounds = 0;
+  std::uint64_t restarted_rows = 0;
   std::vector<std::uint64_t> packed;
 
   auto reached_target = [&] {
     return options.min_solutions > 0 &&
            harvester.n_unique() >= options.min_solutions;
+  };
+
+  // Solved rows have been banked; re-seeding them starts fresh descents in
+  // the remaining iterations instead of re-converging to the same basin.
+  // Skipped after the round's final harvest — randomize() follows anyway.
+  auto restart_solved_rows = [&] {
+    if (config.restart_solved) {
+      restarted_rows += engine.rerandomize_rows(harvester.last_solved(), rng);
+    }
   };
 
   while (!reached_target() && !deadline.expired() &&
@@ -60,6 +71,7 @@ RunResult run_serial(const GdProblem& problem, const cnf::Formula& formula,
       harvester.collect(packed, engine.n_words(), config.batch);
       uniques_per_iteration[0] =
           std::max(uniques_per_iteration[0], harvester.n_unique());
+      restart_solved_rows();
     }
     for (int iter = 1; iter <= config.iterations; ++iter) {
       engine.run_iteration();
@@ -71,6 +83,7 @@ RunResult run_serial(const GdProblem& problem, const cnf::Formula& formula,
             std::max(uniques_per_iteration[slot], harvester.n_unique());
         result.progress.push_back(
             ProgressPoint{timer.milliseconds(), harvester.n_unique()});
+        if (iter != config.iterations) restart_solved_rows();
       }
       if (reached_target() || deadline.expired()) break;
     }
@@ -90,6 +103,7 @@ RunResult run_serial(const GdProblem& problem, const cnf::Formula& formula,
     extras->uniques_per_iteration = std::move(uniques_per_iteration);
     extras->engine_memory_bytes = engine.memory_bytes();
     extras->rounds = rounds;
+    extras->restarted_rows = restarted_rows;
   }
   return result;
 }
@@ -109,6 +123,7 @@ RunResult run_parallel(const GdProblem& problem, const cnf::Formula& formula,
     std::vector<std::size_t> uniques_per_iteration;
     std::size_t engine_bytes = 0;
     std::uint64_t rounds = 0;
+    std::uint64_t restarted_rows = 0;
   };
 
   const std::size_t n_slots = static_cast<std::size_t>(config.iterations) + 1;
@@ -154,11 +169,20 @@ RunResult run_parallel(const GdProblem& problem, const cnf::Formula& formula,
       if (config.max_rounds != 0 && round >= config.max_rounds) break;
       ++out.rounds;
       engine.randomize(rng);
+      // See run_serial: solved rows restart mid-round; the round's final
+      // harvest skips it because randomize() follows.
+      auto restart_solved_rows = [&] {
+        if (config.restart_solved) {
+          out.restarted_rows +=
+              engine.rerandomize_rows(harvester.last_solved(), rng);
+        }
+      };
       if (config.collect_each_iteration) {
         engine.harden(packed);
         harvester.collect(packed, engine.n_words(), config.batch);
         out.uniques_per_iteration[0] =
             std::max(out.uniques_per_iteration[0], bank.size());
+        restart_solved_rows();
       }
       for (int iter = 1; iter <= config.iterations; ++iter) {
         engine.run_iteration();
@@ -170,6 +194,7 @@ RunResult run_parallel(const GdProblem& problem, const cnf::Formula& formula,
               std::max(out.uniques_per_iteration[slot], bank.size());
           out.result.progress.push_back(
               ProgressPoint{timer.milliseconds(), bank.size()});
+          if (iter != config.iterations) restart_solved_rows();
         }
         if (reached_target() || deadline.expired()) {
           stop.store(true, std::memory_order_relaxed);
@@ -190,6 +215,7 @@ RunResult run_parallel(const GdProblem& problem, const cnf::Formula& formula,
   RunResult result;
   std::vector<std::size_t> uniques_per_iteration(n_slots, 0);
   std::uint64_t rounds = 0;
+  std::uint64_t restarted_rows = 0;
   std::size_t engine_bytes = 0;
   for (WorkerOutput& out : outputs) {
     result.n_valid += out.result.n_valid;
@@ -205,6 +231,7 @@ RunResult run_parallel(const GdProblem& problem, const cnf::Formula& formula,
           std::max(uniques_per_iteration[i], out.uniques_per_iteration[i]);
     }
     rounds += out.rounds;
+    restarted_rows += out.restarted_rows;
     engine_bytes += out.engine_bytes;
   }
   // Each worker's checkpoints are individually chronological; interleave
@@ -233,6 +260,7 @@ RunResult run_parallel(const GdProblem& problem, const cnf::Formula& formula,
     // workers just as batch does).
     extras->engine_memory_bytes = engine_bytes;
     extras->rounds = rounds;
+    extras->restarted_rows = restarted_rows;
   }
   return result;
 }
@@ -242,8 +270,9 @@ RunResult run_parallel(const GdProblem& problem, const cnf::Formula& formula,
 RunResult run_gd_loop(const GdProblem& problem, const cnf::Formula& formula,
                       const RunOptions& options, const GdLoopConfig& config,
                       GdLoopExtras* extras) {
-  prob::CompiledCircuit compiled(*problem.circuit,
-                                 prob::CompiledCircuit::Options{config.cone_only});
+  prob::CompiledCircuit compiled(
+      *problem.circuit,
+      prob::CompiledCircuit::Options{config.cone_only, config.optimize_tape});
   std::size_t n_workers = config.n_workers;
   if (n_workers == 0) {
     n_workers = std::max<std::size_t>(1, std::thread::hardware_concurrency());

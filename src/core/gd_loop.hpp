@@ -38,6 +38,18 @@ struct GdLoopConfig {
   /// uniques into one shared ShardedUniqueBank.  Rounds are claimed from a
   /// shared counter so max_rounds bounds the *total* across workers.
   std::size_t n_workers = 1;
+  /// Solved-row restarts: after each mid-round harvest, rows whose hardened
+  /// assignment already satisfied get fresh random V instead of re-descending
+  /// a converged basin, turning wasted converged iterations into fresh
+  /// unique-solution throughput.  Off reproduces the pre-restart loop bit
+  /// for bit (no extra RNG draws).
+  bool restart_solved = true;
+  /// Embed with the vectorized fast sigmoid (see Engine::Config).
+  bool fast_sigmoid = true;
+  /// Run the tape optimizer after compilation (see CompiledCircuit::Options).
+  /// Off keeps the raw gate-per-gate tape — note its DCE prunes the same
+  /// unconstrained logic cone_only skips, so cone ablations must disable it.
+  bool optimize_tape = true;
 };
 
 struct GdLoopExtras {
@@ -45,6 +57,8 @@ struct GdLoopExtras {
   std::vector<std::size_t> uniques_per_iteration;
   std::size_t engine_memory_bytes = 0;
   std::uint64_t rounds = 0;
+  /// Rows re-seeded by solved-row restarts (0 when the knob is off).
+  std::uint64_t restarted_rows = 0;
 };
 
 /// Runs rounds of randomize -> iterate -> harden -> verify -> bank until

@@ -34,6 +34,9 @@ RunResult GradientSampler::run(const cnf::Formula& formula,
   loop_config.policy = config_.policy;
   loop_config.max_rounds = config_.max_rounds;
   loop_config.n_workers = config_.n_workers;
+  loop_config.restart_solved = config_.restart_solved;
+  loop_config.fast_sigmoid = config_.fast_sigmoid;
+  loop_config.optimize_tape = config_.optimize_tape;
 
   GdLoopExtras extras;
   result = run_gd_loop(gd_problem, formula, options, loop_config, &extras);

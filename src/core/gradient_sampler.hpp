@@ -37,6 +37,13 @@ struct GradientConfig {
   /// serial loop, 0 = hardware concurrency, N > 1 = N engines racing through
   /// decorrelated rounds into a shared unique bank.
   std::size_t n_workers = 1;
+  /// Re-seed rows that already satisfied after each mid-round harvest
+  /// (see GdLoopConfig::restart_solved).
+  bool restart_solved = true;
+  /// Vectorized fast sigmoid for the embed step (see Engine::Config).
+  bool fast_sigmoid = true;
+  /// Tape optimizer (see GdLoopConfig::optimize_tape).
+  bool optimize_tape = true;
   transform::Config transform;
 };
 

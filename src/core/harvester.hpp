@@ -42,6 +42,7 @@ class Harvester {
     const circuit::Circuit& circuit = *problem_.circuit;
     const std::size_t n_inputs = circuit.n_inputs();
     std::vector<std::uint64_t> input_words(n_inputs);
+    solved_mask_.assign(n_words, 0);
     for (std::size_t w = 0; w < n_words; ++w) {
       for (std::size_t i = 0; i < n_inputs; ++i) {
         input_words[i] = packed[i * n_words + w];
@@ -51,12 +52,20 @@ class Harvester {
       // Mask off lanes past the batch in the final partial word.
       const std::size_t rows_here = std::min<std::size_t>(64, batch - w * 64);
       if (rows_here < 64) ok &= (1ULL << rows_here) - 1;
+      solved_mask_[w] = ok;
       while (ok != 0) {
         const int r = std::countr_zero(ok);
         ok &= ok - 1;
         accept_row(input_words, values, static_cast<std::size_t>(r));
       }
     }
+  }
+
+  /// Per-row satisfied mask of the most recent collect() (same word layout
+  /// as the packed input; padding rows are always clear).  The GD loop feeds
+  /// this to Engine::rerandomize_rows for solved-row restarts.
+  [[nodiscard]] const std::vector<std::uint64_t>& last_solved() const {
+    return solved_mask_;
   }
 
  private:
@@ -91,6 +100,7 @@ class Harvester {
   const RunOptions& options_;
   RunResult& result_;
   Bank& bank_;
+  std::vector<std::uint64_t> solved_mask_;
 };
 
 }  // namespace hts::sampler

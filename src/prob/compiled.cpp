@@ -1,5 +1,7 @@
 #include "prob/compiled.hpp"
 
+#include <numeric>
+
 namespace hts::prob {
 
 CompiledCircuit::CompiledCircuit(const circuit::Circuit& circuit, Options options) {
@@ -94,6 +96,238 @@ CompiledCircuit::CompiledCircuit(const circuit::Circuit& circuit, Options option
     outputs_.push_back(Output{static_cast<std::uint32_t>(signal_slot_[out.signal]),
                               out.target ? 1.0f : 0.0f});
   }
+
+  if (options.optimize) optimize();
+}
+
+// Post-compile tape optimization.  Every rewrite here is *exactly* value
+// preserving: folds replicate the kernels' float expressions verbatim, and
+// only folds whose result is bit-identical for activations in [0, 1] are
+// applied (all tape values are probabilities, so e.g. x * 0 == +0 holds).
+// See compiled.hpp for the pass list.
+void CompiledCircuit::optimize() {
+  opt_stats_.ops_before = tape_.size();
+  opt_stats_.slots_before = n_slots_;
+
+  // ---- copy propagation + exact constant folding (one forward walk) ----
+  std::vector<std::uint32_t> alias(n_slots_);
+  std::iota(alias.begin(), alias.end(), 0u);
+  std::vector<std::uint8_t> is_const(n_slots_, 0);
+  std::vector<float> const_val(n_slots_, 0.0f);
+  for (const ConstSlot& c : const_slots_) {
+    is_const[c.slot] = 1;
+    const_val[c.slot] = c.value;
+  }
+  // Aliases always point at earlier, already-resolved slots, so one hop
+  // suffices — but folded chains can stack, hence the loop.
+  auto resolve = [&alias](std::uint32_t s) {
+    while (alias[s] != s) s = alias[s];
+    return s;
+  };
+
+  std::vector<TapeOp> ops;
+  ops.reserve(tape_.size());
+  for (const TapeOp& raw : tape_) {
+    TapeOp op = raw;
+    op.a = resolve(op.a);
+    if (op_is_binary(op.op)) op.b = resolve(op.b);
+
+    auto fold_alias = [&](std::uint32_t src) {
+      alias[op.dst] = src;
+      ++opt_stats_.consts_folded;
+    };
+    auto fold_const = [&](float value) {
+      is_const[op.dst] = 1;
+      const_val[op.dst] = value;
+      ++opt_stats_.consts_folded;
+    };
+
+    switch (op.op) {
+      case OpCode::kCopy:
+        alias[op.dst] = op.a;
+        ++opt_stats_.copies_propagated;
+        continue;
+      case OpCode::kNot:
+        if (is_const[op.a]) {
+          fold_const(1.0f - const_val[op.a]);
+          continue;
+        }
+        break;
+      case OpCode::kAnd: {
+        if (is_const[op.a] && is_const[op.b]) {
+          fold_const(const_val[op.a] * const_val[op.b]);
+          continue;
+        }
+        const bool ca = is_const[op.a];
+        if (ca || is_const[op.b]) {
+          const float c = ca ? const_val[op.a] : const_val[op.b];
+          const std::uint32_t other = ca ? op.b : op.a;
+          if (c == 1.0f) {  // x * 1 == x
+            fold_alias(other);
+            continue;
+          }
+          if (c == 0.0f) {  // x * 0 == +0 (x is never negative)
+            fold_const(0.0f);
+            continue;
+          }
+        }
+        break;
+      }
+      case OpCode::kOr: {
+        if (is_const[op.a] && is_const[op.b]) {
+          fold_const(const_val[op.a] + const_val[op.b] -
+                     const_val[op.a] * const_val[op.b]);
+          continue;
+        }
+        const bool ca = is_const[op.a];
+        if (ca || is_const[op.b]) {
+          const float c = ca ? const_val[op.a] : const_val[op.b];
+          const std::uint32_t other = ca ? op.b : op.a;
+          if (c == 0.0f) {  // x + 0 - x*0 == x
+            fold_alias(other);
+            continue;
+          }
+          // OR with 1 is constant 1 mathematically, but (x + 1) - x*1 can
+          // round below 1 for tiny x; keep the op for exactness.
+        }
+        break;
+      }
+      case OpCode::kXor: {
+        if (is_const[op.a] && is_const[op.b]) {
+          fold_const(const_val[op.a] + const_val[op.b] -
+                     2.0f * const_val[op.a] * const_val[op.b]);
+          continue;
+        }
+        const bool ca = is_const[op.a];
+        if (ca || is_const[op.b]) {
+          const float c = ca ? const_val[op.a] : const_val[op.b];
+          const std::uint32_t other = ca ? op.b : op.a;
+          if (c == 0.0f) {  // x + 0 - 2*x*0 == x
+            fold_alias(other);
+            continue;
+          }
+          // XOR with 1 is NOT(x) mathematically, but (x + 1) - 2x rounds
+          // differently from 1 - x; keep the op for exactness.
+        }
+        break;
+      }
+      case OpCode::kAndNot:
+      case OpCode::kOrNot:
+      case OpCode::kXnor:
+        break;  // fused forms never exist pre-optimization
+    }
+    ops.push_back(op);
+  }
+
+  // Re-anchor outputs through the alias map before use/liveness analysis.
+  for (Output& out : outputs_) out.slot = resolve(out.slot);
+
+  // ---- NOT fusion: merge single-use kAnd/kOr/kXor + kNot pairs ----
+  std::vector<std::int32_t> producer(n_slots_, -1);
+  std::vector<std::uint32_t> uses(n_slots_, 0);
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    producer[ops[i].dst] = static_cast<std::int32_t>(i);
+    ++uses[ops[i].a];
+    if (op_is_binary(ops[i].op)) ++uses[ops[i].b];
+  }
+  std::vector<std::uint8_t> is_output(n_slots_, 0);
+  for (const Output& out : outputs_) is_output[out.slot] = 1;
+
+  std::vector<std::uint8_t> removed(ops.size(), 0);
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    if (ops[i].op != OpCode::kNot) continue;
+    const std::uint32_t src = ops[i].a;
+    const std::int32_t p = producer[src];
+    if (p < 0 || uses[src] != 1 || is_output[src] != 0) continue;
+    TapeOp& prod = ops[static_cast<std::size_t>(p)];
+    OpCode fused;
+    switch (prod.op) {
+      case OpCode::kAnd:
+        fused = OpCode::kAndNot;
+        break;
+      case OpCode::kOr:
+        fused = OpCode::kOrNot;
+        break;
+      case OpCode::kXor:
+        fused = OpCode::kXnor;
+        break;
+      default:
+        continue;  // copies, NOTs, and already-fused ops stay as they are
+    }
+    prod.op = fused;
+    prod.dst = ops[i].dst;
+    producer[prod.dst] = p;
+    producer[src] = -1;
+    uses[src] = 0;
+    removed[i] = 1;
+    ++opt_stats_.nots_fused;
+  }
+
+  // ---- dead-code elimination: drop ops that never reach an output ----
+  std::vector<std::uint8_t> live(n_slots_, 0);
+  for (const Output& out : outputs_) live[out.slot] = 1;
+  for (std::size_t i = ops.size(); i-- > 0;) {
+    if (removed[i] != 0) continue;
+    if (live[ops[i].dst] == 0) {
+      removed[i] = 1;
+      ++opt_stats_.ops_dead;
+      continue;
+    }
+    live[ops[i].a] = 1;
+    if (op_is_binary(ops[i].op)) live[ops[i].b] = 1;
+  }
+
+  // ---- liveness renumbering: compact the surviving slots ----
+  std::vector<std::uint8_t> defined(n_slots_, 0);
+  for (const std::int32_t slot : input_slot_) {
+    if (slot != kNoSlot) defined[static_cast<std::size_t>(slot)] = 1;
+  }
+  for (std::uint32_t s = 0; s < n_slots_; ++s) {
+    if (is_const[s] != 0) defined[s] = 1;
+  }
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    if (removed[i] == 0) defined[ops[i].dst] = 1;
+  }
+  std::vector<std::int32_t> remap(n_slots_, kNoSlot);
+  std::uint32_t next = 0;
+  for (std::uint32_t s = 0; s < n_slots_; ++s) {
+    if (defined[s] != 0 && live[s] != 0) remap[s] = static_cast<std::int32_t>(next++);
+  }
+  auto remapped = [&remap](std::uint32_t s) {
+    return static_cast<std::uint32_t>(remap[s]);
+  };
+
+  std::vector<TapeOp> new_tape;
+  new_tape.reserve(ops.size());
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    if (removed[i] != 0) continue;
+    const TapeOp& op = ops[i];
+    new_tape.push_back(TapeOp{op.op, remapped(op.dst), remapped(op.a),
+                              op_is_binary(op.op) ? remapped(op.b) : 0});
+  }
+  tape_ = std::move(new_tape);
+
+  std::vector<ConstSlot> new_consts;
+  for (std::uint32_t s = 0; s < n_slots_; ++s) {
+    if (is_const[s] != 0 && remap[s] != kNoSlot) {
+      new_consts.push_back(ConstSlot{remapped(s), const_val[s]});
+    }
+  }
+  const_slots_ = std::move(new_consts);
+
+  for (Output& out : outputs_) out.slot = remapped(out.slot);
+  for (std::int32_t& slot : input_slot_) {
+    if (slot != kNoSlot) slot = remap[static_cast<std::size_t>(slot)];
+  }
+  for (std::int32_t& slot : signal_slot_) {
+    if (slot != kNoSlot) {
+      slot = remap[resolve(static_cast<std::uint32_t>(slot))];
+    }
+  }
+
+  n_slots_ = next;
+  opt_stats_.ops_after = tape_.size();
+  opt_stats_.slots_after = n_slots_;
 }
 
 }  // namespace hts::prob

@@ -1,7 +1,9 @@
 #include "prob/engine.hpp"
 
+#include <bit>
 #include <cmath>
-#include <mutex>
+
+#include "tensor/simd.hpp"
 
 namespace hts::prob {
 
@@ -12,10 +14,28 @@ namespace hts::prob {
 // resident for typical circuits — instead of streaming the whole batch per
 // op.  kTileRows == 64 also makes hardening emit exactly one machine word
 // per (input, tile).
+//
+// Kernels process a tile as kTileRows / 8 width-8 SIMD vectors (see
+// tensor/simd.hpp).  Per lane every kernel performs the same float
+// operations in the same order as the scalar reference expressions from
+// Table I, so vectorization changes no results; the only approximation in
+// the engine is the optional fast sigmoid, which Config::fast_sigmoid
+// switches off.  The library builds with -ffp-contract=off so fused ops
+// (kAndNot = 1 - a*b, ...) round exactly like their two-op expansions.
 
 namespace {
+
 constexpr std::size_t kTileRows = prob::Engine::kTileRows;
-}
+
+using tensor::simd::broadcast;
+using tensor::simd::f32x8;
+using tensor::simd::load;
+using tensor::simd::store;
+
+constexpr std::size_t kStep = tensor::simd::kWidth;
+static_assert(kTileRows % kStep == 0);
+
+}  // namespace
 
 Engine::Engine(const CompiledCircuit& compiled, Config config)
     : compiled_(&compiled), config_(config) {
@@ -26,6 +46,7 @@ Engine::Engine(const CompiledCircuit& compiled, Config config)
   activations_.resize(compiled_->n_slots() * padded);
   gradients_.resize(compiled_->n_slots() * padded);
   v_grad_.resize(compiled_->n_circuit_inputs() * padded);
+  tile_loss_.assign(n_tiles_, 0.0);
   // Constant slots never change: fill once, per tile.
   for (const CompiledCircuit::ConstSlot& c : compiled_->const_slots()) {
     for (std::size_t t = 0; t < n_tiles_; ++t) {
@@ -53,6 +74,27 @@ void Engine::randomize(util::Rng& rng) {
   }
 }
 
+std::size_t Engine::rerandomize_rows(const std::vector<std::uint64_t>& mask,
+                                     util::Rng& rng) {
+  const std::size_t n_inputs = compiled_->n_circuit_inputs();
+  std::size_t n_rows = 0;
+  const std::size_t words = std::min(mask.size(), n_tiles_);
+  for (std::size_t t = 0; t < words; ++t) {
+    std::uint64_t bits = mask[t];
+    while (bits != 0) {
+      const auto r = static_cast<std::size_t>(std::countr_zero(bits));
+      bits &= bits - 1;
+      float* v = v_.data() + t * n_inputs * kTileRows + r;
+      for (std::size_t i = 0; i < n_inputs; ++i) {
+        v[i * kTileRows] =
+            static_cast<float>(rng.next_gaussian()) * config_.init_std;
+      }
+      ++n_rows;
+    }
+  }
+  return n_rows;
+}
+
 void Engine::process_tile(std::size_t tile, bool with_grad, double* loss_accum) {
   const std::size_t n_slots = compiled_->n_slots();
   const std::size_t n_inputs = compiled_->n_circuit_inputs();
@@ -65,14 +107,23 @@ void Engine::process_tile(std::size_t tile, bool with_grad, double* loss_accum) 
   const std::size_t rows =
       std::min(kTileRows, config_.batch - tile * kTileRows);
 
+  const f32x8 one = broadcast(1.0f);
+  const f32x8 two = broadcast(2.0f);
+
   // Embed: input slots get sigmoid(V).
   const auto& input_slots = compiled_->input_slot();
   for (std::size_t i = 0; i < n_inputs; ++i) {
     if (input_slots[i] == kNoSlot) continue;
     const float* v_row = v + i * kTileRows;
     float* a_row = act + static_cast<std::size_t>(input_slots[i]) * kTileRows;
-    for (std::size_t r = 0; r < kTileRows; ++r) {
-      a_row[r] = 1.0f / (1.0f + std::exp(-v_row[r]));
+    if (config_.fast_sigmoid) {
+      for (std::size_t x = 0; x < kTileRows; x += kStep) {
+        store(a_row + x, tensor::simd::fast_sigmoid(load(v_row + x)));
+      }
+    } else {
+      for (std::size_t r = 0; r < kTileRows; ++r) {
+        a_row[r] = 1.0f / (1.0f + std::exp(-v_row[r]));
+      }
     }
   }
 
@@ -83,22 +134,51 @@ void Engine::process_tile(std::size_t tile, bool with_grad, double* loss_accum) 
     const float* b = act + static_cast<std::size_t>(op.b) * kTileRows;
     switch (op.op) {
       case OpCode::kCopy:
-        for (std::size_t r = 0; r < kTileRows; ++r) dst[r] = a[r];
+        for (std::size_t x = 0; x < kTileRows; x += kStep) {
+          store(dst + x, load(a + x));
+        }
         break;
       case OpCode::kNot:
-        for (std::size_t r = 0; r < kTileRows; ++r) dst[r] = 1.0f - a[r];
+        for (std::size_t x = 0; x < kTileRows; x += kStep) {
+          store(dst + x, one - load(a + x));
+        }
         break;
       case OpCode::kAnd:
-        for (std::size_t r = 0; r < kTileRows; ++r) dst[r] = a[r] * b[r];
+        for (std::size_t x = 0; x < kTileRows; x += kStep) {
+          store(dst + x, load(a + x) * load(b + x));
+        }
         break;
       case OpCode::kOr:
-        for (std::size_t r = 0; r < kTileRows; ++r) {
-          dst[r] = a[r] + b[r] - a[r] * b[r];
+        for (std::size_t x = 0; x < kTileRows; x += kStep) {
+          const f32x8 va = load(a + x);
+          const f32x8 vb = load(b + x);
+          store(dst + x, va + vb - va * vb);
         }
         break;
       case OpCode::kXor:
-        for (std::size_t r = 0; r < kTileRows; ++r) {
-          dst[r] = a[r] + b[r] - 2.0f * a[r] * b[r];
+        for (std::size_t x = 0; x < kTileRows; x += kStep) {
+          const f32x8 va = load(a + x);
+          const f32x8 vb = load(b + x);
+          store(dst + x, va + vb - two * va * vb);
+        }
+        break;
+      case OpCode::kAndNot:
+        for (std::size_t x = 0; x < kTileRows; x += kStep) {
+          store(dst + x, one - load(a + x) * load(b + x));
+        }
+        break;
+      case OpCode::kOrNot:
+        for (std::size_t x = 0; x < kTileRows; x += kStep) {
+          const f32x8 va = load(a + x);
+          const f32x8 vb = load(b + x);
+          store(dst + x, one - (va + vb - va * vb));
+        }
+        break;
+      case OpCode::kXnor:
+        for (std::size_t x = 0; x < kTileRows; x += kStep) {
+          const f32x8 va = load(a + x);
+          const f32x8 vb = load(b + x);
+          store(dst + x, one - (va + vb - two * va * vb));
         }
         break;
     }
@@ -123,86 +203,107 @@ void Engine::process_tile(std::size_t tile, bool with_grad, double* loss_accum) 
   for (const CompiledCircuit::Output& out : compiled_->outputs()) {
     const float* y = act + static_cast<std::size_t>(out.slot) * kTileRows;
     float* g_row = grad + static_cast<std::size_t>(out.slot) * kTileRows;
-    for (std::size_t r = 0; r < kTileRows; ++r) {
-      g_row[r] += 2.0f * (y[r] - out.target);
+    const f32x8 target = broadcast(out.target);
+    for (std::size_t x = 0; x < kTileRows; x += kStep) {
+      store(g_row + x, load(g_row + x) + two * (load(y + x) - target));
     }
   }
 
-  // Backward sweep (Table I derivatives).
+  // Backward sweep (Table I derivatives; fused ops negate the upstream
+  // gradient exactly as their trailing NOT would have).
   for (auto it = tape.rbegin(); it != tape.rend(); ++it) {
     const TapeOp& op = *it;
     const float* gy = grad + static_cast<std::size_t>(op.dst) * kTileRows;
     float* ga = grad + static_cast<std::size_t>(op.a) * kTileRows;
     const float* a = act + static_cast<std::size_t>(op.a) * kTileRows;
+    float* gb = grad + static_cast<std::size_t>(op.b) * kTileRows;
+    const float* bv = act + static_cast<std::size_t>(op.b) * kTileRows;
     switch (op.op) {
       case OpCode::kCopy:
-        for (std::size_t r = 0; r < kTileRows; ++r) ga[r] += gy[r];
+        for (std::size_t x = 0; x < kTileRows; x += kStep) {
+          store(ga + x, load(ga + x) + load(gy + x));
+        }
         break;
       case OpCode::kNot:
-        for (std::size_t r = 0; r < kTileRows; ++r) ga[r] -= gy[r];
-        break;
-      case OpCode::kAnd: {
-        float* gb = grad + static_cast<std::size_t>(op.b) * kTileRows;
-        const float* bv = act + static_cast<std::size_t>(op.b) * kTileRows;
-        for (std::size_t r = 0; r < kTileRows; ++r) {
-          ga[r] += gy[r] * bv[r];
-          gb[r] += gy[r] * a[r];
+        for (std::size_t x = 0; x < kTileRows; x += kStep) {
+          store(ga + x, load(ga + x) - load(gy + x));
         }
         break;
-      }
-      case OpCode::kOr: {
-        float* gb = grad + static_cast<std::size_t>(op.b) * kTileRows;
-        const float* bv = act + static_cast<std::size_t>(op.b) * kTileRows;
-        for (std::size_t r = 0; r < kTileRows; ++r) {
-          ga[r] += gy[r] * (1.0f - bv[r]);
-          gb[r] += gy[r] * (1.0f - a[r]);
+      case OpCode::kAnd:
+        for (std::size_t x = 0; x < kTileRows; x += kStep) {
+          const f32x8 g = load(gy + x);
+          store(ga + x, load(ga + x) + g * load(bv + x));
+          store(gb + x, load(gb + x) + g * load(a + x));
         }
         break;
-      }
-      case OpCode::kXor: {
-        float* gb = grad + static_cast<std::size_t>(op.b) * kTileRows;
-        const float* bv = act + static_cast<std::size_t>(op.b) * kTileRows;
-        for (std::size_t r = 0; r < kTileRows; ++r) {
-          ga[r] += gy[r] * (1.0f - 2.0f * bv[r]);
-          gb[r] += gy[r] * (1.0f - 2.0f * a[r]);
+      case OpCode::kOr:
+        for (std::size_t x = 0; x < kTileRows; x += kStep) {
+          const f32x8 g = load(gy + x);
+          store(ga + x, load(ga + x) + g * (one - load(bv + x)));
+          store(gb + x, load(gb + x) + g * (one - load(a + x)));
         }
         break;
-      }
+      case OpCode::kXor:
+        for (std::size_t x = 0; x < kTileRows; x += kStep) {
+          const f32x8 g = load(gy + x);
+          store(ga + x, load(ga + x) + g * (one - two * load(bv + x)));
+          store(gb + x, load(gb + x) + g * (one - two * load(a + x)));
+        }
+        break;
+      case OpCode::kAndNot:
+        for (std::size_t x = 0; x < kTileRows; x += kStep) {
+          const f32x8 g = -load(gy + x);
+          store(ga + x, load(ga + x) + g * load(bv + x));
+          store(gb + x, load(gb + x) + g * load(a + x));
+        }
+        break;
+      case OpCode::kOrNot:
+        for (std::size_t x = 0; x < kTileRows; x += kStep) {
+          const f32x8 g = -load(gy + x);
+          store(ga + x, load(ga + x) + g * (one - load(bv + x)));
+          store(gb + x, load(gb + x) + g * (one - load(a + x)));
+        }
+        break;
+      case OpCode::kXnor:
+        for (std::size_t x = 0; x < kTileRows; x += kStep) {
+          const f32x8 g = -load(gy + x);
+          store(ga + x, load(ga + x) + g * (one - two * load(bv + x)));
+          store(gb + x, load(gb + x) + g * (one - two * load(a + x)));
+        }
+        break;
     }
   }
 
   // Chain through the sigmoid embedding and take the GD step (Eq. 10).
+  const f32x8 lr = broadcast(config_.learning_rate);
   for (std::size_t i = 0; i < n_inputs; ++i) {
     if (input_slots[i] == kNoSlot) continue;
     const float* p = act + static_cast<std::size_t>(input_slots[i]) * kTileRows;
     const float* gp = grad + static_cast<std::size_t>(input_slots[i]) * kTileRows;
     float* v_row = v + i * kTileRows;
-    for (std::size_t r = 0; r < kTileRows; ++r) {
-      const float gv = gp[r] * p[r] * (1.0f - p[r]);
-      v_row[r] -= config_.learning_rate * gv;
+    for (std::size_t x = 0; x < kTileRows; x += kStep) {
+      const f32x8 pv = load(p + x);
+      const f32x8 gv = load(gp + x) * pv * (one - pv);
+      store(v_row + x, load(v_row + x) - lr * gv);
     }
   }
 }
 
 void Engine::sweep(bool with_grad) {
-  std::mutex loss_mutex;
-  double total_loss = 0.0;
   const bool want_loss = config_.compute_loss || !with_grad;
   tensor::parallel_for(config_.policy, n_tiles_,
                        [&](std::size_t begin, std::size_t end) {
-                         double chunk_loss = 0.0;
                          for (std::size_t t = begin; t < end; ++t) {
-                           double tile_loss = 0.0;
                            process_tile(t, with_grad,
-                                        want_loss ? &tile_loss : nullptr);
-                           chunk_loss += tile_loss;
-                         }
-                         if (want_loss) {
-                           const std::lock_guard<std::mutex> lock(loss_mutex);
-                           total_loss += chunk_loss;
+                                        want_loss ? &tile_loss_[t] : nullptr);
                          }
                        });
-  if (want_loss) last_loss_ = total_loss;
+  if (want_loss) {
+    // Reduced in tile order, so the sum is policy-independent.
+    double total_loss = 0.0;
+    for (const double tile_loss : tile_loss_) total_loss += tile_loss;
+    last_loss_ = total_loss;
+  }
 }
 
 void Engine::run_iteration() { sweep(/*with_grad=*/true); }
@@ -214,13 +315,17 @@ void Engine::harden(std::vector<std::uint64_t>& packed_out) const {
   packed_out.assign(n * n_tiles_, 0);
   for (std::size_t t = 0; t < n_tiles_; ++t) {
     const float* v = v_.data() + t * n * kTileRows;
+    // Padding rows (>= batch) never escape into the packed words.
+    const std::size_t rows = std::min(kTileRows, config_.batch - t * kTileRows);
+    const std::uint64_t row_mask =
+        rows < 64 ? (1ULL << rows) - 1 : ~0ULL;
     for (std::size_t i = 0; i < n; ++i) {
       const float* v_row = v + i * kTileRows;
       std::uint64_t word = 0;
       for (std::size_t r = 0; r < kTileRows; ++r) {
         if (v_row[r] > 0.0f) word |= (1ULL << r);
       }
-      packed_out[i * n_tiles_ + t] = word;
+      packed_out[i * n_tiles_ + t] = word & row_mask;
     }
   }
 }

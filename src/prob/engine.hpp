@@ -8,6 +8,12 @@
 // and the plain GD update (Eq. 10).  Each batch row is an independent
 // learning problem; one iteration is a single data-parallel dispatch, so
 // the serial-vs-parallel policy comparison isolates the "GPU" speedup.
+//
+// The inner loops run on the width-8 SIMD kernels of tensor/simd.hpp: a
+// tile's 64 rows are processed as 8 vectors per tape op.  The embed step
+// uses simd::fast_sigmoid by default (see its documented error bound);
+// Config::fast_sigmoid = false selects the exact std::exp path for A/B
+// parity runs.
 
 #include <cstdint>
 #include <vector>
@@ -29,6 +35,9 @@ class Engine {
     float init_std = 2.0f;        // stddev of the Gaussian V initialization
     tensor::Policy policy = tensor::Policy::kDataParallel;
     bool compute_loss = false;  // accumulate L2 loss during iterations
+    /// Embed with the vectorized polynomial sigmoid (default) or the exact
+    /// std::exp one (bit-identical to the pre-SIMD engine; used for A/B).
+    bool fast_sigmoid = true;
   };
 
   Engine(const CompiledCircuit& compiled, Config config);
@@ -38,6 +47,14 @@ class Engine {
 
   /// Draws fresh V ~ N(0, init_std^2) for every input and row.
   void randomize(util::Rng& rng);
+
+  /// Redraws V (every input) for each row whose bit is set in `mask`
+  /// (same word layout as harden(): bit r of word t is row 64t + r).
+  /// Powers solved-row restarts: rows that already satisfied are re-seeded
+  /// instead of re-descending a converged basin.  Returns the number of
+  /// rows redrawn.  Deterministic draw order: tile, then row, then input.
+  std::size_t rerandomize_rows(const std::vector<std::uint64_t>& mask,
+                               util::Rng& rng);
 
   /// One GD iteration: embed, forward, backward, update.  Single fused
   /// data-parallel dispatch over batch rows.
@@ -54,7 +71,9 @@ class Engine {
   /// Hardens V into bits (V > 0) packed 64 rows per word: out[i * n_words()
   /// + w] holds rows [64w, 64w+63] of circuit input i.  Inputs outside the
   /// compiled cone harden from their (random) V too — those are the paper's
-  /// unconstrained paths, where any random value satisfies.
+  /// unconstrained paths, where any random value satisfies.  Padding rows
+  /// (>= batch) in the final word are always zero, so downstream consumers
+  /// never observe uninitialized-V bits.
   void harden(std::vector<std::uint64_t>& packed_out) const;
 
   [[nodiscard]] std::size_t n_words() const { return n_tiles_; }
@@ -91,6 +110,10 @@ class Engine {
   // Mirrors PyTorch's persistent V.grad allocation so memory_bytes() matches
   // the substrate the paper measured; the fused update never reads it.
   tensor::Buffer v_grad_;
+  // Per-tile loss scratch, reduced in tile order after each dispatch — the
+  // hot path never takes a lock, and the reduction order (hence the float
+  // sum) is identical under every policy.
+  std::vector<double> tile_loss_;
   double last_loss_ = 0.0;
 };
 

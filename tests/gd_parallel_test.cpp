@@ -212,6 +212,52 @@ TEST(GdParallel, WorkersClampedToMaxRounds) {
   EXPECT_EQ(parallel_extras.rounds, 1u);
 }
 
+// --- solved-row restarts ----------------------------------------------------
+
+TEST(GdParallel, SolvedRowRestartsStayDeterministicAndSaturate) {
+  const cnf::Formula formula = small_formula();
+  for (const bool restart : {false, true}) {
+    GradientConfig config = small_config(1);
+    config.restart_solved = restart;
+    GradientSampler a(config);
+    GradientSampler b(config);
+    const RunResult ra = a.run(formula, fast_options(40));
+    const RunResult rb = b.run(formula, fast_options(40));
+    EXPECT_EQ(ra.n_unique, 40u) << "restart_solved = " << restart;
+    EXPECT_EQ(ra.n_unique, rb.n_unique) << "restart_solved = " << restart;
+    EXPECT_EQ(ra.n_valid, rb.n_valid) << "restart_solved = " << restart;
+    EXPECT_EQ(ra.n_invalid, 0u);
+  }
+}
+
+TEST(GdParallel, RestartExtrasCountReseededRows) {
+  // The small formula's random initializations satisfy often, so rounds with
+  // mid-round harvests must re-seed a nonzero number of rows — and exactly
+  // zero with the knob off.
+  const cnf::Formula formula = small_formula();
+  const baselines::FlatProblem flat = baselines::build_flat_problem(formula);
+  GdProblem problem;
+  problem.circuit = &flat.circuit;
+  problem.var_signal = &flat.var_signal;
+
+  GdLoopConfig config;
+  config.batch = 128;
+  config.max_rounds = 2;
+  RunOptions options;
+  options.min_solutions = 0;
+  options.budget_ms = 10000.0;
+
+  GdLoopExtras on_extras;
+  config.restart_solved = true;
+  (void)run_gd_loop(problem, formula, options, config, &on_extras);
+  EXPECT_GT(on_extras.restarted_rows, 0u);
+
+  GdLoopExtras off_extras;
+  config.restart_solved = false;
+  (void)run_gd_loop(problem, formula, options, config, &off_extras);
+  EXPECT_EQ(off_extras.restarted_rows, 0u);
+}
+
 TEST(GdParallel, PerIterationCurveMonotoneUnderMerge) {
   const cnf::Formula formula = small_formula();
   GradientSampler sampler(small_config(3));

@@ -71,12 +71,15 @@ TEST(Tensor, BufferTracksBytes) {
 
 // --- compilation -----------------------------------------------------------------
 
+/// Raw (unoptimized) compilation, for asserting the gate-per-gate tape shape.
+constexpr CompiledCircuit::Options kRaw{/*cone_only=*/false, /*optimize=*/false};
+
 TEST(Compiled, BinarizesWideGates) {
   Circuit c;
   std::vector<SignalId> ins;
   for (int i = 0; i < 4; ++i) ins.push_back(c.add_input());
   c.add_output(c.add_gate(GateType::kAnd, ins), true);
-  const CompiledCircuit compiled(c);
+  const CompiledCircuit compiled(c, kRaw);
   // 4-input AND -> 3 binary AND ops.
   EXPECT_EQ(compiled.n_ops(), 3u);
   ASSERT_EQ(compiled.outputs().size(), 1u);
@@ -88,9 +91,9 @@ TEST(Compiled, InvertedGatesAppendNot) {
   const SignalId a = c.add_input();
   const SignalId b = c.add_input();
   c.add_output(c.add_gate(GateType::kNor, {a, b}), false);
-  const CompiledCircuit compiled(c);
-  EXPECT_EQ(compiled.n_ops(), 2u);  // OR + NOT
-  EXPECT_FLOAT_EQ(compiled.outputs()[0].target, 0.0f);
+  const CompiledCircuit raw(c, kRaw);
+  EXPECT_EQ(raw.n_ops(), 2u);  // OR + NOT
+  EXPECT_FLOAT_EQ(raw.outputs()[0].target, 0.0f);
 }
 
 TEST(Compiled, ConeOnlySkipsUnconstrainedLogic) {
@@ -100,8 +103,8 @@ TEST(Compiled, ConeOnlySkipsUnconstrainedLogic) {
   (void)c.add_gate(GateType::kNot, {a});  // unconstrained cone
   const SignalId g = c.add_gate(GateType::kNot, {b});
   c.add_output(g, true);
-  const CompiledCircuit full(c);
-  const CompiledCircuit cone(c, CompiledCircuit::Options{true});
+  const CompiledCircuit full(c, kRaw);
+  const CompiledCircuit cone(c, CompiledCircuit::Options{true, false});
   EXPECT_EQ(full.n_ops(), 2u);
   EXPECT_EQ(cone.n_ops(), 1u);
   EXPECT_EQ(cone.input_slot()[0], kNoSlot);  // input a outside the cone
@@ -115,6 +118,153 @@ TEST(Compiled, ConstantsGetFixedSlots) {
   const CompiledCircuit compiled(c);
   ASSERT_EQ(compiled.const_slots().size(), 1u);
   EXPECT_FLOAT_EQ(compiled.const_slots()[0].value, 1.0f);
+}
+
+// --- tape optimizer --------------------------------------------------------------
+
+TEST(Optimizer, FusesInvertedGatesIntoOneOp) {
+  for (const GateType type : {GateType::kNand, GateType::kNor, GateType::kXnor}) {
+    Circuit c;
+    const SignalId a = c.add_input();
+    const SignalId b = c.add_input();
+    const SignalId g = c.add_gate(type, {a, b});
+    c.add_output(g, true);
+    const CompiledCircuit raw(c, kRaw);
+    const CompiledCircuit opt(c);
+    EXPECT_EQ(raw.n_ops(), 2u);
+    ASSERT_EQ(opt.n_ops(), 1u);
+    const OpCode fused = opt.tape()[0].op;
+    EXPECT_TRUE(fused == OpCode::kAndNot || fused == OpCode::kOrNot ||
+                fused == OpCode::kXnor);
+    EXPECT_EQ(opt.opt_stats().nots_fused, 1u);
+    EXPECT_NE(opt.signal_slot(g), kNoSlot);  // gate output stays addressable
+  }
+}
+
+TEST(Optimizer, CopyPropagationCollapsesBufferChains) {
+  // in -> buf -> buf -> buf -> NOT -> output: the copies vanish and the
+  // buffered signals alias the source slot.
+  Circuit c;
+  const SignalId in = c.add_input();
+  SignalId s = in;
+  for (int i = 0; i < 3; ++i) s = c.add_gate(GateType::kBuf, {s});
+  const SignalId n = c.add_gate(GateType::kNot, {s});
+  c.add_output(n, true);
+  const CompiledCircuit raw(c, kRaw);
+  const CompiledCircuit opt(c);
+  EXPECT_EQ(raw.n_ops(), 4u);
+  EXPECT_EQ(opt.n_ops(), 1u);
+  EXPECT_EQ(opt.opt_stats().copies_propagated, 3u);
+  // The buffered signal aliases the input's slot.
+  EXPECT_EQ(opt.signal_slot(s), opt.input_slot()[0]);
+  EXPECT_LT(opt.n_slots(), raw.n_slots());
+}
+
+TEST(Optimizer, DeadLogicEliminated) {
+  Circuit c;
+  const SignalId a = c.add_input();
+  const SignalId b = c.add_input();
+  (void)c.add_gate(GateType::kAnd, {a, b});  // feeds nothing
+  c.add_output(c.add_gate(GateType::kOr, {a, b}), true);
+  const CompiledCircuit opt(c);
+  EXPECT_EQ(opt.n_ops(), 1u);
+  EXPECT_EQ(opt.tape()[0].op, OpCode::kOr);
+  EXPECT_EQ(opt.opt_stats().ops_dead, 1u);
+}
+
+TEST(Optimizer, ConstantAndFoldsToAlias) {
+  // AND(x, 1) == x exactly, so the op disappears and the output reads the
+  // input slot directly.
+  Circuit c;
+  const SignalId x = c.add_input();
+  const SignalId k1 = c.add_const(true);
+  const SignalId g = c.add_gate(GateType::kAnd, {x, k1});
+  c.add_output(g, true);
+  const CompiledCircuit opt(c);
+  EXPECT_EQ(opt.n_ops(), 0u);
+  ASSERT_EQ(opt.outputs().size(), 1u);
+  EXPECT_EQ(static_cast<std::int32_t>(opt.outputs()[0].slot), opt.input_slot()[0]);
+  // The unused constant slot is renumbered away.
+  EXPECT_TRUE(opt.const_slots().empty());
+}
+
+TEST(Optimizer, ConstantNotFoldsToConst) {
+  // NOT(const1) -> const 0; output becomes a constant slot with no tape ops.
+  Circuit c;
+  const SignalId k1 = c.add_const(true);
+  const SignalId g = c.add_gate(GateType::kNot, {k1});
+  c.add_output(g, false);
+  const CompiledCircuit opt(c);
+  EXPECT_EQ(opt.n_ops(), 0u);
+  ASSERT_EQ(opt.const_slots().size(), 1u);
+  EXPECT_FLOAT_EQ(opt.const_slots()[0].value, 0.0f);
+  EXPECT_EQ(opt.outputs()[0].slot, opt.const_slots()[0].slot);
+}
+
+TEST(Optimizer, StatsTrackTapeAndSlotReduction) {
+  // NAND chain with buffers: every optimization contributes.
+  Circuit c;
+  const SignalId a = c.add_input();
+  const SignalId b = c.add_input();
+  const SignalId n1 = c.add_gate(GateType::kNand, {a, b});
+  const SignalId buf = c.add_gate(GateType::kBuf, {n1});
+  const SignalId n2 = c.add_gate(GateType::kNand, {buf, a});
+  c.add_output(n2, true);
+  const CompiledCircuit opt(c);
+  const OptStats& stats = opt.opt_stats();
+  EXPECT_EQ(stats.ops_before, 5u);  // 2x(AND+NOT) + copy
+  EXPECT_EQ(stats.ops_after, 2u);   // 2x kAndNot
+  EXPECT_EQ(stats.copies_propagated, 1u);
+  EXPECT_EQ(stats.nots_fused, 2u);
+  EXPECT_LT(stats.slots_after, stats.slots_before);
+  EXPECT_EQ(opt.n_ops(), stats.ops_after);
+  EXPECT_EQ(opt.n_slots(), stats.slots_after);
+}
+
+TEST(Optimizer, OptimizedForwardMatchesRawBitExactly) {
+  // Mixed circuit exercising every rewrite; with the exact sigmoid the
+  // optimized tape must reproduce raw output activations bit for bit.
+  Circuit c;
+  const SignalId a = c.add_input();
+  const SignalId b = c.add_input();
+  const SignalId d = c.add_input();
+  const SignalId nand1 = c.add_gate(GateType::kNand, {a, b});
+  const SignalId buf = c.add_gate(GateType::kBuf, {nand1});
+  const SignalId x1 = c.add_gate(GateType::kXnor, {buf, d});
+  const SignalId k1 = c.add_const(true);
+  const SignalId and1 = c.add_gate(GateType::kAnd, {x1, k1});
+  (void)c.add_gate(GateType::kOr, {a, d});  // dead
+  c.add_output(and1, true);
+  c.add_output(c.add_gate(GateType::kNor, {x1, b}), false);
+
+  const CompiledCircuit raw(c, kRaw);
+  const CompiledCircuit opt(c);
+  ASSERT_LT(opt.n_ops(), raw.n_ops());
+
+  auto make_engine = [](const CompiledCircuit& compiled) {
+    Engine::Config config;
+    config.batch = 192;
+    config.policy = tensor::Policy::kSerial;
+    config.fast_sigmoid = false;
+    return Engine(compiled, config);
+  };
+  Engine eng_raw = make_engine(raw);
+  Engine eng_opt = make_engine(opt);
+  util::Rng rng_a(2024);
+  util::Rng rng_b(2024);
+  eng_raw.randomize(rng_a);
+  eng_opt.randomize(rng_b);
+  eng_raw.forward_only();
+  eng_opt.forward_only();
+  ASSERT_EQ(raw.outputs().size(), opt.outputs().size());
+  for (std::size_t k = 0; k < raw.outputs().size(); ++k) {
+    for (std::size_t r = 0; r < 192; ++r) {
+      const float y_raw = eng_raw.activation(raw.outputs()[k].slot, r);
+      const float y_opt = eng_opt.activation(opt.outputs()[k].slot, r);
+      ASSERT_EQ(y_raw, y_opt) << "output " << k << " row " << r;
+    }
+  }
+  EXPECT_EQ(eng_raw.last_loss(), eng_opt.last_loss());
 }
 
 // --- engine forward semantics (Table I) ---------------------------------------------
@@ -329,6 +479,105 @@ TEST(Engine, HardenPacksVSign) {
   ASSERT_EQ(packed.size(), engine.n_words());
   for (std::size_t r = 0; r < 70; ++r) {
     EXPECT_EQ((packed[r >> 6] >> (r & 63)) & 1, (r % 3 == 0) ? 1u : 0u) << r;
+  }
+}
+
+TEST(Engine, HardenMasksPaddingRows) {
+  // 70 rows leave 58 padding rows in the second tile whose V is randomized
+  // but must never leak into the packed words.
+  Circuit c;
+  (void)c.add_input();
+  const CompiledCircuit compiled(c);
+  Engine::Config config;
+  config.batch = 70;
+  config.policy = tensor::Policy::kSerial;
+  Engine engine(compiled, config);
+  util::Rng rng(11);
+  engine.randomize(rng);  // padding rows get (mostly) nonzero V too
+  std::vector<std::uint64_t> packed;
+  engine.harden(packed);
+  ASSERT_EQ(packed.size(), 2u);
+  EXPECT_EQ(packed[1] & ~((1ULL << 6) - 1), 0u) << "padding bits leaked";
+}
+
+TEST(Engine, RerandomizeRowsOnlyTouchesMaskedRows) {
+  Circuit c;
+  (void)c.add_input();
+  (void)c.add_input();
+  const CompiledCircuit compiled(c);
+  Engine::Config config;
+  config.batch = 130;  // three tiles
+  config.policy = tensor::Policy::kSerial;
+  Engine engine(compiled, config);
+  for (std::size_t i = 0; i < 2; ++i) {
+    for (std::size_t r = 0; r < 130; ++r) engine.set_v(i, r, 5.0f);
+  }
+  std::vector<std::uint64_t> mask(engine.n_words(), 0);
+  mask[0] = (1ULL << 3) | (1ULL << 40);
+  mask[2] = 1ULL << 1;  // row 129
+  util::Rng rng(3);
+  EXPECT_EQ(engine.rerandomize_rows(mask, rng), 3u);
+  for (std::size_t i = 0; i < 2; ++i) {
+    for (std::size_t r = 0; r < 130; ++r) {
+      const bool redrawn = r == 3 || r == 40 || r == 129;
+      if (redrawn) {
+        EXPECT_NE(engine.v_value(i, r), 5.0f) << "input " << i << " row " << r;
+      } else {
+        EXPECT_EQ(engine.v_value(i, r), 5.0f) << "input " << i << " row " << r;
+      }
+    }
+  }
+}
+
+TEST(Engine, LossIdenticalAcrossPolicies) {
+  // The per-tile loss scratch is reduced in tile order, so the float sum —
+  // not just its rounded value — is policy-independent.
+  Circuit c;
+  const SignalId a = c.add_input();
+  const SignalId b = c.add_input();
+  c.add_output(c.add_gate(GateType::kXor, {a, b}), true);
+  const CompiledCircuit compiled(c);
+  auto loss_with = [&](tensor::Policy policy) {
+    Engine::Config config;
+    config.batch = 1000;  // 16 tiles, last one partial
+    config.policy = policy;
+    Engine engine(compiled, config);
+    util::Rng rng(21);
+    engine.randomize(rng);
+    engine.forward_only();
+    return engine.last_loss();
+  };
+  EXPECT_EQ(loss_with(tensor::Policy::kSerial),
+            loss_with(tensor::Policy::kDataParallel));
+}
+
+TEST(Engine, FastSigmoidEmbedMatchesExactWithin1e5) {
+  Circuit c;
+  const SignalId a = c.add_input();
+  const SignalId b = c.add_input();
+  const SignalId g = c.add_gate(GateType::kXor, {a, b});
+  c.add_output(g, true);
+  const CompiledCircuit compiled(c);
+  auto run = [&](bool fast) {
+    Engine::Config config;
+    config.batch = 256;
+    config.policy = tensor::Policy::kSerial;
+    config.fast_sigmoid = fast;
+    Engine engine(compiled, config);
+    util::Rng rng(77);
+    engine.randomize(rng);
+    engine.forward_only();
+    std::vector<float> ys;
+    for (std::size_t r = 0; r < 256; ++r) {
+      ys.push_back(engine.activation(
+          static_cast<std::uint32_t>(compiled.signal_slot(g)), r));
+    }
+    return ys;
+  };
+  const auto exact = run(false);
+  const auto fast = run(true);
+  for (std::size_t r = 0; r < 256; ++r) {
+    EXPECT_NEAR(exact[r], fast[r], 1e-5f) << r;
   }
 }
 
