@@ -8,29 +8,50 @@
 // Extra knobs on top of bench_common's:
 //   HTS_BENCH_WORKERS  comma-free max worker count to sweep to
 //                      (default: hardware concurrency)
+//   HTS_BENCH_POLICY   per-engine kernel scheduling under the workers:
+//                      serial (default) | tiles | level — recorded in the
+//                      JSON so trajectory plots can segment by mode
 //
 // Accepts `--json <path>` to mirror the result rows machine-readably (see
 // bench_common.hpp's JsonWriter).
 
 #include <cstdio>
+#include <string>
 #include <thread>
 
 #include "bench_common.hpp"
+#include "prob/compiled.hpp"
+#include "transform/transform.hpp"
 
 namespace {
 
 using namespace hts;
 
+tensor::Policy policy_from_env() {
+  const std::string name = util::env_string("HTS_BENCH_POLICY", "serial");
+  if (name == "tiles") return tensor::Policy::kDataParallel;
+  if (name == "level") return tensor::Policy::kLevelParallel;
+  if (name != "serial") {
+    std::fprintf(stderr,
+                 "[round_parallel] unknown HTS_BENCH_POLICY '%s', using "
+                 "serial\n",
+                 name.c_str());
+  }
+  return tensor::Policy::kSerial;
+}
+
 sampler::RunResult run_with_workers(const cnf::Formula& formula,
                                     const bench::BenchEnv& env,
-                                    std::size_t n_vars, std::size_t n_workers) {
+                                    std::size_t n_vars, std::size_t n_workers,
+                                    tensor::Policy policy) {
   sampler::GradientConfig config;
   config.batch = bench::pick_batch(env, n_vars);
   config.n_workers = n_workers;
-  // Keep each engine's kernels on the caller thread: round-parallel workers
-  // are the parallelism axis under test, so stacking the data-parallel pool
-  // on top would blur whose speedup is measured.
-  config.policy = tensor::Policy::kSerial;
+  // Default keeps each engine's kernels on the caller thread: round-parallel
+  // workers are the parallelism axis under test, so stacking a pool policy
+  // on top would blur whose speedup is measured.  HTS_BENCH_POLICY overrides
+  // to measure the composition deliberately.
+  config.policy = policy;
   sampler::GradientSampler sampler(config);
   return sampler.run(formula, bench::run_options(env));
 }
@@ -44,10 +65,13 @@ int main(int argc, char** argv) {
       std::max<std::size_t>(1, std::thread::hardware_concurrency());
   const auto max_workers = static_cast<std::size_t>(util::env_int(
       "HTS_BENCH_WORKERS", static_cast<long long>(hardware)));
+  const tensor::Policy policy = policy_from_env();
 
   std::printf("=== Round-parallel scaling: unique sol/s vs n_workers ===\n");
-  std::printf("budget %.0f ms, target %zu uniques, hardware threads %zu\n\n",
-              env.budget_ms, env.min_solutions, hardware);
+  std::printf(
+      "budget %.0f ms, target %zu uniques, hardware threads %zu, "
+      "engine policy %s\n\n",
+      env.budget_ms, env.min_solutions, hardware, tensor::policy_name(policy));
 
   const std::vector<std::string> instances = {"or-50-10-7-UC-10", "75-10-1-q",
                                               "s15850a_3_2", "Prod-8"};
@@ -58,11 +82,17 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "[round_parallel] %s ...\n", name.c_str());
     const benchgen::Instance instance = bench::make_scaled_instance(name, env);
     const auto& formula = instance.formula;
+    // Compile the same transformed circuit the sampler will run, so the
+    // recorded plan shape matches the measured engine exactly.
+    const transform::Result transformed =
+        transform::transform_cnf(formula, {});
+    const prob::CompiledCircuit compiled(transformed.circuit);
+    const prob::ExecPlan& plan = compiled.plan();
 
     double serial_throughput = 0.0;
     for (std::size_t workers = 1; workers <= max_workers; workers *= 2) {
       const sampler::RunResult result =
-          run_with_workers(formula, env, formula.n_vars(), workers);
+          run_with_workers(formula, env, formula.n_vars(), workers, policy);
       const double throughput = result.throughput();
       if (workers == 1) serial_throughput = throughput;
       table.add_row({name, std::to_string(workers),
@@ -75,12 +105,17 @@ int main(int argc, char** argv) {
       bench::JsonRecord record;
       record.field("instance", name)
           .field("workers", workers)
+          .field("policy", tensor::policy_name(policy))
           .field("unique", result.n_unique)
           .field("elapsed_ms", result.elapsed_ms)
           .field("sol_per_sec", throughput)
           .field("speedup_vs_serial",
                  serial_throughput > 0.0 ? throughput / serial_throughput : 0.0)
-          .field("timed_out", result.timed_out);
+          .field("timed_out", result.timed_out)
+          .field("tape_ops", compiled.n_ops())
+          .field("cse_eliminated", compiled.opt_stats().cse_eliminated)
+          .field("n_levels", plan.n_levels())
+          .field("max_level_width", plan.max_width());
       json.add(record);
     }
   }

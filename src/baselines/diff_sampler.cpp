@@ -54,6 +54,7 @@ sampler::RunResult DiffSampler::run(const cnf::Formula& formula,
   loop_config.policy = config_.policy;
   loop_config.n_workers = config_.n_workers;
   loop_config.restart_solved = config_.restart_solved;
+  loop_config.restart_plateau = config_.restart_plateau;
   loop_config.fast_sigmoid = config_.fast_sigmoid;
 
   sampler::RunResult result =

@@ -26,6 +26,7 @@ RunResult CircuitSampler::run(const RunOptions& options) {
   loop_config.max_rounds = config_.max_rounds;
   loop_config.n_workers = config_.n_workers;
   loop_config.restart_solved = config_.restart_solved;
+  loop_config.restart_plateau = config_.restart_plateau;
   loop_config.fast_sigmoid = config_.fast_sigmoid;
 
   // verify_against_cnf is meaningless here (there is no CNF); the loop

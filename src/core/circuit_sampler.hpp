@@ -28,6 +28,9 @@ struct CircuitSamplerConfig {
   std::size_t n_workers = 1;
   /// Solved-row restarts (see GdLoopConfig::restart_solved).
   bool restart_solved = true;
+  /// Plateau restarts in harvest windows; 0 disables (see
+  /// GdLoopConfig::restart_plateau).
+  std::size_t restart_plateau = 0;
   /// Vectorized fast sigmoid for the embed step (see Engine::Config).
   bool fast_sigmoid = true;
 };

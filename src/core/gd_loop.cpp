@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <atomic>
+#include <limits>
 #include <memory>
+#include <optional>
 #include <thread>
 
 #include "core/harvester.hpp"
@@ -25,6 +27,63 @@ namespace {
   return engine_config;
 }
 
+/// Tracks per-row loss progress between harvest windows for plateau
+/// restarts (GdLoopConfig::restart_plateau).  A row "improves" when its
+/// loss drops below its best-so-far by more than a small epsilon; after k
+/// consecutive windows without improvement the row is flagged for
+/// re-seeding.  Solved rows are restart_solved's business: they reset their
+/// tracker and are never flagged here.  Trackers reset every round — a
+/// fresh random V owes no progress to the previous basin.
+class PlateauTracker {
+ public:
+  PlateauTracker(std::size_t batch, std::size_t n_words, std::size_t k)
+      : k_(k), batch_(batch), best_(batch), age_(batch), mask_(n_words) {}
+
+  void begin_round() {
+    std::fill(best_.begin(), best_.end(),
+              std::numeric_limits<float>::infinity());
+    std::fill(age_.begin(), age_.end(), 0u);
+  }
+
+  /// Observes the engine's current per-row losses; returns the mask (same
+  /// word layout as harden()) of rows stuck for >= k windows.
+  const std::vector<std::uint64_t>& observe(
+      const prob::Engine& engine, const std::vector<std::uint64_t>& solved) {
+    // Loss improvements below this are float jitter, not progress.
+    constexpr float kEps = 1e-6f;
+    engine.row_losses(losses_);
+    std::fill(mask_.begin(), mask_.end(), 0);
+    for (std::size_t r = 0; r < batch_; ++r) {
+      const std::size_t word = r / 64;
+      const std::uint64_t bit = 1ULL << (r % 64);
+      if (word < solved.size() && (solved[word] & bit) != 0) {
+        best_[r] = std::numeric_limits<float>::infinity();
+        age_[r] = 0;
+        continue;
+      }
+      if (losses_[r] < best_[r] - kEps) {
+        best_[r] = losses_[r];
+        age_[r] = 0;
+        continue;
+      }
+      if (++age_[r] >= k_) {
+        mask_[word] |= bit;
+        best_[r] = std::numeric_limits<float>::infinity();
+        age_[r] = 0;
+      }
+    }
+    return mask_;
+  }
+
+ private:
+  std::size_t k_;
+  std::size_t batch_;
+  std::vector<float> best_;
+  std::vector<std::uint32_t> age_;
+  std::vector<std::uint64_t> mask_;
+  std::vector<float> losses_;
+};
+
 /// The legacy single-thread loop, kept verbatim so n_workers == 1 reproduces
 /// pre-refactor results bit for bit (same RNG consumption order, same bank
 /// insertion order, same progress checkpoints).
@@ -44,7 +103,12 @@ RunResult run_serial(const GdProblem& problem, const cnf::Formula& formula,
       static_cast<std::size_t>(config.iterations) + 1, 0);
   std::uint64_t rounds = 0;
   std::uint64_t restarted_rows = 0;
+  std::uint64_t plateau_restarted_rows = 0;
   std::vector<std::uint64_t> packed;
+  std::optional<PlateauTracker> plateau;
+  if (config.restart_plateau > 0) {
+    plateau.emplace(config.batch, engine.n_words(), config.restart_plateau);
+  }
 
   auto reached_target = [&] {
     return options.min_solutions > 0 &&
@@ -59,11 +123,20 @@ RunResult run_serial(const GdProblem& problem, const cnf::Formula& formula,
       restarted_rows += engine.rerandomize_rows(harvester.last_solved(), rng);
     }
   };
+  // Plateaued rows follow; only meaningful at mid-round harvests, where the
+  // engine's activations come from this round's own forward pass.
+  auto restart_plateau_rows = [&] {
+    if (plateau) {
+      plateau_restarted_rows += engine.rerandomize_rows(
+          plateau->observe(engine, harvester.last_solved()), rng);
+    }
+  };
 
   while (!reached_target() && !deadline.expired() &&
          (config.max_rounds == 0 || rounds < config.max_rounds)) {
     ++rounds;
     engine.randomize(rng);
+    if (plateau) plateau->begin_round();
     // Iteration-0 checkpoint: random initialization already satisfies the
     // unconstrained paths (and occasionally everything).
     if (config.collect_each_iteration) {
@@ -83,7 +156,10 @@ RunResult run_serial(const GdProblem& problem, const cnf::Formula& formula,
             std::max(uniques_per_iteration[slot], harvester.n_unique());
         result.progress.push_back(
             ProgressPoint{timer.milliseconds(), harvester.n_unique()});
-        if (iter != config.iterations) restart_solved_rows();
+        if (iter != config.iterations) {
+          restart_solved_rows();
+          restart_plateau_rows();
+        }
       }
       if (reached_target() || deadline.expired()) break;
     }
@@ -104,6 +180,7 @@ RunResult run_serial(const GdProblem& problem, const cnf::Formula& formula,
     extras->engine_memory_bytes = engine.memory_bytes();
     extras->rounds = rounds;
     extras->restarted_rows = restarted_rows;
+    extras->plateau_restarted_rows = plateau_restarted_rows;
   }
   return result;
 }
@@ -124,6 +201,7 @@ RunResult run_parallel(const GdProblem& problem, const cnf::Formula& formula,
     std::size_t engine_bytes = 0;
     std::uint64_t rounds = 0;
     std::uint64_t restarted_rows = 0;
+    std::uint64_t plateau_restarted_rows = 0;
   };
 
   const std::size_t n_slots = static_cast<std::size_t>(config.iterations) + 1;
@@ -159,6 +237,10 @@ RunResult run_parallel(const GdProblem& problem, const cnf::Formula& formula,
     Harvester<ShardedUniqueBank> harvester(problem, formula, options, bank,
                                            out.result);
     std::vector<std::uint64_t> packed;
+    std::optional<PlateauTracker> plateau;
+    if (config.restart_plateau > 0) {
+      plateau.emplace(config.batch, engine.n_words(), config.restart_plateau);
+    }
 
     while (!stop.load(std::memory_order_relaxed)) {
       if (reached_target() || deadline.expired()) {
@@ -169,12 +251,19 @@ RunResult run_parallel(const GdProblem& problem, const cnf::Formula& formula,
       if (config.max_rounds != 0 && round >= config.max_rounds) break;
       ++out.rounds;
       engine.randomize(rng);
+      if (plateau) plateau->begin_round();
       // See run_serial: solved rows restart mid-round; the round's final
       // harvest skips it because randomize() follows.
       auto restart_solved_rows = [&] {
         if (config.restart_solved) {
           out.restarted_rows +=
               engine.rerandomize_rows(harvester.last_solved(), rng);
+        }
+      };
+      auto restart_plateau_rows = [&] {
+        if (plateau) {
+          out.plateau_restarted_rows += engine.rerandomize_rows(
+              plateau->observe(engine, harvester.last_solved()), rng);
         }
       };
       if (config.collect_each_iteration) {
@@ -194,7 +283,10 @@ RunResult run_parallel(const GdProblem& problem, const cnf::Formula& formula,
               std::max(out.uniques_per_iteration[slot], bank.size());
           out.result.progress.push_back(
               ProgressPoint{timer.milliseconds(), bank.size()});
-          if (iter != config.iterations) restart_solved_rows();
+          if (iter != config.iterations) {
+            restart_solved_rows();
+            restart_plateau_rows();
+          }
         }
         if (reached_target() || deadline.expired()) {
           stop.store(true, std::memory_order_relaxed);
@@ -216,6 +308,7 @@ RunResult run_parallel(const GdProblem& problem, const cnf::Formula& formula,
   std::vector<std::size_t> uniques_per_iteration(n_slots, 0);
   std::uint64_t rounds = 0;
   std::uint64_t restarted_rows = 0;
+  std::uint64_t plateau_restarted_rows = 0;
   std::size_t engine_bytes = 0;
   for (WorkerOutput& out : outputs) {
     result.n_valid += out.result.n_valid;
@@ -232,6 +325,7 @@ RunResult run_parallel(const GdProblem& problem, const cnf::Formula& formula,
     }
     rounds += out.rounds;
     restarted_rows += out.restarted_rows;
+    plateau_restarted_rows += out.plateau_restarted_rows;
     engine_bytes += out.engine_bytes;
   }
   // Each worker's checkpoints are individually chronological; interleave
@@ -261,6 +355,7 @@ RunResult run_parallel(const GdProblem& problem, const cnf::Formula& formula,
     extras->engine_memory_bytes = engine_bytes;
     extras->rounds = rounds;
     extras->restarted_rows = restarted_rows;
+    extras->plateau_restarted_rows = plateau_restarted_rows;
   }
   return result;
 }

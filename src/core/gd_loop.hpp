@@ -44,6 +44,13 @@ struct GdLoopConfig {
   /// unique-solution throughput.  Off reproduces the pre-restart loop bit
   /// for bit (no extra RNG draws).
   bool restart_solved = true;
+  /// Plateau restarts: a row whose per-row loss has not improved for this
+  /// many consecutive harvest windows is stuck in a basin and gets fresh
+  /// random V, like a solved row would.  0 (default) disables — the loop is
+  /// then bit-identical to the pre-plateau implementation (no extra RNG
+  /// draws).  Trackers reset every round; solved rows are restart_solved's
+  /// business and are never counted here.
+  std::size_t restart_plateau = 0;
   /// Embed with the vectorized fast sigmoid (see Engine::Config).
   bool fast_sigmoid = true;
   /// Run the tape optimizer after compilation (see CompiledCircuit::Options).
@@ -59,6 +66,8 @@ struct GdLoopExtras {
   std::uint64_t rounds = 0;
   /// Rows re-seeded by solved-row restarts (0 when the knob is off).
   std::uint64_t restarted_rows = 0;
+  /// Rows re-seeded by plateau restarts (0 when restart_plateau is off).
+  std::uint64_t plateau_restarted_rows = 0;
 };
 
 /// Runs rounds of randomize -> iterate -> harden -> verify -> bank until

@@ -35,6 +35,7 @@ RunResult GradientSampler::run(const cnf::Formula& formula,
   loop_config.max_rounds = config_.max_rounds;
   loop_config.n_workers = config_.n_workers;
   loop_config.restart_solved = config_.restart_solved;
+  loop_config.restart_plateau = config_.restart_plateau;
   loop_config.fast_sigmoid = config_.fast_sigmoid;
   loop_config.optimize_tape = config_.optimize_tape;
 

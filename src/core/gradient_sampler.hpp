@@ -40,6 +40,9 @@ struct GradientConfig {
   /// Re-seed rows that already satisfied after each mid-round harvest
   /// (see GdLoopConfig::restart_solved).
   bool restart_solved = true;
+  /// Re-seed rows whose per-row loss plateaued above zero for this many
+  /// harvest windows; 0 disables (see GdLoopConfig::restart_plateau).
+  std::size_t restart_plateau = 0;
   /// Vectorized fast sigmoid for the embed step (see Engine::Config).
   bool fast_sigmoid = true;
   /// Tape optimizer (see GdLoopConfig::optimize_tape).

@@ -1,6 +1,9 @@
 #include "prob/compiled.hpp"
 
+#include <algorithm>
+#include <array>
 #include <numeric>
+#include <unordered_map>
 
 namespace hts::prob {
 
@@ -98,6 +101,7 @@ CompiledCircuit::CompiledCircuit(const circuit::Circuit& circuit, Options option
   }
 
   if (options.optimize) optimize();
+  build_plan();
 }
 
 // Post-compile tape optimization.  Every rewrite here is *exactly* value
@@ -219,6 +223,39 @@ void CompiledCircuit::optimize() {
     ops.push_back(op);
   }
 
+  // ---- common-subexpression elimination (local value numbering) ----
+  // Identical (op, a, b) triples compute bit-identical values, so later
+  // duplicates alias the first occurrence.  Commutative operand pairs are
+  // canonicalized (sorted) first: a*b and b*a round identically, as do the
+  // OR/XOR polynomials, so swapped-operand duplicates collapse too.  Ops are
+  // topologically ordered and operands re-resolved through the alias map,
+  // hence one forward walk also catches chains of duplicates (two identical
+  // ANDs make their downstream NOTs identical, and so on).
+  {
+    std::vector<TapeOp> deduped;
+    deduped.reserve(ops.size());
+    // One map per opcode; the key packs both (already-resolved) operands.
+    std::array<std::unordered_map<std::uint64_t, std::uint32_t>, 8> seen;
+    for (TapeOp op : ops) {
+      op.a = resolve(op.a);
+      if (op_is_binary(op.op)) {
+        op.b = resolve(op.b);
+        if (op_is_commutative(op.op) && op.a > op.b) std::swap(op.a, op.b);
+      }
+      const std::uint64_t key =
+          (static_cast<std::uint64_t>(op.a) << 32) | op.b;
+      auto [it, fresh] =
+          seen[static_cast<std::size_t>(op.op)].try_emplace(key, op.dst);
+      if (!fresh) {
+        alias[op.dst] = it->second;
+        ++opt_stats_.cse_eliminated;
+        continue;
+      }
+      deduped.push_back(op);
+    }
+    ops = std::move(deduped);
+  }
+
   // Re-anchor outputs through the alias map before use/liveness analysis.
   for (Output& out : outputs_) out.slot = resolve(out.slot);
 
@@ -328,6 +365,120 @@ void CompiledCircuit::optimize() {
   n_slots_ = next;
   opt_stats_.ops_after = tape_.size();
   opt_stats_.slots_after = n_slots_;
+}
+
+// Levelization: ASAP levels over the slot dependency DAG (inputs and
+// constants sit below level 0; an op's level is the max of its operand
+// producers' levels).  The tape is already topologically ordered, so one
+// forward walk assigns every level; a stable counting sort then regroups
+// ops by level, and a per-level union-find over operand slots orders each
+// level's ops into operand-disjoint groups for race-free backward chunking.
+void CompiledCircuit::build_plan() {
+  plan_ = ExecPlan{};
+  const std::size_t n = tape_.size();
+  std::vector<std::uint32_t> slot_level(n_slots_, 0);
+  std::vector<std::uint32_t> op_level(n, 0);
+  std::uint32_t n_levels = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const TapeOp& t = tape_[i];
+    std::uint32_t lvl = slot_level[t.a];
+    if (op_is_binary(t.op)) lvl = std::max(lvl, slot_level[t.b]);
+    op_level[i] = lvl;
+    slot_level[t.dst] = lvl + 1;
+    n_levels = std::max(n_levels, lvl + 1);
+  }
+
+  plan_.level_begin.assign(static_cast<std::size_t>(n_levels) + 1, 0);
+  for (std::size_t i = 0; i < n; ++i) ++plan_.level_begin[op_level[i] + 1];
+  for (std::size_t l = 1; l <= n_levels; ++l) {
+    plan_.level_begin[l] += plan_.level_begin[l - 1];
+  }
+  std::vector<std::uint32_t> order(n);
+  {
+    std::vector<std::uint32_t> cursor(plan_.level_begin);
+    for (std::size_t i = 0; i < n; ++i) {
+      order[cursor[op_level[i]]++] = static_cast<std::uint32_t>(i);
+    }
+  }
+
+  plan_.op.resize(n);
+  plan_.dst.resize(n);
+  plan_.a.resize(n);
+  plan_.b.resize(n);
+  plan_.level_group.assign(static_cast<std::size_t>(n_levels) + 1, 0);
+
+  constexpr std::uint32_t kNoDense = 0xffffffffu;
+  std::vector<std::uint32_t> parent;
+  std::vector<std::uint32_t> root;
+  std::vector<std::uint32_t> dense;
+  std::vector<std::uint32_t> local;
+  std::unordered_map<std::uint32_t, std::uint32_t> slot_owner;
+  auto find = [&parent](std::uint32_t x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+
+  for (std::uint32_t lvl = 0; lvl < n_levels; ++lvl) {
+    const std::uint32_t begin = plan_.level_begin[lvl];
+    const std::uint32_t end = plan_.level_begin[lvl + 1];
+    const std::uint32_t m = end - begin;
+    parent.resize(m);
+    std::iota(parent.begin(), parent.end(), 0u);
+    slot_owner.clear();
+    auto claim = [&](std::uint32_t slot, std::uint32_t j) {
+      const auto [it, fresh] = slot_owner.try_emplace(slot, j);
+      if (!fresh) parent[find(j)] = find(it->second);
+    };
+    for (std::uint32_t j = 0; j < m; ++j) {
+      const TapeOp& t = tape_[order[begin + j]];
+      claim(t.a, j);
+      if (op_is_binary(t.op)) claim(t.b, j);
+    }
+    // Cluster each connected component contiguously, components ordered by
+    // first appearance and members kept in tape order — the closest the
+    // grouped layout can stay to the original op order (locality).
+    root.resize(m);
+    dense.assign(m, kNoDense);
+    std::uint32_t next_dense = 0;
+    for (std::uint32_t j = 0; j < m; ++j) {
+      const std::uint32_t r = find(j);
+      if (dense[r] == kNoDense) dense[r] = next_dense++;
+      root[j] = dense[r];
+    }
+    // Secondary key: opcode.  Ops within a group may run in any fixed order
+    // (the plan order is canonical for determinism); clustering same-opcode
+    // runs keeps the kernel dispatch branch predictable.
+    local.resize(m);
+    std::iota(local.begin(), local.end(), 0u);
+    auto opcode_of = [this, &order, begin](std::uint32_t j) {
+      return static_cast<std::uint32_t>(tape_[order[begin + j]].op);
+    };
+    std::stable_sort(local.begin(), local.end(),
+                     [&root, &opcode_of](std::uint32_t x, std::uint32_t y) {
+                       if (root[x] != root[y]) return root[x] < root[y];
+                       return opcode_of(x) < opcode_of(y);
+                     });
+    for (std::uint32_t jj = 0; jj < m; ++jj) {
+      const std::uint32_t k = begin + jj;
+      const TapeOp& t = tape_[order[begin + local[jj]]];
+      plan_.op[k] = t.op;
+      plan_.dst[k] = t.dst;
+      plan_.a[k] = t.a;
+      plan_.b[k] = op_is_binary(t.op) ? t.b : t.a;
+      if (jj == 0 || root[local[jj]] != root[local[jj - 1]]) {
+        plan_.group_begin.push_back(k);
+      }
+    }
+    plan_.level_group[lvl + 1] =
+        static_cast<std::uint32_t>(plan_.group_begin.size());
+  }
+  plan_.group_begin.push_back(static_cast<std::uint32_t>(n));
+
+  opt_stats_.n_levels = plan_.n_levels();
+  opt_stats_.max_level_width = plan_.max_width();
 }
 
 }  // namespace hts::prob

@@ -19,6 +19,10 @@
 //   - NOT fusion: a kNot whose operand has no other reader merges into the
 //     producing kAnd/kOr/kXor as kAndNot/kOrNot/kXnor, so NAND/NOR/XNOR
 //     gates cost one tape op instead of two,
+//   - common-subexpression elimination: identical (op, a, b) triples —
+//     commutative operands canonicalized — compute bit-identical values, so
+//     later duplicates alias the first occurrence (duplicate Tseitin logic
+//     collapses; one topological walk catches chains of duplicates),
 //   - dead-code elimination: ops not reaching any output are dropped
 //     (unconstrained paths need no learning; they harden from random V),
 //   - liveness renumbering: surviving slots are compacted so n_slots — and
@@ -26,6 +30,14 @@
 //     shrinks with the tape.
 // Every rewrite preserves forward activations bit-for-bit; OptStats records
 // what the pass did for benches and tests.
+//
+// After optimization (or directly after raw compilation when the optimizer
+// is off) the tape is *levelized*: ops are assigned ASAP levels over the
+// slot dependency DAG and regrouped into a structure-of-arrays ExecPlan.
+// Ops within a level are mutually independent (every operand is produced at
+// a strictly lower level), which is what lets the engine's kLevelParallel
+// policy split a level's ops across threads *within* one 64-row tile
+// instead of only across tiles.
 
 #include <cstdint>
 #include <vector>
@@ -65,6 +77,8 @@ inline constexpr std::int32_t kNoSlot = -1;
 
 /// What the post-compile optimization pass did (bench/tape_engine reports
 /// these; the acceptance bar is a non-trivial ops_before -> ops_after drop).
+/// The level fields at the bottom describe the execution plan and are filled
+/// for raw tapes too; everything else is zero when Options::optimize is off.
 struct OptStats {
   std::size_t ops_before = 0;
   std::size_t ops_after = 0;
@@ -72,8 +86,49 @@ struct OptStats {
   std::size_t slots_after = 0;
   std::size_t copies_propagated = 0;
   std::size_t consts_folded = 0;
+  std::size_t cse_eliminated = 0;
   std::size_t nots_fused = 0;
   std::size_t ops_dead = 0;
+  // Execution-plan shape (see ExecPlan): level count and the widest level.
+  std::size_t n_levels = 0;
+  std::size_t max_level_width = 0;
+};
+
+/// Levelized, structure-of-arrays view of the tape.
+///
+/// Ops are regrouped by ASAP level; within a level every operand slot is
+/// produced at a strictly lower level, so the level's ops can execute in any
+/// order (or concurrently) for the *forward* pass.  The backward pass
+/// accumulates gradients into operand slots, and two ops of one level may
+/// share an operand — ops are therefore clustered (union-find over operand
+/// slots) into *groups* whose operand sets are disjoint across groups:
+/// chunking the backward sweep along group boundaries is race-free and
+/// deterministic.
+struct ExecPlan {
+  // Parallel arrays, one entry per tape op, ordered by (level, group).
+  std::vector<OpCode> op;
+  std::vector<std::uint32_t> dst;
+  std::vector<std::uint32_t> a;
+  std::vector<std::uint32_t> b;
+  /// Level l spans plan indices [level_begin[l], level_begin[l + 1]).
+  std::vector<std::uint32_t> level_begin;
+  /// Group g spans plan indices [group_begin[g], group_begin[g + 1]); the
+  /// groups of level l are [level_group[l], level_group[l + 1]).
+  std::vector<std::uint32_t> group_begin;
+  std::vector<std::uint32_t> level_group;
+
+  [[nodiscard]] std::size_t n_ops() const { return op.size(); }
+  [[nodiscard]] std::size_t n_levels() const {
+    return level_begin.empty() ? 0 : level_begin.size() - 1;
+  }
+  [[nodiscard]] std::size_t width(std::size_t level) const {
+    return level_begin[level + 1] - level_begin[level];
+  }
+  [[nodiscard]] std::size_t max_width() const {
+    std::size_t w = 0;
+    for (std::size_t l = 0; l < n_levels(); ++l) w = std::max(w, width(l));
+    return w;
+  }
 };
 
 class CompiledCircuit {
@@ -124,11 +179,17 @@ class CompiledCircuit {
   /// Number of executed probabilistic ops per batch row per forward pass.
   [[nodiscard]] std::size_t n_ops() const { return tape_.size(); }
 
-  /// Optimization-pass statistics; all-zero when Options::optimize is off.
+  /// Optimization-pass statistics; the level fields are filled for raw
+  /// tapes too, the rewrite counters only when Options::optimize is on.
   [[nodiscard]] const OptStats& opt_stats() const { return opt_stats_; }
+
+  /// Levelized execution plan over tape(); always built (raw or optimized)
+  /// so any tape can run under tensor::Policy::kLevelParallel.
+  [[nodiscard]] const ExecPlan& plan() const { return plan_; }
 
  private:
   void optimize();
+  void build_plan();
 
   std::size_t n_slots_ = 0;
   std::vector<TapeOp> tape_;
@@ -137,6 +198,15 @@ class CompiledCircuit {
   std::vector<Output> outputs_;
   std::vector<ConstSlot> const_slots_;
   OptStats opt_stats_;
+  ExecPlan plan_;
 };
+
+/// True for opcodes whose operands may be swapped without changing the
+/// kernel's float result bit-for-bit (multiplication and addition are IEEE
+/// commutative, and the XOR kernel rounds the product once either way).
+[[nodiscard]] constexpr bool op_is_commutative(OpCode op) {
+  return op == OpCode::kAnd || op == OpCode::kOr || op == OpCode::kXor ||
+         op == OpCode::kAndNot || op == OpCode::kOrNot || op == OpCode::kXnor;
+}
 
 }  // namespace hts::prob

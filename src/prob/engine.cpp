@@ -22,6 +22,14 @@ namespace hts::prob {
 // the engine is the optional fast sigmoid, which Config::fast_sigmoid
 // switches off.  The library builds with -ffp-contract=off so fused ops
 // (kAndNot = 1 - a*b, ...) round exactly like their two-op expansions.
+//
+// Two sweep drivers share the per-op kernels below:
+//   - the per-tile driver (kSerial / kDataParallel) walks the tape linearly
+//     inside each tile, parallelizing across tiles only;
+//   - the level driver (kLevelParallel) walks the compiled ExecPlan stage
+//     by stage, splitting wide levels into (tile x op-range) work items so
+//     parallelism also scales with level width.  Both execute the identical
+//     float sequence per op, so forward activations agree bit for bit.
 
 namespace {
 
@@ -34,6 +42,124 @@ using tensor::simd::store;
 
 constexpr std::size_t kStep = tensor::simd::kWidth;
 static_assert(kTileRows % kStep == 0);
+
+/// Forward kernel for one tape op over one tile (Table I relaxations).
+inline void forward_op(OpCode code, float* dst, const float* a, const float* b) {
+  const f32x8 one = broadcast(1.0f);
+  const f32x8 two = broadcast(2.0f);
+  switch (code) {
+    case OpCode::kCopy:
+      for (std::size_t x = 0; x < kTileRows; x += kStep) {
+        store(dst + x, load(a + x));
+      }
+      break;
+    case OpCode::kNot:
+      for (std::size_t x = 0; x < kTileRows; x += kStep) {
+        store(dst + x, one - load(a + x));
+      }
+      break;
+    case OpCode::kAnd:
+      for (std::size_t x = 0; x < kTileRows; x += kStep) {
+        store(dst + x, load(a + x) * load(b + x));
+      }
+      break;
+    case OpCode::kOr:
+      for (std::size_t x = 0; x < kTileRows; x += kStep) {
+        const f32x8 va = load(a + x);
+        const f32x8 vb = load(b + x);
+        store(dst + x, va + vb - va * vb);
+      }
+      break;
+    case OpCode::kXor:
+      for (std::size_t x = 0; x < kTileRows; x += kStep) {
+        const f32x8 va = load(a + x);
+        const f32x8 vb = load(b + x);
+        store(dst + x, va + vb - two * va * vb);
+      }
+      break;
+    case OpCode::kAndNot:
+      for (std::size_t x = 0; x < kTileRows; x += kStep) {
+        store(dst + x, one - load(a + x) * load(b + x));
+      }
+      break;
+    case OpCode::kOrNot:
+      for (std::size_t x = 0; x < kTileRows; x += kStep) {
+        const f32x8 va = load(a + x);
+        const f32x8 vb = load(b + x);
+        store(dst + x, one - (va + vb - va * vb));
+      }
+      break;
+    case OpCode::kXnor:
+      for (std::size_t x = 0; x < kTileRows; x += kStep) {
+        const f32x8 va = load(a + x);
+        const f32x8 vb = load(b + x);
+        store(dst + x, one - (va + vb - two * va * vb));
+      }
+      break;
+  }
+}
+
+/// Backward kernel for one tape op (Table I derivatives; fused ops negate
+/// the upstream gradient exactly as their trailing NOT would have).
+inline void backward_op(OpCode code, const float* gy, float* ga, float* gb,
+                        const float* a, const float* bv) {
+  const f32x8 one = broadcast(1.0f);
+  const f32x8 two = broadcast(2.0f);
+  switch (code) {
+    case OpCode::kCopy:
+      for (std::size_t x = 0; x < kTileRows; x += kStep) {
+        store(ga + x, load(ga + x) + load(gy + x));
+      }
+      break;
+    case OpCode::kNot:
+      for (std::size_t x = 0; x < kTileRows; x += kStep) {
+        store(ga + x, load(ga + x) - load(gy + x));
+      }
+      break;
+    case OpCode::kAnd:
+      for (std::size_t x = 0; x < kTileRows; x += kStep) {
+        const f32x8 g = load(gy + x);
+        store(ga + x, load(ga + x) + g * load(bv + x));
+        store(gb + x, load(gb + x) + g * load(a + x));
+      }
+      break;
+    case OpCode::kOr:
+      for (std::size_t x = 0; x < kTileRows; x += kStep) {
+        const f32x8 g = load(gy + x);
+        store(ga + x, load(ga + x) + g * (one - load(bv + x)));
+        store(gb + x, load(gb + x) + g * (one - load(a + x)));
+      }
+      break;
+    case OpCode::kXor:
+      for (std::size_t x = 0; x < kTileRows; x += kStep) {
+        const f32x8 g = load(gy + x);
+        store(ga + x, load(ga + x) + g * (one - two * load(bv + x)));
+        store(gb + x, load(gb + x) + g * (one - two * load(a + x)));
+      }
+      break;
+    case OpCode::kAndNot:
+      for (std::size_t x = 0; x < kTileRows; x += kStep) {
+        const f32x8 g = -load(gy + x);
+        store(ga + x, load(ga + x) + g * load(bv + x));
+        store(gb + x, load(gb + x) + g * load(a + x));
+      }
+      break;
+    case OpCode::kOrNot:
+      for (std::size_t x = 0; x < kTileRows; x += kStep) {
+        const f32x8 g = -load(gy + x);
+        store(ga + x, load(ga + x) + g * (one - load(bv + x)));
+        store(gb + x, load(gb + x) + g * (one - load(a + x)));
+      }
+      break;
+    case OpCode::kXnor:
+      for (std::size_t x = 0; x < kTileRows; x += kStep) {
+        const f32x8 g = -load(gy + x);
+        store(ga + x, load(ga + x) + g * (one - two * load(bv + x)));
+        store(gb + x, load(gb + x) + g * (one - two * load(a + x)));
+      }
+      break;
+  }
+}
 
 }  // namespace
 
@@ -55,6 +181,7 @@ Engine::Engine(const CompiledCircuit& compiled, Config config)
       std::fill(row, row + kTileRows, c.value);
     }
   }
+  if (config_.policy == tensor::Policy::kLevelParallel) build_schedule();
 }
 
 std::size_t Engine::act_index(std::uint32_t slot, std::size_t row) const {
@@ -95,22 +222,10 @@ std::size_t Engine::rerandomize_rows(const std::vector<std::uint64_t>& mask,
   return n_rows;
 }
 
-void Engine::process_tile(std::size_t tile, bool with_grad, double* loss_accum) {
-  const std::size_t n_slots = compiled_->n_slots();
+void Engine::embed_tile(std::size_t tile) {
   const std::size_t n_inputs = compiled_->n_circuit_inputs();
-  const auto& tape = compiled_->tape();
-  float* act = activations_.data() + tile * n_slots * kTileRows;
-  float* grad = gradients_.data() + tile * n_slots * kTileRows;
-  float* v = v_.data() + tile * n_inputs * kTileRows;
-  // Rows past the batch in the final tile are computed but never harvested
-  // and excluded from the loss.
-  const std::size_t rows =
-      std::min(kTileRows, config_.batch - tile * kTileRows);
-
-  const f32x8 one = broadcast(1.0f);
-  const f32x8 two = broadcast(2.0f);
-
-  // Embed: input slots get sigmoid(V).
+  float* act = activations_.data() + tile * compiled_->n_slots() * kTileRows;
+  const float* v = v_.data() + tile * n_inputs * kTileRows;
   const auto& input_slots = compiled_->input_slot();
   for (std::size_t i = 0; i < n_inputs; ++i) {
     if (input_slots[i] == kNoSlot) continue;
@@ -126,78 +241,31 @@ void Engine::process_tile(std::size_t tile, bool with_grad, double* loss_accum) 
       }
     }
   }
+}
 
-  // Forward sweep.
-  for (const TapeOp& op : tape) {
-    float* dst = act + static_cast<std::size_t>(op.dst) * kTileRows;
-    const float* a = act + static_cast<std::size_t>(op.a) * kTileRows;
-    const float* b = act + static_cast<std::size_t>(op.b) * kTileRows;
-    switch (op.op) {
-      case OpCode::kCopy:
-        for (std::size_t x = 0; x < kTileRows; x += kStep) {
-          store(dst + x, load(a + x));
-        }
-        break;
-      case OpCode::kNot:
-        for (std::size_t x = 0; x < kTileRows; x += kStep) {
-          store(dst + x, one - load(a + x));
-        }
-        break;
-      case OpCode::kAnd:
-        for (std::size_t x = 0; x < kTileRows; x += kStep) {
-          store(dst + x, load(a + x) * load(b + x));
-        }
-        break;
-      case OpCode::kOr:
-        for (std::size_t x = 0; x < kTileRows; x += kStep) {
-          const f32x8 va = load(a + x);
-          const f32x8 vb = load(b + x);
-          store(dst + x, va + vb - va * vb);
-        }
-        break;
-      case OpCode::kXor:
-        for (std::size_t x = 0; x < kTileRows; x += kStep) {
-          const f32x8 va = load(a + x);
-          const f32x8 vb = load(b + x);
-          store(dst + x, va + vb - two * va * vb);
-        }
-        break;
-      case OpCode::kAndNot:
-        for (std::size_t x = 0; x < kTileRows; x += kStep) {
-          store(dst + x, one - load(a + x) * load(b + x));
-        }
-        break;
-      case OpCode::kOrNot:
-        for (std::size_t x = 0; x < kTileRows; x += kStep) {
-          const f32x8 va = load(a + x);
-          const f32x8 vb = load(b + x);
-          store(dst + x, one - (va + vb - va * vb));
-        }
-        break;
-      case OpCode::kXnor:
-        for (std::size_t x = 0; x < kTileRows; x += kStep) {
-          const f32x8 va = load(a + x);
-          const f32x8 vb = load(b + x);
-          store(dst + x, one - (va + vb - two * va * vb));
-        }
-        break;
+double Engine::tile_loss(std::size_t tile) const {
+  const float* act =
+      activations_.data() + tile * compiled_->n_slots() * kTileRows;
+  // Rows past the batch in the final tile are computed but never harvested
+  // and excluded from the loss.
+  const std::size_t rows =
+      std::min(kTileRows, config_.batch - tile * kTileRows);
+  double local_loss = 0.0;
+  for (const CompiledCircuit::Output& out : compiled_->outputs()) {
+    const float* y = act + static_cast<std::size_t>(out.slot) * kTileRows;
+    for (std::size_t r = 0; r < rows; ++r) {
+      const double diff = static_cast<double>(y[r]) - out.target;
+      local_loss += diff * diff;
     }
   }
+  return local_loss;
+}
 
-  // Loss (optional, over valid rows only).
-  if (loss_accum != nullptr) {
-    double local_loss = 0.0;
-    for (const CompiledCircuit::Output& out : compiled_->outputs()) {
-      const float* y = act + static_cast<std::size_t>(out.slot) * kTileRows;
-      for (std::size_t r = 0; r < rows; ++r) {
-        const double diff = static_cast<double>(y[r]) - out.target;
-        local_loss += diff * diff;
-      }
-    }
-    *loss_accum = local_loss;
-  }
-  if (!with_grad) return;
-
+void Engine::seed_gradients(std::size_t tile) {
+  const std::size_t n_slots = compiled_->n_slots();
+  const float* act = activations_.data() + tile * n_slots * kTileRows;
+  float* grad = gradients_.data() + tile * n_slots * kTileRows;
+  const f32x8 two = broadcast(2.0f);
   // Zero the tile's gradients, then seed dL/dy = 2 (y - t).
   std::fill(grad, grad + n_slots * kTileRows, 0.0f);
   for (const CompiledCircuit::Output& out : compiled_->outputs()) {
@@ -208,78 +276,23 @@ void Engine::process_tile(std::size_t tile, bool with_grad, double* loss_accum) 
       store(g_row + x, load(g_row + x) + two * (load(y + x) - target));
     }
   }
+}
 
-  // Backward sweep (Table I derivatives; fused ops negate the upstream
-  // gradient exactly as their trailing NOT would have).
-  for (auto it = tape.rbegin(); it != tape.rend(); ++it) {
-    const TapeOp& op = *it;
-    const float* gy = grad + static_cast<std::size_t>(op.dst) * kTileRows;
-    float* ga = grad + static_cast<std::size_t>(op.a) * kTileRows;
-    const float* a = act + static_cast<std::size_t>(op.a) * kTileRows;
-    float* gb = grad + static_cast<std::size_t>(op.b) * kTileRows;
-    const float* bv = act + static_cast<std::size_t>(op.b) * kTileRows;
-    switch (op.op) {
-      case OpCode::kCopy:
-        for (std::size_t x = 0; x < kTileRows; x += kStep) {
-          store(ga + x, load(ga + x) + load(gy + x));
-        }
-        break;
-      case OpCode::kNot:
-        for (std::size_t x = 0; x < kTileRows; x += kStep) {
-          store(ga + x, load(ga + x) - load(gy + x));
-        }
-        break;
-      case OpCode::kAnd:
-        for (std::size_t x = 0; x < kTileRows; x += kStep) {
-          const f32x8 g = load(gy + x);
-          store(ga + x, load(ga + x) + g * load(bv + x));
-          store(gb + x, load(gb + x) + g * load(a + x));
-        }
-        break;
-      case OpCode::kOr:
-        for (std::size_t x = 0; x < kTileRows; x += kStep) {
-          const f32x8 g = load(gy + x);
-          store(ga + x, load(ga + x) + g * (one - load(bv + x)));
-          store(gb + x, load(gb + x) + g * (one - load(a + x)));
-        }
-        break;
-      case OpCode::kXor:
-        for (std::size_t x = 0; x < kTileRows; x += kStep) {
-          const f32x8 g = load(gy + x);
-          store(ga + x, load(ga + x) + g * (one - two * load(bv + x)));
-          store(gb + x, load(gb + x) + g * (one - two * load(a + x)));
-        }
-        break;
-      case OpCode::kAndNot:
-        for (std::size_t x = 0; x < kTileRows; x += kStep) {
-          const f32x8 g = -load(gy + x);
-          store(ga + x, load(ga + x) + g * load(bv + x));
-          store(gb + x, load(gb + x) + g * load(a + x));
-        }
-        break;
-      case OpCode::kOrNot:
-        for (std::size_t x = 0; x < kTileRows; x += kStep) {
-          const f32x8 g = -load(gy + x);
-          store(ga + x, load(ga + x) + g * (one - load(bv + x)));
-          store(gb + x, load(gb + x) + g * (one - load(a + x)));
-        }
-        break;
-      case OpCode::kXnor:
-        for (std::size_t x = 0; x < kTileRows; x += kStep) {
-          const f32x8 g = -load(gy + x);
-          store(ga + x, load(ga + x) + g * (one - two * load(bv + x)));
-          store(gb + x, load(gb + x) + g * (one - two * load(a + x)));
-        }
-        break;
-    }
-  }
-
-  // Chain through the sigmoid embedding and take the GD step (Eq. 10).
+void Engine::update_tile(std::size_t tile) {
+  const std::size_t n_slots = compiled_->n_slots();
+  const std::size_t n_inputs = compiled_->n_circuit_inputs();
+  const float* act = activations_.data() + tile * n_slots * kTileRows;
+  const float* grad = gradients_.data() + tile * n_slots * kTileRows;
+  float* v = v_.data() + tile * n_inputs * kTileRows;
+  const auto& input_slots = compiled_->input_slot();
+  const f32x8 one = broadcast(1.0f);
   const f32x8 lr = broadcast(config_.learning_rate);
+  // Chain through the sigmoid embedding and take the GD step (Eq. 10).
   for (std::size_t i = 0; i < n_inputs; ++i) {
     if (input_slots[i] == kNoSlot) continue;
     const float* p = act + static_cast<std::size_t>(input_slots[i]) * kTileRows;
-    const float* gp = grad + static_cast<std::size_t>(input_slots[i]) * kTileRows;
+    const float* gp =
+        grad + static_cast<std::size_t>(input_slots[i]) * kTileRows;
     float* v_row = v + i * kTileRows;
     for (std::size_t x = 0; x < kTileRows; x += kStep) {
       const f32x8 pv = load(p + x);
@@ -289,7 +302,232 @@ void Engine::process_tile(std::size_t tile, bool with_grad, double* loss_accum) 
   }
 }
 
+void Engine::process_tile(std::size_t tile, bool with_grad, double* loss_accum) {
+  const std::size_t n_slots = compiled_->n_slots();
+  const auto& tape = compiled_->tape();
+  float* act = activations_.data() + tile * n_slots * kTileRows;
+  float* grad = gradients_.data() + tile * n_slots * kTileRows;
+
+  embed_tile(tile);
+
+  // Forward sweep.
+  for (const TapeOp& op : tape) {
+    forward_op(op.op, act + static_cast<std::size_t>(op.dst) * kTileRows,
+               act + static_cast<std::size_t>(op.a) * kTileRows,
+               act + static_cast<std::size_t>(op.b) * kTileRows);
+  }
+
+  // Loss (optional, over valid rows only).
+  if (loss_accum != nullptr) *loss_accum = tile_loss(tile);
+  if (!with_grad) return;
+
+  seed_gradients(tile);
+
+  // Backward sweep.
+  for (auto it = tape.rbegin(); it != tape.rend(); ++it) {
+    const TapeOp& op = *it;
+    backward_op(op.op, grad + static_cast<std::size_t>(op.dst) * kTileRows,
+                grad + static_cast<std::size_t>(op.a) * kTileRows,
+                grad + static_cast<std::size_t>(op.b) * kTileRows,
+                act + static_cast<std::size_t>(op.a) * kTileRows,
+                act + static_cast<std::size_t>(op.b) * kTileRows);
+  }
+
+  update_tile(tile);
+}
+
+void Engine::forward_range(std::size_t tile, std::uint32_t begin,
+                           std::uint32_t end) {
+  const ExecPlan& plan = compiled_->plan();
+  float* act = activations_.data() + tile * compiled_->n_slots() * kTileRows;
+  for (std::uint32_t i = begin; i < end; ++i) {
+    forward_op(plan.op[i],
+               act + static_cast<std::size_t>(plan.dst[i]) * kTileRows,
+               act + static_cast<std::size_t>(plan.a[i]) * kTileRows,
+               act + static_cast<std::size_t>(plan.b[i]) * kTileRows);
+  }
+}
+
+void Engine::backward_range(std::size_t tile, std::uint32_t begin,
+                            std::uint32_t end) {
+  const ExecPlan& plan = compiled_->plan();
+  const std::size_t n_slots = compiled_->n_slots();
+  const float* act = activations_.data() + tile * n_slots * kTileRows;
+  float* grad = gradients_.data() + tile * n_slots * kTileRows;
+  // Reverse walk: a range fused over several levels unwinds them in level
+  // order, and a single-level range accumulates shared-operand gradients in
+  // a fixed (hence deterministic) order.
+  for (std::uint32_t i = end; i-- > begin;) {
+    backward_op(plan.op[i],
+                grad + static_cast<std::size_t>(plan.dst[i]) * kTileRows,
+                grad + static_cast<std::size_t>(plan.a[i]) * kTileRows,
+                grad + static_cast<std::size_t>(plan.b[i]) * kTileRows,
+                act + static_cast<std::size_t>(plan.a[i]) * kTileRows,
+                act + static_cast<std::size_t>(plan.b[i]) * kTileRows);
+  }
+}
+
+// Stage formation: a level at least kSplitWidth ops wide becomes its own
+// stage with ~kChunkOps-sized intra-tile chunks (backward chunks respect the
+// plan's operand-disjoint groups); runs of narrower levels fuse into one
+// per-tile stage, so a deep chain of tiny levels costs one dispatch instead
+// of one barrier per level.  Chunk boundaries depend only on the plan, never
+// on the thread count, so results are machine-independent.
+void Engine::build_schedule() {
+  constexpr std::uint32_t kChunkOps = 128;
+  constexpr std::uint32_t kSplitWidth = 2 * kChunkOps;
+  const ExecPlan& plan = compiled_->plan();
+  schedule_.clear();
+
+  auto flush_run = [this](std::uint32_t begin, std::uint32_t end) {
+    if (begin == end) return;
+    Stage stage;
+    stage.fwd.emplace_back(begin, end);
+    stage.bwd.emplace_back(begin, end);
+    stage.n_ops = end - begin;
+    schedule_.push_back(std::move(stage));
+  };
+
+  std::uint32_t pending = 0;
+  for (std::size_t l = 0; l < plan.n_levels(); ++l) {
+    const std::uint32_t lb = plan.level_begin[l];
+    const std::uint32_t le = plan.level_begin[l + 1];
+    const std::uint32_t width = le - lb;
+    if (width < kSplitWidth) continue;  // joins the pending fused run
+    flush_run(pending, lb);
+    pending = le;
+
+    Stage stage;
+    stage.n_ops = width;
+    const std::uint32_t n_chunks = (width + kChunkOps - 1) / kChunkOps;
+    for (std::uint32_t c = 0; c < n_chunks; ++c) {
+      const auto b = static_cast<std::uint32_t>(
+          lb + static_cast<std::uint64_t>(width) * c / n_chunks);
+      const auto e = static_cast<std::uint32_t>(
+          lb + static_cast<std::uint64_t>(width) * (c + 1) / n_chunks);
+      if (b < e) stage.fwd.emplace_back(b, e);
+    }
+    // Backward chunks: greedily merge whole groups up to ~kChunkOps ops.
+    std::uint32_t chunk_begin = lb;
+    for (std::uint32_t g = plan.level_group[l]; g < plan.level_group[l + 1];
+         ++g) {
+      const std::uint32_t group_end = plan.group_begin[g + 1];
+      if (group_end - chunk_begin >= kChunkOps) {
+        stage.bwd.emplace_back(chunk_begin, group_end);
+        chunk_begin = group_end;
+      }
+    }
+    if (chunk_begin < le) stage.bwd.emplace_back(chunk_begin, le);
+    schedule_.push_back(std::move(stage));
+  }
+  if (!plan.level_begin.empty()) flush_run(pending, plan.level_begin.back());
+}
+
+void Engine::dispatch_stage(const Stage& stage, bool backward) {
+  const auto& chunks = backward ? stage.bwd : stage.fwd;
+  if (chunks.empty()) return;
+  const std::size_t n_chunks = chunks.size();
+  const std::size_t items = n_tiles_ * n_chunks;
+  auto run_item = [&](std::size_t item) {
+    const std::size_t tile = item / n_chunks;
+    const auto& range = chunks[item % n_chunks];
+    if (backward) {
+      backward_range(tile, range.first, range.second);
+    } else {
+      forward_range(tile, range.first, range.second);
+    }
+  };
+  // A single-thread pool cannot overlap work and only adds wakeup latency
+  // per stage; tiny stages never amortize the dispatch either.
+  const bool inline_run = items == 1 ||
+                          util::ThreadPool::global().size() <= 1 ||
+                          static_cast<std::size_t>(stage.n_ops) * n_tiles_ < 1024;
+  if (inline_run) {
+    for (std::size_t i = 0; i < items; ++i) run_item(i);
+    return;
+  }
+  util::ThreadPool::global().parallel_for(
+      items, [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) run_item(i);
+      });
+}
+
+// Level-synchronous sweep: embed all tiles, run the forward stages in plan
+// order, then (for GD iterations) seed gradients, run the stages reversed,
+// and apply the update — each phase one data-parallel dispatch.  Per-op
+// float sequences match the per-tile driver exactly, so forward activations
+// and the loss are bit-identical across policies.
+void Engine::sweep_level(bool with_grad) {
+  const bool want_loss = config_.compute_loss || !with_grad;
+  // A 1-thread pool gains nothing from level-major sweeps but still pays
+  // their cache cost (every stage streams all tiles).  Walk the plan
+  // tile-major instead: stages and chunks partition the plan in order, so a
+  // linear forward walk and a linear reverse backward walk execute the same
+  // per-op float sequences with identical per-slot accumulation order —
+  // bit-identical to the stage-major dispatch (which tests pin down via
+  // Config::force_level_stages).
+  if (util::ThreadPool::global().size() <= 1 && !config_.force_level_stages) {
+    const auto n_ops = static_cast<std::uint32_t>(compiled_->plan().n_ops());
+    for (std::size_t t = 0; t < n_tiles_; ++t) {
+      embed_tile(t);
+      forward_range(t, 0, n_ops);
+      if (want_loss) tile_loss_[t] = tile_loss(t);
+      if (with_grad) {
+        seed_gradients(t);
+        backward_range(t, 0, n_ops);
+        update_tile(t);
+      }
+    }
+    if (want_loss) {
+      double total_loss = 0.0;
+      for (const double loss : tile_loss_) total_loss += loss;
+      last_loss_ = total_loss;
+    }
+    return;
+  }
+  tensor::parallel_for(config_.policy, n_tiles_,
+                       [&](std::size_t begin, std::size_t end) {
+                         for (std::size_t t = begin; t < end; ++t) {
+                           embed_tile(t);
+                         }
+                       });
+  for (const Stage& stage : schedule_) dispatch_stage(stage, /*backward=*/false);
+  if (want_loss) {
+    tensor::parallel_for(config_.policy, n_tiles_,
+                         [&](std::size_t begin, std::size_t end) {
+                           for (std::size_t t = begin; t < end; ++t) {
+                             tile_loss_[t] = tile_loss(t);
+                           }
+                         });
+    // Reduced in tile order, so the sum is policy-independent.
+    double total_loss = 0.0;
+    for (const double loss : tile_loss_) total_loss += loss;
+    last_loss_ = total_loss;
+  }
+  if (!with_grad) return;
+
+  tensor::parallel_for(config_.policy, n_tiles_,
+                       [&](std::size_t begin, std::size_t end) {
+                         for (std::size_t t = begin; t < end; ++t) {
+                           seed_gradients(t);
+                         }
+                       });
+  for (auto it = schedule_.rbegin(); it != schedule_.rend(); ++it) {
+    dispatch_stage(*it, /*backward=*/true);
+  }
+  tensor::parallel_for(config_.policy, n_tiles_,
+                       [&](std::size_t begin, std::size_t end) {
+                         for (std::size_t t = begin; t < end; ++t) {
+                           update_tile(t);
+                         }
+                       });
+}
+
 void Engine::sweep(bool with_grad) {
+  if (config_.policy == tensor::Policy::kLevelParallel) {
+    sweep_level(with_grad);
+    return;
+  }
   const bool want_loss = config_.compute_loss || !with_grad;
   tensor::parallel_for(config_.policy, n_tiles_,
                        [&](std::size_t begin, std::size_t end) {
@@ -321,11 +559,32 @@ void Engine::harden(std::vector<std::uint64_t>& packed_out) const {
         rows < 64 ? (1ULL << rows) - 1 : ~0ULL;
     for (std::size_t i = 0; i < n; ++i) {
       const float* v_row = v + i * kTileRows;
+      // Width-8 compare + movemask packing; the per-lane predicate is the
+      // scalar `v > 0` exactly (NaN and ±0 contribute 0 bits).
       std::uint64_t word = 0;
-      for (std::size_t r = 0; r < kTileRows; ++r) {
-        if (v_row[r] > 0.0f) word |= (1ULL << r);
+      for (std::size_t x = 0; x < kTileRows; x += kStep) {
+        word |= static_cast<std::uint64_t>(
+                    tensor::simd::movemask_gt_zero(load(v_row + x)))
+                << x;
       }
       packed_out[i * n_tiles_ + t] = word & row_mask;
+    }
+  }
+}
+
+void Engine::row_losses(std::vector<float>& out) const {
+  out.assign(config_.batch, 0.0f);
+  const std::size_t n_slots = compiled_->n_slots();
+  for (std::size_t t = 0; t < n_tiles_; ++t) {
+    const float* act = activations_.data() + t * n_slots * kTileRows;
+    const std::size_t rows = std::min(kTileRows, config_.batch - t * kTileRows);
+    float* o = out.data() + t * kTileRows;
+    for (const CompiledCircuit::Output& output : compiled_->outputs()) {
+      const float* y = act + static_cast<std::size_t>(output.slot) * kTileRows;
+      for (std::size_t r = 0; r < rows; ++r) {
+        const float diff = y[r] - output.target;
+        o[r] += diff * diff;
+      }
     }
   }
 }

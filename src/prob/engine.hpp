@@ -14,6 +14,18 @@
 // uses simd::fast_sigmoid by default (see its documented error bound);
 // Config::fast_sigmoid = false selects the exact std::exp path for A/B
 // parity runs.
+//
+// Scheduling (Config::policy):
+//   kSerial        one thread walks the tape tile by tile,
+//   kDataParallel  tiles are dispatched across the thread pool; within a
+//                  tile the tape is walked linearly (batch/64-way parallel),
+//   kLevelParallel the compiled ExecPlan drives a level-synchronous sweep:
+//                  wide levels are chunked into (tile x op-range) work items
+//                  (backward chunks aligned to the plan's operand-disjoint
+//                  groups), narrow level runs are fused and dispatched per
+//                  tile.  Forward activations are bit-identical to the
+//                  per-tile policies and results are deterministic: chunk
+//                  boundaries are fixed at plan time, not by thread count.
 
 #include <cstdint>
 #include <vector>
@@ -38,6 +50,14 @@ class Engine {
     /// Embed with the vectorized polynomial sigmoid (default) or the exact
     /// std::exp one (bit-identical to the pre-SIMD engine; used for A/B).
     bool fast_sigmoid = true;
+    /// kLevelParallel only: force the stage-major dispatcher even on a
+    /// single-thread pool.  By default a 1-thread pool executes the plan
+    /// tile-major (one cache-resident pass per tile, like the per-tile
+    /// policies) because level-major sweeps stream the whole batch once per
+    /// stage with no parallelism to pay for it.  Both orders produce
+    /// bit-identical results — backward chunks are operand-disjoint — so
+    /// this knob exists for tests and scheduler-overhead measurements.
+    bool force_level_stages = false;
   };
 
   Engine(const CompiledCircuit& compiled, Config config);
@@ -68,6 +88,12 @@ class Engine {
   /// run_iteration() when compute_loss is set.
   [[nodiscard]] double last_loss() const { return last_loss_; }
 
+  /// Per-row L2 loss over the constrained outputs from the activations of
+  /// the most recent sweep: out[r] = sum_k (y_k[r] - t_k)^2 for r < batch.
+  /// Powers plateau restarts: rows whose loss stopped improving are stuck
+  /// in a basin and worth re-seeding.
+  void row_losses(std::vector<float>& out) const;
+
   /// Hardens V into bits (V > 0) packed 64 rows per word: out[i * n_words()
   /// + w] holds rows [64w, 64w+63] of circuit input i.  Inputs outside the
   /// compiled cone harden from their (random) V too — those are the paper's
@@ -95,13 +121,38 @@ class Engine {
                                                    std::size_t batch);
 
  private:
+  /// One level-synchronous step of the execution plan: a single wide level
+  /// chunked for intra-tile splitting, or a fused run of narrow levels
+  /// executed per tile.  `fwd`/`bwd` hold [begin, end) plan-op ranges; each
+  /// range paired with a tile is one work item.  Backward items walk their
+  /// range in reverse so fused runs unwind in level order, and backward
+  /// ranges never split an operand-disjoint group, so gradient accumulation
+  /// is race-free and deterministic under any thread count.
+  struct Stage {
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> fwd;
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> bwd;
+    std::uint32_t n_ops = 0;
+  };
+
   void process_tile(std::size_t tile, bool with_grad, double* loss_accum);
   void sweep(bool with_grad);
+  void sweep_level(bool with_grad);
+  void build_schedule();
+  void dispatch_stage(const Stage& stage, bool backward);
+  void embed_tile(std::size_t tile);
+  void forward_range(std::size_t tile, std::uint32_t begin, std::uint32_t end);
+  void backward_range(std::size_t tile, std::uint32_t begin, std::uint32_t end);
+  [[nodiscard]] double tile_loss(std::size_t tile) const;
+  void seed_gradients(std::size_t tile);
+  void update_tile(std::size_t tile);
   [[nodiscard]] std::size_t act_index(std::uint32_t slot, std::size_t row) const;
   [[nodiscard]] std::size_t v_index(std::size_t input, std::size_t row) const;
 
   const CompiledCircuit* compiled_;
   Config config_;
+  /// Level-parallel stage schedule; built once at construction when
+  /// Config::policy is kLevelParallel, empty otherwise.
+  std::vector<Stage> schedule_;
   std::size_t n_tiles_ = 0;
   // All buffers are tiled [tile][slot-or-input][row-in-tile]; see engine.cpp.
   tensor::Buffer v_;

@@ -69,6 +69,19 @@ inline f32x8 bitcast_f32(i32x8 v) {
   return r;
 }
 
+/// Bit i of the result is set when lane i is strictly positive — the same
+/// per-row predicate harden() applies (NaN and ±0 yield 0).  The vector
+/// compare produces all-ones/all-zero lanes; the pack loop is branch-free
+/// and unrolls to shift-or chains (movmskps-style on x86).
+inline std::uint32_t movemask_gt_zero(f32x8 v) {
+  const i32x8 m = v > broadcast(0.0f);
+  std::uint32_t bits = 0;
+  for (std::size_t i = 0; i < kWidth; ++i) {
+    bits |= (static_cast<std::uint32_t>(m[i]) & 1u) << i;
+  }
+  return bits;
+}
+
 #else  // portable fallback: an 8-lane struct with loop operators
 
 struct f32x8 {
@@ -158,6 +171,15 @@ inline f32x8 bitcast_f32(i32x8 v) {
   f32x8 r;
   std::memcpy(r.lane, v.lane, sizeof(r.lane));
   return r;
+}
+
+/// See the vector-extension overload: bit i set iff lane i > 0.
+inline std::uint32_t movemask_gt_zero(f32x8 v) {
+  std::uint32_t bits = 0;
+  for (std::size_t i = 0; i < kWidth; ++i) {
+    bits |= static_cast<std::uint32_t>(v.lane[i] > 0.0f) << i;
+  }
+  return bits;
 }
 
 #endif  // HTS_SIMD_VECTOR_EXT

@@ -12,6 +12,18 @@ std::atomic<std::int64_t> g_peak_bytes{0};
 
 }  // namespace
 
+const char* policy_name(Policy policy) {
+  switch (policy) {
+    case Policy::kSerial:
+      return "serial";
+    case Policy::kDataParallel:
+      return "tile-parallel";
+    case Policy::kLevelParallel:
+      return "level-parallel";
+  }
+  return "unknown";
+}
+
 void parallel_for(Policy policy, std::size_t n,
                   const std::function<void(std::size_t, std::size_t)>& fn) {
   if (n == 0) return;

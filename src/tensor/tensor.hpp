@@ -23,9 +23,19 @@ namespace hts::tensor {
 enum class Policy : std::uint8_t {
   kSerial,        // single thread ("CPU")
   kDataParallel,  // thread-pool over batch rows ("GPU simulator")
+  /// Thread-pool over the levelized execution plan: the prob engine splits
+  /// each tape level's independent ops into (tile x op-range) work items, so
+  /// parallelism scales with level width *within* a 64-row tile, not only
+  /// with batch/64 tiles.  Elementwise kernels treat it like kDataParallel.
+  kLevelParallel,
 };
 
-/// Dispatches fn(begin, end) over [0, n) according to the policy.
+/// Short stable name for bench tables and JSON records.
+[[nodiscard]] const char* policy_name(Policy policy);
+
+/// Dispatches fn(begin, end) over [0, n) according to the policy
+/// (kLevelParallel dispatches like kDataParallel: level structure only
+/// matters to the prob engine's tape sweeps).
 void parallel_for(Policy policy, std::size_t n,
                   const std::function<void(std::size_t, std::size_t)>& fn);
 

@@ -16,4 +16,8 @@ namespace hts::util {
 /// Reads an integer from the environment.
 [[nodiscard]] std::int64_t env_int(const std::string& name, std::int64_t fallback);
 
+/// Reads a string from the environment (fallback when unset or empty).
+[[nodiscard]] std::string env_string(const std::string& name,
+                                     const std::string& fallback);
+
 }  // namespace hts::util

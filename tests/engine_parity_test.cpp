@@ -1,11 +1,17 @@
 // A/B parity suite for the vectorized tape engine: on every benchgen
 // circuit family, the optimized tape (copy propagation, constant folding,
-// fused NOTs, DCE, slot renumbering) running on the SIMD kernels must
+// CSE, fused NOTs, DCE, slot renumbering) running on the SIMD kernels must
 // reproduce the unoptimized tape's activations
 //   - bit for bit with the exact (std::exp) sigmoid embed, and
 //   - within 1e-5 with the fast polynomial sigmoid.
 // This is the contract that lets every sampler default to the optimized
 // fast path while benches A/B against the pre-optimization engine.
+//
+// The level-parallel scheduler gets the same treatment: kLevelParallel
+// forward activations must be bit-identical to the serial per-tile walk on
+// raw and optimized tapes, and its GD trajectory must be deterministic —
+// the tile-major single-thread fallback and the stage-major chunked
+// dispatch (Config::force_level_stages) must agree bit for bit.
 
 #include <gtest/gtest.h>
 
@@ -25,12 +31,15 @@ constexpr std::uint64_t kSeed = 4242;
 
 class EngineParity : public ::testing::TestWithParam<const char*> {
  protected:
-  static Engine make_engine(const CompiledCircuit& compiled, bool fast_sigmoid) {
+  static Engine make_engine(const CompiledCircuit& compiled, bool fast_sigmoid,
+                            tensor::Policy policy = tensor::Policy::kSerial,
+                            bool force_level_stages = false) {
     Engine::Config config;
     config.batch = kBatch;
-    config.policy = tensor::Policy::kSerial;
+    config.policy = policy;
     config.fast_sigmoid = fast_sigmoid;
     config.compute_loss = true;
+    config.force_level_stages = force_level_stages;
     return Engine(compiled, config);
   }
 };
@@ -112,6 +121,81 @@ TEST_P(EngineParity, OptimizedGradientDescentTracksRaw) {
   for (std::size_t i = 0; i < n_inputs; ++i) {
     for (std::size_t r = 0; r < kBatch; ++r) {
       ASSERT_NEAR(eng_raw.v_value(i, r), eng_opt.v_value(i, r), 1e-4f)
+          << GetParam() << " input " << i << " row " << r;
+    }
+  }
+}
+
+TEST_P(EngineParity, LevelParallelForwardIsBitIdentical) {
+  // Serial per-tile vs level-parallel (both fallback and forced stage-major
+  // dispatch), raw and optimized tapes, exact sigmoid: every output
+  // activation and the loss must agree bit for bit.
+  const benchgen::Instance instance = benchgen::make_instance(GetParam());
+  for (const bool optimize : {false, true}) {
+    const CompiledCircuit compiled(instance.circuit,
+                                   CompiledCircuit::Options{false, optimize});
+    Engine serial = make_engine(compiled, /*fast_sigmoid=*/false);
+    Engine level = make_engine(compiled, /*fast_sigmoid=*/false,
+                               tensor::Policy::kLevelParallel);
+    Engine staged = make_engine(compiled, /*fast_sigmoid=*/false,
+                                tensor::Policy::kLevelParallel,
+                                /*force_level_stages=*/true);
+    util::Rng rng_a(kSeed);
+    util::Rng rng_b(kSeed);
+    util::Rng rng_c(kSeed);
+    serial.randomize(rng_a);
+    level.randomize(rng_b);
+    staged.randomize(rng_c);
+    serial.forward_only();
+    level.forward_only();
+    staged.forward_only();
+    for (std::size_t k = 0; k < compiled.outputs().size(); ++k) {
+      const std::uint32_t slot = compiled.outputs()[k].slot;
+      for (std::size_t r = 0; r < kBatch; ++r) {
+        ASSERT_EQ(serial.activation(slot, r), level.activation(slot, r))
+            << GetParam() << (optimize ? "/opt" : "/raw") << " output " << k
+            << " row " << r;
+        ASSERT_EQ(serial.activation(slot, r), staged.activation(slot, r))
+            << GetParam() << (optimize ? "/opt" : "/raw") << " output " << k
+            << " row " << r;
+      }
+    }
+    EXPECT_EQ(serial.last_loss(), level.last_loss()) << GetParam();
+    EXPECT_EQ(serial.last_loss(), staged.last_loss()) << GetParam();
+  }
+}
+
+TEST_P(EngineParity, LevelParallelGdIsDeterministicAndTracksSerial) {
+  // The backward pass accumulates gradients in plan order, which differs
+  // from tape order — so V after descent is near-exact vs the serial walk,
+  // but must be *bitwise* reproducible across the scheduler's two execution
+  // shapes (tile-major fallback vs stage-major chunks): group-aligned
+  // chunking fixes the per-slot accumulation order by construction.
+  const benchgen::Instance instance = benchgen::make_instance(GetParam());
+  const CompiledCircuit compiled(instance.circuit);
+  Engine serial = make_engine(compiled, /*fast_sigmoid=*/false);
+  Engine level = make_engine(compiled, /*fast_sigmoid=*/false,
+                             tensor::Policy::kLevelParallel);
+  Engine staged = make_engine(compiled, /*fast_sigmoid=*/false,
+                              tensor::Policy::kLevelParallel,
+                              /*force_level_stages=*/true);
+  util::Rng rng_a(kSeed);
+  util::Rng rng_b(kSeed);
+  util::Rng rng_c(kSeed);
+  serial.randomize(rng_a);
+  level.randomize(rng_b);
+  staged.randomize(rng_c);
+  for (int iter = 0; iter < 3; ++iter) {
+    serial.run_iteration();
+    level.run_iteration();
+    staged.run_iteration();
+  }
+  const std::size_t n_inputs = serial.n_inputs();
+  for (std::size_t i = 0; i < n_inputs; ++i) {
+    for (std::size_t r = 0; r < kBatch; ++r) {
+      ASSERT_EQ(level.v_value(i, r), staged.v_value(i, r))
+          << GetParam() << " input " << i << " row " << r;
+      ASSERT_NEAR(serial.v_value(i, r), level.v_value(i, r), 1e-4f)
           << GetParam() << " input " << i << " row " << r;
     }
   }

@@ -1,0 +1,131 @@
+// Invariants of the levelized execution plan (prob::ExecPlan), on raw and
+// optimized tapes of every benchgen family:
+//   - the plan is a permutation of the tape (same op multiset),
+//   - level ranges partition the plan and operands always come from strictly
+//     lower levels (the independence property kLevelParallel relies on),
+//   - group ranges partition each level and operand slots never cross group
+//     boundaries within a level (the race-freedom property backward
+//     chunking relies on),
+//   - each slot is written exactly once (the tape is SSA).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "benchgen/families.hpp"
+#include "prob/compiled.hpp"
+
+namespace hts::prob {
+namespace {
+
+class ExecPlanInvariants : public ::testing::TestWithParam<const char*> {};
+
+void check_plan(const CompiledCircuit& compiled, const std::string& label) {
+  const ExecPlan& plan = compiled.plan();
+  const auto& tape = compiled.tape();
+  ASSERT_EQ(plan.n_ops(), tape.size()) << label;
+  ASSERT_EQ(plan.op.size(), plan.dst.size()) << label;
+  ASSERT_EQ(plan.op.size(), plan.a.size()) << label;
+  ASSERT_EQ(plan.op.size(), plan.b.size()) << label;
+
+  // Same multiset of ops (unary plan entries mirror `a` into `b`).
+  using Key = std::tuple<OpCode, std::uint32_t, std::uint32_t, std::uint32_t>;
+  std::vector<Key> from_tape;
+  std::vector<Key> from_plan;
+  for (const TapeOp& op : tape) {
+    from_tape.emplace_back(op.op, op.dst, op.a,
+                           op_is_binary(op.op) ? op.b : op.a);
+  }
+  for (std::size_t i = 0; i < plan.n_ops(); ++i) {
+    from_plan.emplace_back(plan.op[i], plan.dst[i], plan.a[i], plan.b[i]);
+  }
+  std::sort(from_tape.begin(), from_tape.end());
+  std::sort(from_plan.begin(), from_plan.end());
+  EXPECT_EQ(from_tape, from_plan) << label;
+
+  // Level ranges partition [0, n_ops).
+  ASSERT_FALSE(plan.level_begin.empty()) << label;
+  EXPECT_EQ(plan.level_begin.front(), 0u) << label;
+  EXPECT_EQ(plan.level_begin.back(), plan.n_ops()) << label;
+  for (std::size_t l = 0; l < plan.n_levels(); ++l) {
+    EXPECT_LT(plan.level_begin[l], plan.level_begin[l + 1]) << label;
+  }
+
+  // Operands come from strictly lower levels; dsts are written once.
+  std::vector<int> def_level(compiled.n_slots(), -1);
+  for (std::size_t l = 0; l < plan.n_levels(); ++l) {
+    for (std::uint32_t i = plan.level_begin[l]; i < plan.level_begin[l + 1];
+         ++i) {
+      EXPECT_LT(def_level[plan.a[i]], static_cast<int>(l)) << label;
+      EXPECT_LT(def_level[plan.b[i]], static_cast<int>(l)) << label;
+      EXPECT_EQ(def_level[plan.dst[i]], -1)
+          << label << " slot " << plan.dst[i] << " written twice";
+      def_level[plan.dst[i]] = static_cast<int>(l);
+    }
+  }
+
+  // Groups partition each level and never share operand slots.
+  ASSERT_EQ(plan.level_group.size(), plan.n_levels() + 1) << label;
+  EXPECT_EQ(plan.group_begin.back(), plan.n_ops()) << label;
+  for (std::size_t l = 0; l < plan.n_levels(); ++l) {
+    EXPECT_EQ(plan.group_begin[plan.level_group[l]], plan.level_begin[l])
+        << label;
+    std::map<std::uint32_t, std::uint32_t> slot_group;
+    for (std::uint32_t g = plan.level_group[l]; g < plan.level_group[l + 1];
+         ++g) {
+      ASSERT_LT(static_cast<std::size_t>(g) + 1, plan.group_begin.size())
+          << label;
+      EXPECT_LT(plan.group_begin[g], plan.group_begin[g + 1]) << label;
+      for (std::uint32_t i = plan.group_begin[g]; i < plan.group_begin[g + 1];
+           ++i) {
+        for (const std::uint32_t slot : {plan.a[i], plan.b[i]}) {
+          const auto [it, fresh] = slot_group.try_emplace(slot, g);
+          EXPECT_TRUE(fresh || it->second == g)
+              << label << " operand slot " << slot
+              << " appears in groups " << it->second << " and " << g
+              << " of level " << l;
+        }
+      }
+    }
+    EXPECT_EQ(plan.group_begin[plan.level_group[l + 1]],
+              plan.level_begin[l + 1])
+        << label;
+  }
+}
+
+TEST_P(ExecPlanInvariants, RawTape) {
+  const benchgen::Instance instance = benchgen::make_instance(GetParam());
+  const CompiledCircuit raw(instance.circuit,
+                            CompiledCircuit::Options{false, false});
+  check_plan(raw, std::string(GetParam()) + "/raw");
+  // Level stats are filled for raw tapes too.
+  EXPECT_EQ(raw.opt_stats().n_levels, raw.plan().n_levels());
+  EXPECT_EQ(raw.opt_stats().max_level_width, raw.plan().max_width());
+}
+
+TEST_P(ExecPlanInvariants, OptimizedTape) {
+  const benchgen::Instance instance = benchgen::make_instance(GetParam());
+  const CompiledCircuit opt(instance.circuit);
+  check_plan(opt, std::string(GetParam()) + "/opt");
+  EXPECT_GT(opt.plan().n_levels(), 0u);
+  EXPECT_EQ(opt.opt_stats().n_levels, opt.plan().n_levels());
+  EXPECT_EQ(opt.opt_stats().max_level_width, opt.plan().max_width());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFamilies, ExecPlanInvariants,
+                         ::testing::Values("or-50-10-7-UC-10", "75-10-1-q",
+                                           "s15850a_3_2", "Prod-8"),
+                         [](const ::testing::TestParamInfo<const char*>& info) {
+                           std::string name = info.param;
+                           for (char& ch : name) {
+                             if (ch == '-') ch = '_';
+                           }
+                           return name;
+                         });
+
+}  // namespace
+}  // namespace hts::prob

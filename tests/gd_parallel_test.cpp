@@ -258,6 +258,64 @@ TEST(GdParallel, RestartExtrasCountReseededRows) {
   EXPECT_EQ(off_extras.restarted_rows, 0u);
 }
 
+TEST(GdParallel, PlateauRestartsReseedStuckRows) {
+  // An unsatisfiable pair of unit clauses pins the flat relaxation's optimum
+  // at loss 0.5 per row: no row ever solves, descent converges in a few
+  // iterations, and every row then stops improving — the stuck-basin shape
+  // restart_plateau exists for.  With the knob off nothing is re-seeded.
+  const cnf::Formula formula = cnf::parse_dimacs_string("p cnf 2 2\n1 0\n-1 0\n");
+  const baselines::FlatProblem flat = baselines::build_flat_problem(formula);
+  GdProblem problem;
+  problem.circuit = &flat.circuit;
+  problem.var_signal = &flat.var_signal;
+
+  GdLoopConfig config;
+  config.batch = 128;
+  config.iterations = 12;  // enough windows to converge and then stall
+  config.max_rounds = 2;
+  RunOptions options;
+  options.min_solutions = 0;
+  options.budget_ms = 10000.0;
+
+  GdLoopExtras on_extras;
+  config.restart_plateau = 1;
+  (void)run_gd_loop(problem, formula, options, config, &on_extras);
+  EXPECT_GT(on_extras.plateau_restarted_rows, 0u);
+
+  GdLoopExtras off_extras;
+  config.restart_plateau = 0;
+  (void)run_gd_loop(problem, formula, options, config, &off_extras);
+  EXPECT_EQ(off_extras.plateau_restarted_rows, 0u);
+
+  // A larger patience re-seeds no more often than an impatient one.
+  GdLoopExtras patient_extras;
+  config.restart_plateau = 4;
+  (void)run_gd_loop(problem, formula, options, config, &patient_extras);
+  EXPECT_LE(patient_extras.plateau_restarted_rows,
+            on_extras.plateau_restarted_rows);
+}
+
+TEST(GdParallel, PlateauRestartsStayDeterministicAndValid) {
+  const cnf::Formula formula = small_formula();
+  for (const std::size_t workers : {std::size_t{1}, std::size_t{3}}) {
+    GradientConfig config = small_config(workers);
+    config.restart_plateau = 2;
+    GradientSampler a(config);
+    GradientSampler b(config);
+    const RunResult ra = a.run(formula, fast_options(40));
+    EXPECT_EQ(ra.n_invalid, 0u) << workers;
+    EXPECT_EQ(ra.n_unique, 40u) << workers;
+    if (workers == 1) {
+      const RunResult rb = b.run(formula, fast_options(40));
+      EXPECT_EQ(ra.n_unique, rb.n_unique);
+      EXPECT_EQ(ra.n_valid, rb.n_valid);
+    }
+    for (const cnf::Assignment& solution : ra.solutions) {
+      EXPECT_TRUE(formula.satisfied_by(solution)) << workers;
+    }
+  }
+}
+
 TEST(GdParallel, PerIterationCurveMonotoneUnderMerge) {
   const cnf::Formula formula = small_formula();
   GradientSampler sampler(small_config(3));

@@ -8,6 +8,8 @@
 #include <cmath>
 #include <cstdint>
 #include <cstring>
+#include <limits>
+#include <vector>
 
 #include "tensor/simd.hpp"
 #include "util/rng.hpp"
@@ -109,6 +111,32 @@ TEST(Simd, FastSigmoidHonorsDocumentedBounds) {
     }
     // All lanes agree (vector path == broadcast path).
     for (std::size_t i = 1; i < kWidth; ++i) ASSERT_EQ(out[i], out[0]);
+  }
+}
+
+TEST(Simd, MovemaskGtZeroMatchesScalarPredicate) {
+  // harden()'s packing contract: bit i set iff lane i > 0, with the scalar
+  // compare semantics exactly — +0/-0, negatives, and NaN contribute 0,
+  // positive subnormals contribute 1.
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  const float inf = std::numeric_limits<float>::infinity();
+  const float sub = std::numeric_limits<float>::denorm_min();
+  const std::vector<float> values = {0.0f, -0.0f, 1.0f,  -1.0f, sub,
+                                     -sub, nan,   inf,   -inf,  1e-20f,
+                                     -3.4e38f,    3.4e38f};
+  // Every window of 8 consecutive values, plus random shuffles.
+  util::Rng rng(99);
+  for (int trial = 0; trial < 64; ++trial) {
+    float window[kWidth];
+    for (std::size_t i = 0; i < kWidth; ++i) {
+      window[i] = values[static_cast<std::size_t>(rng.next_below(
+          static_cast<std::uint64_t>(values.size())))];
+    }
+    std::uint32_t expected = 0;
+    for (std::size_t i = 0; i < kWidth; ++i) {
+      if (window[i] > 0.0f) expected |= 1u << i;
+    }
+    EXPECT_EQ(movemask_gt_zero(load(window)), expected) << "trial " << trial;
   }
 }
 
