@@ -24,10 +24,13 @@ import json
 import os
 import sys
 
-# bench name -> (key fields joined into the row label, metric field)
+# bench name -> (key fields joined into the row label, metric fields; each
+# metric present in a record becomes one trajectory row)
 KNOWN_BENCHES = {
-    "tape_engine": (("instance", "mode"), "iters_per_sec"),
-    "round_parallel": (("instance", "policy", "workers"), "sol_per_sec"),
+    "tape_engine": (("instance", "mode"),
+                    ("iters_per_sec", "harvest_rows_per_sec")),
+    "round_parallel": (("instance", "policy", "workers"),
+                       ("sol_per_sec", "harvest_rows_per_worker_sec")),
 }
 # Fallback metric candidates for benches this script does not know yet.
 FALLBACK_METRICS = ("iters_per_sec", "sol_per_sec", "throughput", "elapsed_ms")
@@ -42,7 +45,7 @@ def label_for(path):
 
 def rows_from(doc):
     bench = doc.get("bench", "?")
-    key_fields, metric = KNOWN_BENCHES.get(bench, (None, None))
+    key_fields, metrics = KNOWN_BENCHES.get(bench, (None, None))
     for record in doc.get("records", []):
         if key_fields is None:
             metric = next((m for m in FALLBACK_METRICS if m in record), None)
@@ -50,12 +53,14 @@ def rows_from(doc):
                 continue
             fields = [str(v) for k, v in record.items()
                       if isinstance(v, str)][:2]
+            record_metrics = (metric,)
         else:
             fields = [str(record.get(k, "?")) for k in key_fields]
-        key = f"{bench}:{'/'.join(fields)} [{metric}]"
-        value = record.get(metric)
-        if isinstance(value, (int, float)):
-            yield key, float(value)
+            record_metrics = metrics
+        for metric in record_metrics:
+            value = record.get(metric)
+            if isinstance(value, (int, float)):
+                yield f"{bench}:{'/'.join(fields)} [{metric}]", float(value)
 
 
 def render(table, labels, fmt):

@@ -13,7 +13,11 @@
 //                      JSON so trajectory plots can segment by mode
 //
 // Accepts `--json <path>` to mirror the result rows machine-readably (see
-// bench_common.hpp's JsonWriter).
+// bench_common.hpp's JsonWriter).  Records carry the harvest pipeline's
+// throughput (rows_validated, harvest_ms, harvest_rows_per_worker_sec from
+// the loop's extras — rows and wall-clock are summed across workers, so the
+// rate is per worker) and the engine plan's opcode-run stats, so the perf
+// trajectory tracks both halves of the loop.
 
 #include <cstdio>
 #include <string>
@@ -40,10 +44,16 @@ tensor::Policy policy_from_env() {
   return tensor::Policy::kSerial;
 }
 
-sampler::RunResult run_with_workers(const cnf::Formula& formula,
-                                    const bench::BenchEnv& env,
-                                    std::size_t n_vars, std::size_t n_workers,
-                                    tensor::Policy policy) {
+struct WorkerRun {
+  sampler::RunResult result;
+  /// Harvest accounting of the run (rows validated across all workers and
+  /// the wall-clock spent validating them).
+  sampler::GdLoopExtras extras;
+};
+
+WorkerRun run_with_workers(const cnf::Formula& formula,
+                           const bench::BenchEnv& env, std::size_t n_vars,
+                           std::size_t n_workers, tensor::Policy policy) {
   sampler::GradientConfig config;
   config.batch = bench::pick_batch(env, n_vars);
   config.n_workers = n_workers;
@@ -53,7 +63,10 @@ sampler::RunResult run_with_workers(const cnf::Formula& formula,
   // to measure the composition deliberately.
   config.policy = policy;
   sampler::GradientSampler sampler(config);
-  return sampler.run(formula, bench::run_options(env));
+  WorkerRun run;
+  run.result = sampler.run(formula, bench::run_options(env));
+  run.extras = sampler.extras();
+  return run;
 }
 
 }  // namespace
@@ -91,9 +104,18 @@ int main(int argc, char** argv) {
 
     double serial_throughput = 0.0;
     for (std::size_t workers = 1; workers <= max_workers; workers *= 2) {
-      const sampler::RunResult result =
+      const WorkerRun run =
           run_with_workers(formula, env, formula.n_vars(), workers, policy);
+      const sampler::RunResult& result = run.result;
       const double throughput = result.throughput();
+      // rows_validated and harvest_ms are both summed across workers, so the
+      // ratio is the mean per-worker validation rate — comparable across the
+      // worker sweep, unlike an aggregate rate would be.
+      const double harvest_rows_per_worker_sec =
+          run.extras.harvest_ms > 0.0
+              ? 1000.0 * static_cast<double>(run.extras.rows_validated) /
+                    run.extras.harvest_ms
+              : 0.0;
       if (workers == 1) serial_throughput = throughput;
       table.add_row({name, std::to_string(workers),
                      std::to_string(result.n_unique),
@@ -115,7 +137,12 @@ int main(int argc, char** argv) {
           .field("tape_ops", compiled.n_ops())
           .field("cse_eliminated", compiled.opt_stats().cse_eliminated)
           .field("n_levels", plan.n_levels())
-          .field("max_level_width", plan.max_width());
+          .field("max_level_width", plan.max_width())
+          .field("n_opcode_runs", compiled.opt_stats().n_opcode_runs)
+          .field("max_run_length", compiled.opt_stats().max_run_length)
+          .field("rows_validated", run.extras.rows_validated)
+          .field("harvest_ms", run.extras.harvest_ms)
+          .field("harvest_rows_per_worker_sec", harvest_rows_per_worker_sec);
       json.add(record);
     }
   }

@@ -14,6 +14,13 @@
 //   level      opt+fsig on the level-parallel plan: wide levels split into
 //              (tile x op-range) work items, narrow level runs fused
 //
+// Besides GD iterations/sec the bench measures the *harvest* side of the
+// loop: rows validated/sec of the scalar Circuit::eval64 walk vs the
+// compiled word-parallel circuit::EvalPlan (single thread — the acceptance
+// comparison), recorded as two extra JSON records per instance (modes
+// `harvest-scalar` and `harvest-plan`).  Opcode-run statistics of the
+// engine plan (run count, longest/mean run) ride along on every record.
+//
 // The per-instance header reports the plan shape (level count, width
 // histogram): wide-but-shallow families are where `level` can beat the
 // per-tile policies, because parallelism stops being capped at batch/64.
@@ -22,11 +29,14 @@
 // can be archived; CI's perf-smoke job runs this bench with a tiny budget
 // and uploads the JSON as a workflow artifact.
 
+#include <algorithm>
 #include <cstdio>
 
 #include "bench_common.hpp"
+#include "circuit/eval_plan.hpp"
 #include "prob/compiled.hpp"
 #include "prob/engine.hpp"
+#include "util/rng.hpp"
 #include "util/timer.hpp"
 
 namespace {
@@ -38,6 +48,14 @@ struct ModeResult {
   double elapsed_ms = 0.0;
   double iters_per_sec = 0.0;
 };
+
+/// Ops per kernel-dispatch switch; one definition serves the JSON records,
+/// the stderr summary, and the harvest table so they can never drift.
+double mean_run_length(std::size_t n_ops, std::size_t n_runs) {
+  return n_runs > 0
+             ? static_cast<double>(n_ops) / static_cast<double>(n_runs)
+             : 0.0;
+}
 
 ModeResult time_iterations(const prob::CompiledCircuit& compiled,
                            std::size_t batch, bool fast_sigmoid,
@@ -63,6 +81,70 @@ ModeResult time_iterations(const prob::CompiledCircuit& compiled,
                              ? 1000.0 * static_cast<double>(result.iterations) /
                                    result.elapsed_ms
                              : 0.0;
+  return result;
+}
+
+struct HarvestResult {
+  std::uint64_t rows = 0;
+  double elapsed_ms = 0.0;
+  [[nodiscard]] double rows_per_sec() const {
+    return elapsed_ms > 0.0 ? 1000.0 * static_cast<double>(rows) / elapsed_ms
+                            : 0.0;
+  }
+};
+
+/// Rows validated/sec of the scalar reference: per word, gather the input
+/// words, interpret the circuit with eval64, and reduce the satisfied mask —
+/// the pre-EvalPlan harvest inner loop.  Only real batch rows count (the
+/// final word's padding lanes are computed but not validated rows, matching
+/// Harvester::rows_validated's definition).
+HarvestResult time_harvest_scalar(const circuit::Circuit& circuit,
+                                  const std::vector<std::uint64_t>& packed,
+                                  std::size_t n_words, std::size_t batch,
+                                  double budget_ms) {
+  std::vector<std::uint64_t> input_words(circuit.n_inputs());
+  HarvestResult result;
+  std::uint64_t sink = 0;
+  util::Timer timer;
+  do {
+    for (std::size_t w = 0; w < n_words; ++w) {
+      for (std::size_t i = 0; i < circuit.n_inputs(); ++i) {
+        input_words[i] = packed[i * n_words + w];
+      }
+      sink ^= circuit.outputs_satisfied64(circuit.eval64(input_words));
+      result.rows += std::min<std::size_t>(64, batch - w * 64);
+    }
+    result.elapsed_ms = timer.milliseconds();
+  } while (result.elapsed_ms < budget_ms);
+  if (sink == 0x5eedULL) std::fprintf(stderr, "(sink)\n");  // keep sink live
+  return result;
+}
+
+/// Rows validated/sec of the compiled plan: block evaluation through the
+/// opcode-batched u64x4 kernels over reused scratch — the Harvester's
+/// phase-1 inner loop, single thread.
+HarvestResult time_harvest_plan(const circuit::EvalPlan& plan,
+                                const std::vector<std::uint64_t>& packed,
+                                std::size_t n_words, std::size_t batch,
+                                double budget_ms) {
+  std::vector<std::uint64_t> slots(plan.scratch_words());
+  HarvestResult result;
+  std::uint64_t sink = 0;
+  util::Timer timer;
+  do {
+    for (std::size_t w0 = 0; w0 < n_words;
+         w0 += circuit::EvalPlan::kBlockWords) {
+      const std::size_t count =
+          std::min(circuit::EvalPlan::kBlockWords, n_words - w0);
+      plan.eval_block(packed.data(), n_words, w0, count, slots.data());
+      for (std::size_t lane = 0; lane < count; ++lane) {
+        sink ^= plan.satisfied(slots.data(), lane);
+        result.rows += std::min<std::size_t>(64, batch - (w0 + lane) * 64);
+      }
+    }
+    result.elapsed_ms = timer.milliseconds();
+  } while (result.elapsed_ms < budget_ms);
+  if (sink == 0x5eedULL) std::fprintf(stderr, "(sink)\n");
   return result;
 }
 
@@ -109,8 +191,11 @@ int main(int argc, char** argv) {
                                               "s15850a_3_2", "Prod-8"};
   util::Table table(
       {"Instance", "Mode", "Policy", "Ops", "Iters/s", "vs base", "vs pertile"});
+  util::Table harvest_table(
+      {"Instance", "Backend", "Ops", "Runs", "MeanRun", "Rows/s", "Speedup"});
 
   bool any_doubled = false;
+  std::size_t harvest_doubled = 0;
   for (const std::string& name : instances) {
     std::fprintf(stderr, "[tape_engine] %s ...\n", name.c_str());
     const benchgen::Instance instance = bench::make_scaled_instance(name, env);
@@ -191,7 +276,12 @@ int main(int argc, char** argv) {
           .field("ops_dead", stats.ops_dead)
           .field("n_levels", row.compiled->plan().n_levels())
           .field("max_level_width", row.compiled->plan().max_width())
-          .field("mean_level_width", plan_mean_width(row.compiled->plan()));
+          .field("mean_level_width", plan_mean_width(row.compiled->plan()))
+          .field("n_opcode_runs", row.compiled->opt_stats().n_opcode_runs)
+          .field("max_run_length", row.compiled->opt_stats().max_run_length)
+          .field("mean_run_length",
+                 mean_run_length(row.compiled->n_ops(),
+                                 row.compiled->opt_stats().n_opcode_runs));
       json.add(record);
       // The optimizer acceptance bar counts serial rows only — a pooled
       // policy doubling over baseline is thread parallelism, not the tape
@@ -211,10 +301,64 @@ int main(int argc, char** argv) {
     std::printf("  plan: %zu levels, width max %zu mean %.1f, histogram %s\n",
                 plan.n_levels(), plan.max_width(), mean_width,
                 width_histogram(plan).c_str());
+    std::printf("  engine runs: %zu (max %zu, mean %.1f per switch)\n",
+                stats.n_opcode_runs, stats.max_run_length,
+                mean_run_length(opt.n_ops(), stats.n_opcode_runs));
+
+    // ---- harvest throughput: scalar eval64 vs compiled word plan ----
+    const circuit::EvalPlan eval_plan(instance.circuit);
+    const std::size_t n_words = (batch + 63) / 64;
+    util::Rng rng(env.seed);
+    std::vector<std::uint64_t> packed(instance.circuit.n_inputs() * n_words);
+    for (std::uint64_t& word : packed) word = rng.next_u64();
+    const HarvestResult scalar =
+        time_harvest_scalar(instance.circuit, packed, n_words, batch, budget_ms);
+    const HarvestResult compiled_harvest =
+        time_harvest_plan(eval_plan, packed, n_words, batch, budget_ms);
+    const double harvest_speedup =
+        scalar.rows_per_sec() > 0.0
+            ? compiled_harvest.rows_per_sec() / scalar.rows_per_sec()
+            : 0.0;
+    if (harvest_speedup >= 2.0) ++harvest_doubled;
+    const circuit::EvalPlanStats& hstats = eval_plan.stats();
+    const double mean_run = mean_run_length(hstats.n_ops, hstats.n_runs);
+    harvest_table.add_row({name, "scalar", std::to_string(hstats.n_ops), "-",
+                           "-", util::format_grouped(scalar.rows_per_sec(), 1),
+                           "1.00x"});
+    harvest_table.add_row(
+        {name, "plan", std::to_string(hstats.n_ops),
+         std::to_string(hstats.n_runs), util::format_fixed(mean_run, 1),
+         util::format_grouped(compiled_harvest.rows_per_sec(), 1),
+         util::format_speedup(harvest_speedup)});
+    const HarvestResult* harvest_rows[] = {&scalar, &compiled_harvest};
+    const char* harvest_modes[] = {"harvest-scalar", "harvest-plan"};
+    for (int h = 0; h < 2; ++h) {
+      bench::JsonRecord record;
+      record.field("instance", name)
+          .field("mode", harvest_modes[h])
+          .field("batch", batch)
+          .field("rows_validated", harvest_rows[h]->rows)
+          .field("elapsed_ms", harvest_rows[h]->elapsed_ms)
+          .field("harvest_rows_per_sec", harvest_rows[h]->rows_per_sec())
+          .field("harvest_speedup", h == 0 ? 1.0 : harvest_speedup)
+          .field("eval_ops", hstats.n_ops)
+          .field("eval_levels", hstats.n_levels)
+          .field("eval_runs", hstats.n_runs)
+          .field("eval_mean_run_length", mean_run)
+          .field("eval_temp_slots", hstats.n_temp_slots);
+      json.add(record);
+    }
   }
 
   std::printf("\n%s\n", table.to_string().c_str());
   std::printf("CSV:\n%s", table.to_csv().c_str());
+  std::printf("\n=== Harvest: rows validated/sec, scalar eval64 vs compiled "
+              "plan (single thread) ===\n%s\n",
+              harvest_table.to_string().c_str());
+  std::printf(
+      "Harvest acceptance bar: >= 2x rows-validated/sec on >= 2 families -- "
+      "%s (%zu/4 doubled).\n",
+      harvest_doubled >= 2 ? "met" : "NOT met at this budget", harvest_doubled);
   std::printf(
       "\nReading: `opt` isolates the tape optimizer, `opt+fsig` is the serial\n"
       "per-tile engine every sampler runs by default, `tiles`/`level` put the\n"

@@ -7,6 +7,7 @@
 #include <optional>
 #include <thread>
 
+#include "circuit/eval_plan.hpp"
 #include "core/harvester.hpp"
 #include "core/unique_bank.hpp"
 #include "prob/engine.hpp"
@@ -89,7 +90,8 @@ class PlateauTracker {
 /// insertion order, same progress checkpoints).
 RunResult run_serial(const GdProblem& problem, const cnf::Formula& formula,
                      const RunOptions& options, const GdLoopConfig& config,
-                     const prob::CompiledCircuit& compiled, GdLoopExtras* extras) {
+                     const prob::CompiledCircuit& compiled,
+                     const circuit::EvalPlan& eval_plan, GdLoopExtras* extras) {
   RunResult result;
   prob::Engine engine(compiled, make_engine_config(config));
 
@@ -97,7 +99,8 @@ RunResult run_serial(const GdProblem& problem, const cnf::Formula& formula,
   util::Deadline deadline(options.budget_ms);
   util::Timer timer;
   UniqueBank bank(problem.circuit->n_inputs());
-  Harvester<UniqueBank> harvester(problem, formula, options, bank, result);
+  Harvester<UniqueBank> harvester(problem, formula, options, bank, result,
+                                  &eval_plan);
 
   std::vector<std::size_t> uniques_per_iteration(
       static_cast<std::size_t>(config.iterations) + 1, 0);
@@ -181,6 +184,8 @@ RunResult run_serial(const GdProblem& problem, const cnf::Formula& formula,
     extras->rounds = rounds;
     extras->restarted_rows = restarted_rows;
     extras->plateau_restarted_rows = plateau_restarted_rows;
+    extras->rows_validated = harvester.rows_validated();
+    extras->harvest_ms = harvester.harvest_ms();
   }
   return result;
 }
@@ -194,6 +199,7 @@ RunResult run_serial(const GdProblem& problem, const cnf::Formula& formula,
 RunResult run_parallel(const GdProblem& problem, const cnf::Formula& formula,
                        const RunOptions& options, const GdLoopConfig& config,
                        const prob::CompiledCircuit& compiled,
+                       const circuit::EvalPlan& eval_plan,
                        std::size_t n_workers, GdLoopExtras* extras) {
   struct WorkerOutput {
     RunResult result;
@@ -202,6 +208,8 @@ RunResult run_parallel(const GdProblem& problem, const cnf::Formula& formula,
     std::uint64_t rounds = 0;
     std::uint64_t restarted_rows = 0;
     std::uint64_t plateau_restarted_rows = 0;
+    std::uint64_t rows_validated = 0;
+    double harvest_ms = 0.0;
   };
 
   const std::size_t n_slots = static_cast<std::size_t>(config.iterations) + 1;
@@ -235,7 +243,7 @@ RunResult run_parallel(const GdProblem& problem, const cnf::Formula& formula,
     prob::Engine& engine = *engines[w];
     util::Rng rng = util::Rng::stream(options.seed, w);
     Harvester<ShardedUniqueBank> harvester(problem, formula, options, bank,
-                                           out.result);
+                                           out.result, &eval_plan);
     std::vector<std::uint64_t> packed;
     std::optional<PlateauTracker> plateau;
     if (config.restart_plateau > 0) {
@@ -295,6 +303,8 @@ RunResult run_parallel(const GdProblem& problem, const cnf::Formula& formula,
       }
     }
     out.engine_bytes = engine.memory_bytes();
+    out.rows_validated = harvester.rows_validated();
+    out.harvest_ms = harvester.harvest_ms();
   };
 
   std::vector<std::thread> threads;
@@ -309,6 +319,8 @@ RunResult run_parallel(const GdProblem& problem, const cnf::Formula& formula,
   std::uint64_t rounds = 0;
   std::uint64_t restarted_rows = 0;
   std::uint64_t plateau_restarted_rows = 0;
+  std::uint64_t rows_validated = 0;
+  double harvest_ms = 0.0;
   std::size_t engine_bytes = 0;
   for (WorkerOutput& out : outputs) {
     result.n_valid += out.result.n_valid;
@@ -326,6 +338,8 @@ RunResult run_parallel(const GdProblem& problem, const cnf::Formula& formula,
     rounds += out.rounds;
     restarted_rows += out.restarted_rows;
     plateau_restarted_rows += out.plateau_restarted_rows;
+    rows_validated += out.rows_validated;
+    harvest_ms += out.harvest_ms;
     engine_bytes += out.engine_bytes;
   }
   // Each worker's checkpoints are individually chronological; interleave
@@ -356,6 +370,8 @@ RunResult run_parallel(const GdProblem& problem, const cnf::Formula& formula,
     extras->rounds = rounds;
     extras->restarted_rows = restarted_rows;
     extras->plateau_restarted_rows = plateau_restarted_rows;
+    extras->rows_validated = rows_validated;
+    extras->harvest_ms = harvest_ms;
   }
   return result;
 }
@@ -368,6 +384,9 @@ RunResult run_gd_loop(const GdProblem& problem, const cnf::Formula& formula,
   prob::CompiledCircuit compiled(
       *problem.circuit,
       prob::CompiledCircuit::Options{config.cone_only, config.optimize_tape});
+  // One compiled word-parallel evaluator per run, shared by every worker's
+  // harvester (immutable after construction, so concurrent reads are free).
+  const circuit::EvalPlan eval_plan(*problem.circuit);
   std::size_t n_workers = config.n_workers;
   if (n_workers == 0) {
     n_workers = std::max<std::size_t>(1, std::thread::hardware_concurrency());
@@ -378,10 +397,11 @@ RunResult run_gd_loop(const GdProblem& problem, const cnf::Formula& formula,
     n_workers = static_cast<std::size_t>(config.max_rounds);
   }
   if (n_workers <= 1) {
-    return run_serial(problem, formula, options, config, compiled, extras);
-  }
-  return run_parallel(problem, formula, options, config, compiled, n_workers,
+    return run_serial(problem, formula, options, config, compiled, eval_plan,
                       extras);
+  }
+  return run_parallel(problem, formula, options, config, compiled, eval_plan,
+                      n_workers, extras);
 }
 
 }  // namespace hts::sampler

@@ -68,6 +68,13 @@ struct GdLoopExtras {
   std::uint64_t restarted_rows = 0;
   /// Rows re-seeded by plateau restarts (0 when restart_plateau is off).
   std::uint64_t plateau_restarted_rows = 0;
+  /// Batch rows validated by the harvest pipeline and the wall-clock spent
+  /// doing it, both summed across workers.  Their ratio is the *mean
+  /// per-worker* validation throughput (one engine's counterpart of GD
+  /// iterations/sec); concurrent workers overlap in time, so it is not an
+  /// aggregate fleet rate.
+  std::uint64_t rows_validated = 0;
+  double harvest_ms = 0.0;
 };
 
 /// Runs rounds of randomize -> iterate -> harden -> verify -> bank until

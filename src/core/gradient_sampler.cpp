@@ -39,12 +39,10 @@ RunResult GradientSampler::run(const cnf::Formula& formula,
   loop_config.fast_sigmoid = config_.fast_sigmoid;
   loop_config.optimize_tape = config_.optimize_tape;
 
-  GdLoopExtras extras;
-  result = run_gd_loop(gd_problem, formula, options, loop_config, &extras);
+  extras_ = GdLoopExtras{};
+  result = run_gd_loop(gd_problem, formula, options, loop_config, &extras_);
   result.sampler_name = name();
   result.setup_ms = setup_ms;
-  uniques_per_iteration_ = std::move(extras.uniques_per_iteration);
-  engine_memory_bytes_ = extras.engine_memory_bytes;
   return result;
 }
 

@@ -12,6 +12,7 @@
 
 #include <optional>
 
+#include "core/gd_loop.hpp"
 #include "core/sampler.hpp"
 #include "prob/engine.hpp"
 #include "tensor/tensor.hpp"
@@ -61,13 +62,17 @@ class GradientSampler : public Sampler {
   /// Per-iteration unique counts of the most recent run (cumulative), for
   /// the Fig. 3 learning curve.
   [[nodiscard]] const std::vector<std::size_t>& uniques_per_iteration() const {
-    return uniques_per_iteration_;
+    return extras_.uniques_per_iteration;
   }
 
   /// Engine buffer bytes of the most recent run (Fig. 3 memory metric).
   [[nodiscard]] std::size_t engine_memory_bytes() const {
-    return engine_memory_bytes_;
+    return extras_.engine_memory_bytes;
   }
+
+  /// Full loop accounting of the most recent run (restart volumes, harvest
+  /// rows/time for the rows-validated/sec bench metric, ...).
+  [[nodiscard]] const GdLoopExtras& extras() const { return extras_; }
 
   /// Transformation statistics of the most recent run.
   [[nodiscard]] const std::optional<transform::Stats>& transform_stats() const {
@@ -76,8 +81,7 @@ class GradientSampler : public Sampler {
 
  private:
   GradientConfig config_;
-  std::vector<std::size_t> uniques_per_iteration_;
-  std::size_t engine_memory_bytes_ = 0;
+  GdLoopExtras extras_;
   std::optional<transform::Stats> transform_stats_;
 };
 

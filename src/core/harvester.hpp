@@ -5,18 +5,37 @@
 // Extracted from the GD loop so the serial path (one Harvester over a plain
 // UniqueBank) and the round-parallel path (one Harvester per worker, all
 // merging into a shared ShardedUniqueBank) run the identical
-// unpack -> eval64 -> mask -> project pipeline.  `Bank` only needs
+// unpack -> evaluate -> mask -> project pipeline.  `Bank` only needs
 // insert(key), size() and n_words(); uniqueness is decided wherever the bank
 // lives, so a worker's duplicate of another worker's solution is rejected at
 // the merge point, not after.
+//
+// Validation runs on the circuit's compiled word-parallel plan
+// (circuit::EvalPlan): blocks of EvalPlan::kBlockWords words (4 x 64 = 256
+// rows) are evaluated through opcode-batched u64x4 kernels, and large
+// batches split their blocks across the global ThreadPool.  collect() is
+// two-phase — a (possibly parallel) evaluation phase writes only
+// per-word solved masks and projection words, then a serial accept phase
+// walks words in order — so counts, bank insertion order, and stored
+// solutions are bit-identical to the historical scalar eval64 walk under
+// every thread count (tests/harvest_diff_test.cpp pins this down).
+//
+// All scratch (evaluation slots, solved masks, projection words, the key
+// buffer) is per-instance and reused: after the first collect() of a given
+// batch shape, repeated harvests perform no heap allocation beyond what the
+// bank needs for genuinely new solutions.
 
 #include <algorithm>
 #include <bit>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
+#include "circuit/eval_plan.hpp"
 #include "core/gd_loop.hpp"
 #include "core/unique_bank.hpp"
+#include "util/thread_pool.hpp"
+#include "util/timer.hpp"
 
 namespace hts::sampler {
 
@@ -26,39 +45,102 @@ class Harvester {
   /// `result` receives per-harvester accounting (n_valid, n_invalid, stored
   /// solutions); in the round-parallel path it is a worker-local RunResult
   /// merged after the join.  `bank` decides uniqueness and may be shared.
+  /// `plan` is the circuit's compiled evaluator; pass one to share it across
+  /// workers (it is immutable after construction), or leave it null and the
+  /// harvester compiles its own.
   Harvester(const GdProblem& problem, const cnf::Formula& formula,
-            const RunOptions& options, Bank& bank, RunResult& result)
+            const RunOptions& options, Bank& bank, RunResult& result,
+            const circuit::EvalPlan* plan = nullptr)
       : problem_(problem),
         formula_(formula),
         options_(options),
         result_(result),
-        bank_(bank) {}
+        bank_(bank),
+        plan_(plan),
+        // accept_row wants a projected assignment only to store or verify
+        // it; a keys-only configuration never reads the stash, so phase 1
+        // can skip writing (and allocating) it entirely.
+        need_proj_(options.store_limit > 0 || options.verify_against_cnf),
+        key_(bank.n_words(), 0) {
+    if (plan_ == nullptr) {
+      owned_plan_ = std::make_unique<circuit::EvalPlan>(*problem.circuit);
+      plan_ = owned_plan_.get();
+    }
+  }
 
   [[nodiscard]] std::size_t n_unique() const { return bank_.size(); }
 
   /// packed: n_inputs x n_words hardened input bits covering `batch` rows.
   void collect(const std::vector<std::uint64_t>& packed, std::size_t n_words,
                std::size_t batch) {
-    const circuit::Circuit& circuit = *problem_.circuit;
-    const std::size_t n_inputs = circuit.n_inputs();
-    std::vector<std::uint64_t> input_words(n_inputs);
+    const util::Timer harvest_timer;
+    constexpr std::size_t kB = circuit::EvalPlan::kBlockWords;
+    const circuit::EvalPlan& plan = *plan_;
+    const std::vector<circuit::SignalId>& var_signal = *problem_.var_signal;
+    const std::size_t n_proj = var_signal.size();
+    const std::size_t n_blocks = (n_words + kB - 1) / kB;
+
     solved_mask_.assign(n_words, 0);
-    for (std::size_t w = 0; w < n_words; ++w) {
-      for (std::size_t i = 0; i < n_inputs; ++i) {
-        input_words[i] = packed[i * n_words + w];
+    if (need_proj_ && proj_.size() < n_words * n_proj) {
+      proj_.resize(n_words * n_proj);
+    }
+
+    // Phase 1 — evaluate.  Writes are per-word disjoint (solved mask +
+    // projection stash), so the block partition never affects results; it
+    // only decides how many scratch buffers work in parallel.
+    util::ThreadPool& pool = util::ThreadPool::global();
+    std::size_t n_parts = std::min(n_blocks, pool.size());
+    if (pool.size() <= 1) n_parts = 1;
+    if (scratch_.size() < n_parts) scratch_.resize(n_parts);
+    auto eval_part = [&](std::size_t part) {
+      std::vector<std::uint64_t>& slots = scratch_[part];
+      if (slots.size() < plan.scratch_words()) {
+        slots.resize(plan.scratch_words());
       }
-      const std::vector<std::uint64_t> values = circuit.eval64(input_words);
-      std::uint64_t ok = circuit.outputs_satisfied64(values);
-      // Mask off lanes past the batch in the final partial word.
-      const std::size_t rows_here = std::min<std::size_t>(64, batch - w * 64);
-      if (rows_here < 64) ok &= (1ULL << rows_here) - 1;
-      solved_mask_[w] = ok;
+      const std::size_t block_begin = n_blocks * part / n_parts;
+      const std::size_t block_end = n_blocks * (part + 1) / n_parts;
+      for (std::size_t block = block_begin; block < block_end; ++block) {
+        const std::size_t w0 = block * kB;
+        const std::size_t count = std::min(kB, n_words - w0);
+        plan.eval_block(packed.data(), n_words, w0, count, slots.data());
+        for (std::size_t lane = 0; lane < count; ++lane) {
+          const std::size_t w = w0 + lane;
+          std::uint64_t ok = plan.satisfied(slots.data(), lane);
+          // Mask off lanes past the batch in the final partial word.
+          const std::size_t rows_here = std::min<std::size_t>(64, batch - w * 64);
+          if (rows_here < 64) ok &= (1ULL << rows_here) - 1;
+          solved_mask_[w] = ok;
+          if (ok == 0 || !need_proj_) continue;
+          std::uint64_t* stash = proj_.data() + w * n_proj;
+          for (std::size_t v = 0; v < n_proj; ++v) {
+            stash[v] = circuit::EvalPlan::signal_word(slots.data(),
+                                                      var_signal[v], lane);
+          }
+        }
+      }
+    };
+    if (n_parts <= 1) {
+      // Inline: one scratch, no dispatch (also the no-allocation fast path
+      // the repeated-harvest test asserts).
+      eval_part(0);
+    } else {
+      pool.parallel_for(n_parts, [&](std::size_t begin, std::size_t end) {
+        for (std::size_t part = begin; part < end; ++part) eval_part(part);
+      });
+    }
+
+    // Phase 2 — accept, serially and in word order: bank insertion order and
+    // stored-solution order match the historical single-thread walk exactly.
+    for (std::size_t w = 0; w < n_words; ++w) {
+      std::uint64_t ok = solved_mask_[w];
       while (ok != 0) {
         const int r = std::countr_zero(ok);
         ok &= ok - 1;
-        accept_row(input_words, values, static_cast<std::size_t>(r));
+        accept_row(packed, n_words, n_proj, w, static_cast<std::size_t>(r));
       }
     }
+    rows_validated_ += batch;
+    harvest_ms_ += harvest_timer.milliseconds();
   }
 
   /// Per-row satisfied mask of the most recent collect() (same word layout
@@ -68,24 +150,35 @@ class Harvester {
     return solved_mask_;
   }
 
+  /// Total batch rows validated over the harvester's lifetime (every row of
+  /// every collect() is checked against all output constraints).
+  [[nodiscard]] std::uint64_t rows_validated() const { return rows_validated_; }
+
+  /// Wall-clock milliseconds spent inside collect() over the lifetime.
+  [[nodiscard]] double harvest_ms() const { return harvest_ms_; }
+
  private:
-  void accept_row(const std::vector<std::uint64_t>& input_words,
-                  const std::vector<std::uint64_t>& values, std::size_t r) {
-    std::vector<std::uint64_t> key(bank_.n_words(), 0);
-    for (std::size_t i = 0; i < input_words.size(); ++i) {
-      if (((input_words[i] >> r) & 1ULL) != 0) key[i >> 6] |= (1ULL << (i & 63));
+  void accept_row(const std::vector<std::uint64_t>& packed, std::size_t n_words,
+                  std::size_t n_proj, std::size_t w, std::size_t r) {
+    const circuit::Circuit& circuit = *problem_.circuit;
+    const std::size_t n_inputs = circuit.n_inputs();
+    std::fill(key_.begin(), key_.end(), 0);
+    for (std::size_t i = 0; i < n_inputs; ++i) {
+      if (((packed[i * n_words + w] >> r) & 1ULL) != 0) {
+        key_[i >> 6] |= (1ULL << (i & 63));
+      }
     }
     ++result_.n_valid;
-    const bool is_new = bank_.insert(key);
+    const bool is_new = bank_.insert(key_);
     if (!is_new && !options_.store_all_draws) return;
 
     const bool want_assignment = result_.solutions.size() < options_.store_limit ||
                                  (is_new && options_.verify_against_cnf);
     if (!want_assignment) return;
-    const auto& var_signal = *problem_.var_signal;
-    cnf::Assignment assignment(var_signal.size(), 0);
-    for (cnf::Var v = 0; v < var_signal.size(); ++v) {
-      assignment[v] = static_cast<std::uint8_t>((values[var_signal[v]] >> r) & 1ULL);
+    const std::uint64_t* stash = proj_.data() + w * n_proj;
+    cnf::Assignment assignment(n_proj, 0);
+    for (cnf::Var v = 0; v < n_proj; ++v) {
+      assignment[v] = static_cast<std::uint8_t>((stash[v] >> r) & 1ULL);
     }
     if (options_.verify_against_cnf && !formula_.satisfied_by(assignment)) {
       ++result_.n_invalid;
@@ -100,7 +193,19 @@ class Harvester {
   const RunOptions& options_;
   RunResult& result_;
   Bank& bank_;
+  const circuit::EvalPlan* plan_;
+  std::unique_ptr<circuit::EvalPlan> owned_plan_;
+  bool need_proj_;
+  std::vector<std::uint64_t> key_;
   std::vector<std::uint64_t> solved_mask_;
+  /// Projection stash: var_signal words of every solved word of the current
+  /// batch (proj_[w * n_proj + v]); phase 2 reads bits out of it instead of
+  /// re-evaluating the circuit.
+  std::vector<std::uint64_t> proj_;
+  /// One evaluation scratch per parallel part, reused across collects.
+  std::vector<std::vector<std::uint64_t>> scratch_;
+  std::uint64_t rows_validated_ = 0;
+  double harvest_ms_ = 0.0;
 };
 
 }  // namespace hts::sampler

@@ -5,6 +5,8 @@
 #include <numeric>
 #include <unordered_map>
 
+#include "util/plan_order.hpp"
+
 namespace hts::prob {
 
 CompiledCircuit::CompiledCircuit(const circuit::Circuit& circuit, Options options) {
@@ -376,30 +378,18 @@ void CompiledCircuit::optimize() {
 void CompiledCircuit::build_plan() {
   plan_ = ExecPlan{};
   const std::size_t n = tape_.size();
-  std::vector<std::uint32_t> slot_level(n_slots_, 0);
-  std::vector<std::uint32_t> op_level(n, 0);
-  std::uint32_t n_levels = 0;
-  for (std::size_t i = 0; i < n; ++i) {
-    const TapeOp& t = tape_[i];
-    std::uint32_t lvl = slot_level[t.a];
-    if (op_is_binary(t.op)) lvl = std::max(lvl, slot_level[t.b]);
-    op_level[i] = lvl;
-    slot_level[t.dst] = lvl + 1;
-    n_levels = std::max(n_levels, lvl + 1);
-  }
-
-  plan_.level_begin.assign(static_cast<std::size_t>(n_levels) + 1, 0);
-  for (std::size_t i = 0; i < n; ++i) ++plan_.level_begin[op_level[i] + 1];
-  for (std::size_t l = 1; l <= n_levels; ++l) {
-    plan_.level_begin[l] += plan_.level_begin[l - 1];
-  }
-  std::vector<std::uint32_t> order(n);
-  {
-    std::vector<std::uint32_t> cursor(plan_.level_begin);
-    for (std::size_t i = 0; i < n; ++i) {
-      order[cursor[op_level[i]]++] = static_cast<std::uint32_t>(i);
-    }
-  }
+  util::LevelOrder levels = util::levelize_asap(
+      n, n_slots_,
+      [this](std::size_t i, const std::vector<std::uint32_t>& slot_level) {
+        const TapeOp& t = tape_[i];
+        std::uint32_t lvl = slot_level[t.a];
+        if (op_is_binary(t.op)) lvl = std::max(lvl, slot_level[t.b]);
+        return lvl;
+      },
+      [this](std::size_t i) { return tape_[i].dst; });
+  const std::uint32_t n_levels = static_cast<std::uint32_t>(levels.n_levels());
+  plan_.level_begin = std::move(levels.level_begin);
+  const std::vector<std::uint32_t>& order = levels.order;
 
   plan_.op.resize(n);
   plan_.dst.resize(n);
@@ -477,8 +467,15 @@ void CompiledCircuit::build_plan() {
   }
   plan_.group_begin.push_back(static_cast<std::uint32_t>(n));
 
+  // Opcode runs: maximal same-opcode stretches of the plan order, split at
+  // level boundaries (a fused narrow-level range may still execute several
+  // runs back to back; the run iterator clamps to any [begin, end) range).
+  plan_.run_begin = util::partition_opcode_runs(plan_.op, plan_.level_begin);
+
   opt_stats_.n_levels = plan_.n_levels();
   opt_stats_.max_level_width = plan_.max_width();
+  opt_stats_.n_opcode_runs = plan_.n_runs();
+  opt_stats_.max_run_length = util::max_run_length(plan_.run_begin);
 }
 
 }  // namespace hts::prob

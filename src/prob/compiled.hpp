@@ -92,6 +92,12 @@ struct OptStats {
   // Execution-plan shape (see ExecPlan): level count and the widest level.
   std::size_t n_levels = 0;
   std::size_t max_level_width = 0;
+  // Opcode-run shape (see ExecPlan::run_begin): how many same-opcode runs
+  // the plan order produces and the longest one.  Mean run length is
+  // ops_after / n_opcode_runs; longer runs mean fewer kernel-dispatch
+  // switches per sweep.
+  std::size_t n_opcode_runs = 0;
+  std::size_t max_run_length = 0;
 };
 
 /// Levelized, structure-of-arrays view of the tape.
@@ -116,8 +122,17 @@ struct ExecPlan {
   /// groups of level l are [level_group[l], level_group[l + 1]).
   std::vector<std::uint32_t> group_begin;
   std::vector<std::uint32_t> level_group;
+  /// Opcode runs: run k spans plan indices [run_begin[k], run_begin[k + 1]),
+  /// every op of a run shares one opcode, and runs never cross a level
+  /// boundary.  The engine dispatches kernels once per run (a run-length
+  /// inner loop replaces the per-op switch); the plan's within-level
+  /// (group, opcode) order is what makes runs long.
+  std::vector<std::uint32_t> run_begin;
 
   [[nodiscard]] std::size_t n_ops() const { return op.size(); }
+  [[nodiscard]] std::size_t n_runs() const {
+    return run_begin.empty() ? 0 : run_begin.size() - 1;
+  }
   [[nodiscard]] std::size_t n_levels() const {
     return level_begin.empty() ? 0 : level_begin.size() - 1;
   }

@@ -1,5 +1,6 @@
 #include "prob/engine.hpp"
 
+#include <algorithm>
 #include <bit>
 #include <cmath>
 
@@ -23,13 +24,21 @@ namespace hts::prob {
 // switches off.  The library builds with -ffp-contract=off so fused ops
 // (kAndNot = 1 - a*b, ...) round exactly like their two-op expansions.
 //
-// Two sweep drivers share the per-op kernels below:
-//   - the per-tile driver (kSerial / kDataParallel) walks the tape linearly
-//     inside each tile, parallelizing across tiles only;
-//   - the level driver (kLevelParallel) walks the compiled ExecPlan stage
-//     by stage, splitting wide levels into (tile x op-range) work items so
-//     parallelism also scales with level width.  Both execute the identical
-//     float sequence per op, so forward activations agree bit for bit.
+// Two sweep drivers share the opcode-batched kernels below:
+//   - the per-tile driver (kSerial / kDataParallel) walks the whole plan
+//     linearly inside each tile, parallelizing across tiles only;
+//   - the level driver (kLevelParallel) walks the same plan stage by stage,
+//     splitting wide levels into (tile x op-range) work items so parallelism
+//     also scales with level width.
+// Every policy executes the identical plan-order float sequence (forward in
+// plan order, backward in reverse plan order), so *all* results — forward
+// activations, loss, gradients, and V after descent — are bit-identical
+// across policies and thread counts.
+//
+// Kernel dispatch is run-batched: the plan clusters same-opcode ops into
+// runs (ExecPlan::run_begin), and a sweep switches on the opcode once per
+// run, then streams the run body through a tight per-opcode inner loop —
+// the branch predictor sees one stable target instead of a per-op switch.
 
 namespace {
 
@@ -43,120 +52,144 @@ using tensor::simd::store;
 constexpr std::size_t kStep = tensor::simd::kWidth;
 static_assert(kTileRows % kStep == 0);
 
-/// Forward kernel for one tape op over one tile (Table I relaxations).
-inline void forward_op(OpCode code, float* dst, const float* a, const float* b) {
+/// Streams plan ops [begin, end) — all sharing one opcode — through a
+/// forward kernel expression.  The kernel sees one (a, b) vector pair and
+/// returns the destination vector; its float sequence must match the scalar
+/// Table I reference exactly (the library builds -ffp-contract=off, so the
+/// lambdas round like the historical per-op kernels).
+template <typename Kernel>
+inline void forward_loop(const ExecPlan& plan, std::uint32_t begin,
+                         std::uint32_t end, float* act, Kernel&& kernel) {
+  for (std::uint32_t i = begin; i < end; ++i) {
+    float* dst = act + static_cast<std::size_t>(plan.dst[i]) * kTileRows;
+    const float* a = act + static_cast<std::size_t>(plan.a[i]) * kTileRows;
+    const float* b = act + static_cast<std::size_t>(plan.b[i]) * kTileRows;
+    for (std::size_t x = 0; x < kTileRows; x += kStep) {
+      store(dst + x, kernel(load(a + x), load(b + x)));
+    }
+  }
+}
+
+/// Forward kernels for one same-opcode run over one tile (Table I
+/// relaxations): one switch per run, not per op.
+inline void forward_run(OpCode code, const ExecPlan& plan, std::uint32_t begin,
+                        std::uint32_t end, float* act) {
   const f32x8 one = broadcast(1.0f);
   const f32x8 two = broadcast(2.0f);
   switch (code) {
     case OpCode::kCopy:
-      for (std::size_t x = 0; x < kTileRows; x += kStep) {
-        store(dst + x, load(a + x));
-      }
+      forward_loop(plan, begin, end, act, [](f32x8 a, f32x8) { return a; });
       break;
     case OpCode::kNot:
-      for (std::size_t x = 0; x < kTileRows; x += kStep) {
-        store(dst + x, one - load(a + x));
-      }
+      forward_loop(plan, begin, end, act,
+                   [one](f32x8 a, f32x8) { return one - a; });
       break;
     case OpCode::kAnd:
-      for (std::size_t x = 0; x < kTileRows; x += kStep) {
-        store(dst + x, load(a + x) * load(b + x));
-      }
+      forward_loop(plan, begin, end, act,
+                   [](f32x8 a, f32x8 b) { return a * b; });
       break;
     case OpCode::kOr:
-      for (std::size_t x = 0; x < kTileRows; x += kStep) {
-        const f32x8 va = load(a + x);
-        const f32x8 vb = load(b + x);
-        store(dst + x, va + vb - va * vb);
-      }
+      forward_loop(plan, begin, end, act,
+                   [](f32x8 a, f32x8 b) { return a + b - a * b; });
       break;
     case OpCode::kXor:
-      for (std::size_t x = 0; x < kTileRows; x += kStep) {
-        const f32x8 va = load(a + x);
-        const f32x8 vb = load(b + x);
-        store(dst + x, va + vb - two * va * vb);
-      }
+      forward_loop(plan, begin, end, act,
+                   [two](f32x8 a, f32x8 b) { return a + b - two * a * b; });
       break;
     case OpCode::kAndNot:
-      for (std::size_t x = 0; x < kTileRows; x += kStep) {
-        store(dst + x, one - load(a + x) * load(b + x));
-      }
+      forward_loop(plan, begin, end, act,
+                   [one](f32x8 a, f32x8 b) { return one - a * b; });
       break;
     case OpCode::kOrNot:
-      for (std::size_t x = 0; x < kTileRows; x += kStep) {
-        const f32x8 va = load(a + x);
-        const f32x8 vb = load(b + x);
-        store(dst + x, one - (va + vb - va * vb));
-      }
+      forward_loop(plan, begin, end, act,
+                   [one](f32x8 a, f32x8 b) { return one - (a + b - a * b); });
       break;
     case OpCode::kXnor:
-      for (std::size_t x = 0; x < kTileRows; x += kStep) {
-        const f32x8 va = load(a + x);
-        const f32x8 vb = load(b + x);
-        store(dst + x, one - (va + vb - two * va * vb));
-      }
+      forward_loop(
+          plan, begin, end, act,
+          [one, two](f32x8 a, f32x8 b) { return one - (a + b - two * a * b); });
       break;
   }
 }
 
-/// Backward kernel for one tape op (Table I derivatives; fused ops negate
-/// the upstream gradient exactly as their trailing NOT would have).
-inline void backward_op(OpCode code, const float* gy, float* ga, float* gb,
-                        const float* a, const float* bv) {
+/// Reverse-streams plan ops (begin, end] backward for the unary opcodes,
+/// which accumulate only into the single operand's gradient.
+template <typename Kernel>
+inline void backward_unary_loop(const ExecPlan& plan, std::uint32_t begin,
+                                std::uint32_t end, float* grad,
+                                Kernel&& kernel) {
+  for (std::uint32_t i = end; i-- > begin;) {
+    const float* gy = grad + static_cast<std::size_t>(plan.dst[i]) * kTileRows;
+    float* ga = grad + static_cast<std::size_t>(plan.a[i]) * kTileRows;
+    for (std::size_t x = 0; x < kTileRows; x += kStep) {
+      store(ga + x, kernel(load(ga + x), load(gy + x)));
+    }
+  }
+}
+
+/// Reverse-streams a binary run backward.  `da`/`db` produce the partial
+/// derivatives from the operand activations; Negate folds a fused op's
+/// trailing NOT into the upstream gradient.  Per vector chunk the `a`
+/// gradient is stored before the `b` gradient is loaded, preserving the
+/// historical sequence when an op reads the same slot twice.
+template <bool Negate, typename Da, typename Db>
+inline void backward_binary_loop(const ExecPlan& plan, std::uint32_t begin,
+                                 std::uint32_t end, const float* act,
+                                 float* grad, Da&& da, Db&& db) {
+  for (std::uint32_t i = end; i-- > begin;) {
+    const float* gy = grad + static_cast<std::size_t>(plan.dst[i]) * kTileRows;
+    float* ga = grad + static_cast<std::size_t>(plan.a[i]) * kTileRows;
+    float* gb = grad + static_cast<std::size_t>(plan.b[i]) * kTileRows;
+    const float* a = act + static_cast<std::size_t>(plan.a[i]) * kTileRows;
+    const float* bv = act + static_cast<std::size_t>(plan.b[i]) * kTileRows;
+    for (std::size_t x = 0; x < kTileRows; x += kStep) {
+      const f32x8 g = Negate ? -load(gy + x) : load(gy + x);
+      store(ga + x, load(ga + x) + g * da(load(bv + x)));
+      store(gb + x, load(gb + x) + g * db(load(a + x)));
+    }
+  }
+}
+
+/// Backward kernels for one same-opcode run (Table I derivatives; fused ops
+/// negate the upstream gradient exactly as their trailing NOT would have).
+/// Ops within the run unwind in reverse plan order.
+inline void backward_run(OpCode code, const ExecPlan& plan, std::uint32_t begin,
+                         std::uint32_t end, const float* act, float* grad) {
   const f32x8 one = broadcast(1.0f);
   const f32x8 two = broadcast(2.0f);
+  const auto ident = [](f32x8 v) { return v; };
+  const auto complement = [one](f32x8 v) { return one - v; };
+  const auto xor_term = [one, two](f32x8 v) { return one - two * v; };
   switch (code) {
     case OpCode::kCopy:
-      for (std::size_t x = 0; x < kTileRows; x += kStep) {
-        store(ga + x, load(ga + x) + load(gy + x));
-      }
+      backward_unary_loop(plan, begin, end, grad,
+                          [](f32x8 ga, f32x8 gy) { return ga + gy; });
       break;
     case OpCode::kNot:
-      for (std::size_t x = 0; x < kTileRows; x += kStep) {
-        store(ga + x, load(ga + x) - load(gy + x));
-      }
+      backward_unary_loop(plan, begin, end, grad,
+                          [](f32x8 ga, f32x8 gy) { return ga - gy; });
       break;
     case OpCode::kAnd:
-      for (std::size_t x = 0; x < kTileRows; x += kStep) {
-        const f32x8 g = load(gy + x);
-        store(ga + x, load(ga + x) + g * load(bv + x));
-        store(gb + x, load(gb + x) + g * load(a + x));
-      }
+      backward_binary_loop<false>(plan, begin, end, act, grad, ident, ident);
       break;
     case OpCode::kOr:
-      for (std::size_t x = 0; x < kTileRows; x += kStep) {
-        const f32x8 g = load(gy + x);
-        store(ga + x, load(ga + x) + g * (one - load(bv + x)));
-        store(gb + x, load(gb + x) + g * (one - load(a + x)));
-      }
+      backward_binary_loop<false>(plan, begin, end, act, grad, complement,
+                                  complement);
       break;
     case OpCode::kXor:
-      for (std::size_t x = 0; x < kTileRows; x += kStep) {
-        const f32x8 g = load(gy + x);
-        store(ga + x, load(ga + x) + g * (one - two * load(bv + x)));
-        store(gb + x, load(gb + x) + g * (one - two * load(a + x)));
-      }
+      backward_binary_loop<false>(plan, begin, end, act, grad, xor_term,
+                                  xor_term);
       break;
     case OpCode::kAndNot:
-      for (std::size_t x = 0; x < kTileRows; x += kStep) {
-        const f32x8 g = -load(gy + x);
-        store(ga + x, load(ga + x) + g * load(bv + x));
-        store(gb + x, load(gb + x) + g * load(a + x));
-      }
+      backward_binary_loop<true>(plan, begin, end, act, grad, ident, ident);
       break;
     case OpCode::kOrNot:
-      for (std::size_t x = 0; x < kTileRows; x += kStep) {
-        const f32x8 g = -load(gy + x);
-        store(ga + x, load(ga + x) + g * (one - load(bv + x)));
-        store(gb + x, load(gb + x) + g * (one - load(a + x)));
-      }
+      backward_binary_loop<true>(plan, begin, end, act, grad, complement,
+                                 complement);
       break;
     case OpCode::kXnor:
-      for (std::size_t x = 0; x < kTileRows; x += kStep) {
-        const f32x8 g = -load(gy + x);
-        store(ga + x, load(ga + x) + g * (one - two * load(bv + x)));
-        store(gb + x, load(gb + x) + g * (one - two * load(a + x)));
-      }
+      backward_binary_loop<true>(plan, begin, end, act, grad, xor_term,
+                                 xor_term);
       break;
   }
 }
@@ -302,37 +335,23 @@ void Engine::update_tile(std::size_t tile) {
   }
 }
 
+// One full pass over a tile: the per-tile driver for kSerial and
+// kDataParallel.  Walks the ExecPlan linearly (forward) and in reverse
+// (backward) — the same op order the level driver executes stage by stage —
+// through the run-batched kernels, so every policy computes bit-identical
+// results.
 void Engine::process_tile(std::size_t tile, bool with_grad, double* loss_accum) {
-  const std::size_t n_slots = compiled_->n_slots();
-  const auto& tape = compiled_->tape();
-  float* act = activations_.data() + tile * n_slots * kTileRows;
-  float* grad = gradients_.data() + tile * n_slots * kTileRows;
+  const auto n_ops = static_cast<std::uint32_t>(compiled_->plan().n_ops());
 
   embed_tile(tile);
-
-  // Forward sweep.
-  for (const TapeOp& op : tape) {
-    forward_op(op.op, act + static_cast<std::size_t>(op.dst) * kTileRows,
-               act + static_cast<std::size_t>(op.a) * kTileRows,
-               act + static_cast<std::size_t>(op.b) * kTileRows);
-  }
+  forward_range(tile, 0, n_ops);
 
   // Loss (optional, over valid rows only).
   if (loss_accum != nullptr) *loss_accum = tile_loss(tile);
   if (!with_grad) return;
 
   seed_gradients(tile);
-
-  // Backward sweep.
-  for (auto it = tape.rbegin(); it != tape.rend(); ++it) {
-    const TapeOp& op = *it;
-    backward_op(op.op, grad + static_cast<std::size_t>(op.dst) * kTileRows,
-                grad + static_cast<std::size_t>(op.a) * kTileRows,
-                grad + static_cast<std::size_t>(op.b) * kTileRows,
-                act + static_cast<std::size_t>(op.a) * kTileRows,
-                act + static_cast<std::size_t>(op.b) * kTileRows);
-  }
-
+  backward_range(tile, 0, n_ops);
   update_tile(tile);
 }
 
@@ -340,30 +359,35 @@ void Engine::forward_range(std::size_t tile, std::uint32_t begin,
                            std::uint32_t end) {
   const ExecPlan& plan = compiled_->plan();
   float* act = activations_.data() + tile * compiled_->n_slots() * kTileRows;
-  for (std::uint32_t i = begin; i < end; ++i) {
-    forward_op(plan.op[i],
-               act + static_cast<std::size_t>(plan.dst[i]) * kTileRows,
-               act + static_cast<std::size_t>(plan.a[i]) * kTileRows,
-               act + static_cast<std::size_t>(plan.b[i]) * kTileRows);
+  // Locate the run containing `begin`, then dispatch once per (clamped) run.
+  const auto& rb = plan.run_begin;
+  auto k = static_cast<std::size_t>(
+      std::upper_bound(rb.begin(), rb.end(), begin) - rb.begin() - 1);
+  for (std::uint32_t i = begin; i < end; ++k) {
+    const std::uint32_t run_end = std::min(rb[k + 1], end);
+    forward_run(plan.op[i], plan, i, run_end, act);
+    i = run_end;
   }
 }
 
 void Engine::backward_range(std::size_t tile, std::uint32_t begin,
                             std::uint32_t end) {
+  if (begin == end) return;
   const ExecPlan& plan = compiled_->plan();
   const std::size_t n_slots = compiled_->n_slots();
   const float* act = activations_.data() + tile * n_slots * kTileRows;
   float* grad = gradients_.data() + tile * n_slots * kTileRows;
-  // Reverse walk: a range fused over several levels unwinds them in level
-  // order, and a single-level range accumulates shared-operand gradients in
-  // a fixed (hence deterministic) order.
-  for (std::uint32_t i = end; i-- > begin;) {
-    backward_op(plan.op[i],
-                grad + static_cast<std::size_t>(plan.dst[i]) * kTileRows,
-                grad + static_cast<std::size_t>(plan.a[i]) * kTileRows,
-                grad + static_cast<std::size_t>(plan.b[i]) * kTileRows,
-                act + static_cast<std::size_t>(plan.a[i]) * kTileRows,
-                act + static_cast<std::size_t>(plan.b[i]) * kTileRows);
+  // Reverse walk, run by run: a range fused over several levels unwinds them
+  // in level order, each run unwinds its ops in reverse plan order, and a
+  // single-level range accumulates shared-operand gradients in a fixed
+  // (hence deterministic) order — the exact op-by-op reverse sequence.
+  const auto& rb = plan.run_begin;
+  auto k = static_cast<std::size_t>(
+      std::upper_bound(rb.begin(), rb.end(), end - 1) - rb.begin() - 1);
+  for (std::uint32_t i = end; i > begin; --k) {
+    const std::uint32_t run_begin = std::max(rb[k], begin);
+    backward_run(plan.op[run_begin], plan, run_begin, i, act, grad);
+    i = run_begin;
   }
 }
 
@@ -467,16 +491,11 @@ void Engine::sweep_level(bool with_grad) {
   // bit-identical to the stage-major dispatch (which tests pin down via
   // Config::force_level_stages).
   if (util::ThreadPool::global().size() <= 1 && !config_.force_level_stages) {
-    const auto n_ops = static_cast<std::uint32_t>(compiled_->plan().n_ops());
+    // Identical to the per-tile driver: stages and chunks partition the plan
+    // in order, so the tile-major walk and the stage-major dispatch execute
+    // the same per-op float sequences with identical accumulation order.
     for (std::size_t t = 0; t < n_tiles_; ++t) {
-      embed_tile(t);
-      forward_range(t, 0, n_ops);
-      if (want_loss) tile_loss_[t] = tile_loss(t);
-      if (with_grad) {
-        seed_gradients(t);
-        backward_range(t, 0, n_ops);
-        update_tile(t);
-      }
+      process_tile(t, with_grad, want_loss ? &tile_loss_[t] : nullptr);
     }
     if (want_loss) {
       double total_loss = 0.0;

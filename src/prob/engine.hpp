@@ -15,17 +15,24 @@
 // Config::fast_sigmoid = false selects the exact std::exp path for A/B
 // parity runs.
 //
+// Every policy executes the compiled ExecPlan in plan order (forward) and
+// reverse plan order (backward) through opcode-run-batched kernels: the
+// plan clusters same-opcode ops into runs, and kernels dispatch once per
+// run with a tight per-opcode inner loop instead of a per-op switch.
+// Because the op order and accumulation order are fixed by the plan, all
+// results — activations, loss, and V after descent — are bit-identical
+// across policies and thread counts.
+//
 // Scheduling (Config::policy):
-//   kSerial        one thread walks the tape tile by tile,
+//   kSerial        one thread walks the plan tile by tile,
 //   kDataParallel  tiles are dispatched across the thread pool; within a
-//                  tile the tape is walked linearly (batch/64-way parallel),
-//   kLevelParallel the compiled ExecPlan drives a level-synchronous sweep:
-//                  wide levels are chunked into (tile x op-range) work items
+//                  tile the plan is walked linearly (batch/64-way parallel),
+//   kLevelParallel the ExecPlan drives a level-synchronous sweep: wide
+//                  levels are chunked into (tile x op-range) work items
 //                  (backward chunks aligned to the plan's operand-disjoint
 //                  groups), narrow level runs are fused and dispatched per
-//                  tile.  Forward activations are bit-identical to the
-//                  per-tile policies and results are deterministic: chunk
-//                  boundaries are fixed at plan time, not by thread count.
+//                  tile.  Chunk boundaries are fixed at plan time, not by
+//                  thread count.
 
 #include <cstdint>
 #include <vector>

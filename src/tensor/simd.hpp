@@ -11,6 +11,11 @@
 // Loads and stores go through memcpy so tile pointers only need float
 // alignment (tiles are 64-float rows carved out of a std::vector).
 //
+// The same two-backend split provides `u64x4`, four 64-bit lanes of bitwise
+// logic for the word-parallel circuit evaluator (circuit/eval_plan.hpp):
+// one vector op evaluates a gate for 4 x 64 = 256 batch rows.  Bitwise ops
+// are exact, so backend choice can never change results.
+//
 // Besides the arithmetic lanes this header provides `fast_sigmoid`, a
 // branch-free polynomial sigmoid used by the engine's embed kernel when
 // Engine::Config::fast_sigmoid is set.  Accuracy contract (asserted by
@@ -81,6 +86,22 @@ inline std::uint32_t movemask_gt_zero(f32x8 v) {
   }
   return bits;
 }
+
+// --- 64-bit word lanes (bit-parallel circuit evaluation) --------------------
+
+inline constexpr std::size_t kWordLanes = 4;
+
+typedef std::uint64_t u64x4 __attribute__((vector_size(32)));
+
+inline u64x4 broadcast_u64(std::uint64_t x) { return u64x4{x, x, x, x}; }
+
+inline u64x4 load_u64(const std::uint64_t* p) {
+  u64x4 v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+inline void store_u64(std::uint64_t* p, u64x4 v) { std::memcpy(p, &v, sizeof(v)); }
 
 #else  // portable fallback: an 8-lane struct with loop operators
 
@@ -180,6 +201,51 @@ inline std::uint32_t movemask_gt_zero(f32x8 v) {
     bits |= static_cast<std::uint32_t>(v.lane[i] > 0.0f) << i;
   }
   return bits;
+}
+
+// --- 64-bit word lanes (bit-parallel circuit evaluation) --------------------
+
+inline constexpr std::size_t kWordLanes = 4;
+
+struct u64x4 {
+  std::uint64_t lane[kWordLanes];
+};
+
+inline u64x4 broadcast_u64(std::uint64_t x) {
+  u64x4 v;
+  for (std::size_t i = 0; i < kWordLanes; ++i) v.lane[i] = x;
+  return v;
+}
+
+inline u64x4 load_u64(const std::uint64_t* p) {
+  u64x4 v;
+  std::memcpy(v.lane, p, sizeof(v.lane));
+  return v;
+}
+
+inline void store_u64(std::uint64_t* p, u64x4 v) {
+  std::memcpy(p, v.lane, sizeof(v.lane));
+}
+
+inline u64x4 operator&(u64x4 a, u64x4 b) {
+  u64x4 r;
+  for (std::size_t i = 0; i < kWordLanes; ++i) r.lane[i] = a.lane[i] & b.lane[i];
+  return r;
+}
+inline u64x4 operator|(u64x4 a, u64x4 b) {
+  u64x4 r;
+  for (std::size_t i = 0; i < kWordLanes; ++i) r.lane[i] = a.lane[i] | b.lane[i];
+  return r;
+}
+inline u64x4 operator^(u64x4 a, u64x4 b) {
+  u64x4 r;
+  for (std::size_t i = 0; i < kWordLanes; ++i) r.lane[i] = a.lane[i] ^ b.lane[i];
+  return r;
+}
+inline u64x4 operator~(u64x4 a) {
+  u64x4 r;
+  for (std::size_t i = 0; i < kWordLanes; ++i) r.lane[i] = ~a.lane[i];
+  return r;
 }
 
 #endif  // HTS_SIMD_VECTOR_EXT

@@ -7,11 +7,13 @@
 // This is the contract that lets every sampler default to the optimized
 // fast path while benches A/B against the pre-optimization engine.
 //
-// The level-parallel scheduler gets the same treatment: kLevelParallel
-// forward activations must be bit-identical to the serial per-tile walk on
-// raw and optimized tapes, and its GD trajectory must be deterministic —
-// the tile-major single-thread fallback and the stage-major chunked
-// dispatch (Config::force_level_stages) must agree bit for bit.
+// The schedulers get a stronger treatment: every policy executes the
+// compiled plan through the opcode-run-batched kernels in the same order
+// (forward in plan order, backward in reverse plan order), so the *full* GD
+// trajectory — activations, loss, and V after descent — must be bitwise
+// identical across serial, tile-parallel, and level-parallel (including the
+// stage-major dispatch forced by Config::force_level_stages), on raw and
+// optimized tapes.
 
 #include <gtest/gtest.h>
 
@@ -165,38 +167,48 @@ TEST_P(EngineParity, LevelParallelForwardIsBitIdentical) {
   }
 }
 
-TEST_P(EngineParity, LevelParallelGdIsDeterministicAndTracksSerial) {
-  // The backward pass accumulates gradients in plan order, which differs
-  // from tape order — so V after descent is near-exact vs the serial walk,
-  // but must be *bitwise* reproducible across the scheduler's two execution
-  // shapes (tile-major fallback vs stage-major chunks): group-aligned
-  // chunking fixes the per-slot accumulation order by construction.
+TEST_P(EngineParity, GdTrajectoryIsBitIdenticalAcrossAllPolicies) {
+  // Since the opcode-batched dispatch every policy walks the plan in the
+  // same order — forward in plan order, backward in reverse plan order, with
+  // level-parallel chunk boundaries fixed at plan time and aligned to
+  // operand-disjoint groups — so the *entire* GD trajectory (not just
+  // forward activations) is bitwise equal across serial, tile-parallel, and
+  // level-parallel (both the tile-major fallback and the forced stage-major
+  // dispatch), on raw and optimized tapes.
   const benchgen::Instance instance = benchgen::make_instance(GetParam());
-  const CompiledCircuit compiled(instance.circuit);
-  Engine serial = make_engine(compiled, /*fast_sigmoid=*/false);
-  Engine level = make_engine(compiled, /*fast_sigmoid=*/false,
-                             tensor::Policy::kLevelParallel);
-  Engine staged = make_engine(compiled, /*fast_sigmoid=*/false,
-                              tensor::Policy::kLevelParallel,
-                              /*force_level_stages=*/true);
-  util::Rng rng_a(kSeed);
-  util::Rng rng_b(kSeed);
-  util::Rng rng_c(kSeed);
-  serial.randomize(rng_a);
-  level.randomize(rng_b);
-  staged.randomize(rng_c);
-  for (int iter = 0; iter < 3; ++iter) {
-    serial.run_iteration();
-    level.run_iteration();
-    staged.run_iteration();
-  }
-  const std::size_t n_inputs = serial.n_inputs();
-  for (std::size_t i = 0; i < n_inputs; ++i) {
-    for (std::size_t r = 0; r < kBatch; ++r) {
-      ASSERT_EQ(level.v_value(i, r), staged.v_value(i, r))
-          << GetParam() << " input " << i << " row " << r;
-      ASSERT_NEAR(serial.v_value(i, r), level.v_value(i, r), 1e-4f)
-          << GetParam() << " input " << i << " row " << r;
+  for (const bool optimize : {false, true}) {
+    const CompiledCircuit compiled(instance.circuit,
+                                   CompiledCircuit::Options{false, optimize});
+    Engine serial = make_engine(compiled, /*fast_sigmoid=*/false);
+    Engine tiles = make_engine(compiled, /*fast_sigmoid=*/false,
+                               tensor::Policy::kDataParallel);
+    Engine level = make_engine(compiled, /*fast_sigmoid=*/false,
+                               tensor::Policy::kLevelParallel);
+    Engine staged = make_engine(compiled, /*fast_sigmoid=*/false,
+                                tensor::Policy::kLevelParallel,
+                                /*force_level_stages=*/true);
+    Engine* engines[] = {&serial, &tiles, &level, &staged};
+    for (Engine* engine : engines) {
+      util::Rng rng(kSeed);
+      engine->randomize(rng);
+    }
+    for (int iter = 0; iter < 3; ++iter) {
+      for (Engine* engine : engines) engine->run_iteration();
+    }
+    const std::size_t n_inputs = serial.n_inputs();
+    for (std::size_t i = 0; i < n_inputs; ++i) {
+      for (std::size_t r = 0; r < kBatch; ++r) {
+        const float v = serial.v_value(i, r);
+        ASSERT_EQ(v, tiles.v_value(i, r))
+            << GetParam() << (optimize ? "/opt" : "/raw") << " tiles input "
+            << i << " row " << r;
+        ASSERT_EQ(v, level.v_value(i, r))
+            << GetParam() << (optimize ? "/opt" : "/raw") << " level input "
+            << i << " row " << r;
+        ASSERT_EQ(v, staged.v_value(i, r))
+            << GetParam() << (optimize ? "/opt" : "/raw") << " staged input "
+            << i << " row " << r;
+      }
     }
   }
 }

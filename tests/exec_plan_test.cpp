@@ -95,6 +95,27 @@ void check_plan(const CompiledCircuit& compiled, const std::string& label) {
               plan.level_begin[l + 1])
         << label;
   }
+
+  // Opcode runs partition the plan, are opcode-uniform, and never cross a
+  // level boundary (the engine dispatches one kernel per run).
+  ASSERT_FALSE(plan.run_begin.empty()) << label;
+  EXPECT_EQ(plan.run_begin.front(), 0u) << label;
+  EXPECT_EQ(plan.run_begin.back(), plan.n_ops()) << label;
+  for (std::size_t k = 0; k + 1 < plan.run_begin.size(); ++k) {
+    const std::uint32_t begin = plan.run_begin[k];
+    const std::uint32_t end = plan.run_begin[k + 1];
+    ASSERT_LT(begin, end) << label << " run " << k;
+    for (std::uint32_t i = begin + 1; i < end; ++i) {
+      EXPECT_EQ(plan.op[i], plan.op[begin])
+          << label << " run " << k << " mixes opcodes at " << i;
+    }
+    // A run lies inside one level: no level boundary strictly between.
+    for (std::size_t l = 0; l < plan.n_levels(); ++l) {
+      const std::uint32_t lb = plan.level_begin[l + 1];
+      EXPECT_FALSE(begin < lb && lb < end)
+          << label << " run " << k << " crosses level boundary " << lb;
+    }
+  }
 }
 
 TEST_P(ExecPlanInvariants, RawTape) {
@@ -114,6 +135,11 @@ TEST_P(ExecPlanInvariants, OptimizedTape) {
   EXPECT_GT(opt.plan().n_levels(), 0u);
   EXPECT_EQ(opt.opt_stats().n_levels, opt.plan().n_levels());
   EXPECT_EQ(opt.opt_stats().max_level_width, opt.plan().max_width());
+  // Run stats mirror the plan, and the (group, opcode) order clusters ops:
+  // every family has fewer runs than ops (mean run length > 1).
+  EXPECT_EQ(opt.opt_stats().n_opcode_runs, opt.plan().n_runs());
+  EXPECT_GT(opt.opt_stats().max_run_length, 1u) << GetParam();
+  EXPECT_LT(opt.opt_stats().n_opcode_runs, opt.n_ops()) << GetParam();
 }
 
 INSTANTIATE_TEST_SUITE_P(AllFamilies, ExecPlanInvariants,

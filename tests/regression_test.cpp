@@ -149,6 +149,85 @@ TEST(GdHarvest, StoreAllDrawsKeepsDuplicates) {
   EXPECT_EQ(r2.solutions.size(), r2.n_valid);
 }
 
+// --- golden determinism of full sampling runs ---------------------------------------
+//
+// Every engine policy executes the compiled plan in the same order (forward
+// in plan order, backward in reverse plan order) with chunk boundaries fixed
+// at plan time — so a fixed-seed sampling run must reproduce the *exact*
+// solution stream regardless of scheduling policy or machine thread count.
+// The harvester's two-phase collect preserves this through the discrete half
+// of the loop.  With store_limit above the unique yield the stored stream
+// *is* the unique-solution fingerprint (every new unique is stored, in bank
+// insertion order), so element-wise stream equality pins the whole pipeline.
+
+TEST(GoldenDeterminism, FixedSeedRunsReproduceFingerprintsAcrossPolicies) {
+  benchgen::GenOptions gen;
+  gen.scale = 0.05;
+  for (const auto& name : {"or-50-10-7-UC-10", "75-10-1-q"}) {
+    const auto instance = benchgen::make_instance(name, gen);
+    constexpr tensor::Policy kPolicies[] = {tensor::Policy::kSerial,
+                                            tensor::Policy::kDataParallel,
+                                            tensor::Policy::kLevelParallel};
+    bool have_reference = false;
+    sampler::RunResult reference;
+    std::vector<std::size_t> reference_curve;
+    for (const tensor::Policy policy : kPolicies) {
+      sampler::GradientConfig config;
+      config.batch = 256;
+      config.policy = policy;
+      config.max_rounds = 2;
+      sampler::GradientSampler sampler(config);
+      sampler::RunOptions options;
+      options.min_solutions = 0;   // only the round budget stops the run
+      options.budget_ms = -1.0;    // no deadline: rounds are the only clock
+      options.store_limit = 1 << 20;
+      options.verify_against_cnf = true;
+      options.seed = 0x90dd;
+      const sampler::RunResult result = sampler.run(instance.formula, options);
+      EXPECT_EQ(result.n_invalid, 0u) << name;
+      if (!have_reference) {
+        have_reference = true;
+        reference = result;
+        reference_curve = sampler.uniques_per_iteration();
+        EXPECT_GT(reference.n_valid, 0u) << name;
+        continue;
+      }
+      EXPECT_EQ(result.n_unique, reference.n_unique)
+          << name << " policy " << tensor::policy_name(policy);
+      EXPECT_EQ(result.n_valid, reference.n_valid)
+          << name << " policy " << tensor::policy_name(policy);
+      ASSERT_EQ(result.solutions, reference.solutions)
+          << name << " policy " << tensor::policy_name(policy);
+      EXPECT_EQ(sampler.uniques_per_iteration(), reference_curve)
+          << name << " policy " << tensor::policy_name(policy);
+    }
+  }
+}
+
+TEST(GoldenDeterminism, RepeatedRunsReproduceExactly) {
+  // Same config twice (level-parallel, the policy with the most scheduling
+  // freedom): the stream must be bit-identical run to run.
+  benchgen::GenOptions gen;
+  gen.scale = 0.05;
+  const auto instance = benchgen::make_instance("75-10-1-q", gen);
+  sampler::GradientConfig config;
+  config.batch = 256;
+  config.policy = tensor::Policy::kLevelParallel;
+  config.max_rounds = 2;
+  sampler::RunOptions options;
+  options.min_solutions = 0;
+  options.budget_ms = -1.0;
+  options.store_limit = 1 << 20;
+  options.seed = 0x90dd;
+  sampler::GradientSampler a(config);
+  sampler::GradientSampler b(config);
+  const sampler::RunResult ra = a.run(instance.formula, options);
+  const sampler::RunResult rb = b.run(instance.formula, options);
+  EXPECT_EQ(ra.n_unique, rb.n_unique);
+  EXPECT_EQ(ra.n_valid, rb.n_valid);
+  ASSERT_EQ(ra.solutions, rb.solutions);
+}
+
 // --- solver agreement on benchmark-family instances --------------------------------
 
 TEST(SolverFamilies, CdclSolvesEveryTinyFamilyInstance) {
