@@ -1,0 +1,312 @@
+// Sampling-service bench: what the shared fleet + compiled-plan cache buy
+// over stand-alone sequential sampling, and what the EDF slicing costs a
+// short job stuck behind a long one.
+//
+// Three scenarios, all mirrored into `--json` records (see bench_common):
+//
+//   aggregate-throughput  N concurrent same-formula requests (distinct
+//                         seeds) through one Server vs N sequential cold
+//                         GradientSampler runs (each paying its own
+//                         transform+compile).  Metric: aggregate unique
+//                         solutions per second of wall clock; the service
+//                         compiles once and overlaps execution across the
+//                         fleet.  Acceptance bar: >= 1.5x.
+//   hol-fairness          a short job submitted while a long batch job is
+//                         mid-flight, on a single-worker server (the
+//                         worst case): time-sliced EDF must complete it
+//                         within 2x its solo latency.
+//   latency-distribution  a burst of small requests from several clients:
+//                         requests/sec and p50/p99 completion latency.
+//
+// Extra knobs on top of bench_common's:
+//   HTS_BENCH_SERVICE_REQUESTS  concurrent requests in the throughput
+//                               scenario (default 8)
+//   HTS_BENCH_SERVICE_WORKERS   fleet size (default: hardware concurrency)
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "service/server.hpp"
+
+namespace {
+
+using namespace hts;
+
+struct Aggregate {
+  double wall_ms = 0.0;
+  std::size_t uniques = 0;
+
+  [[nodiscard]] double uniques_per_sec() const {
+    return wall_ms > 0.0 ? 1000.0 * static_cast<double>(uniques) / wall_ms
+                         : 0.0;
+  }
+};
+
+service::SamplingRequest make_request(const cnf::Formula& formula,
+                                      std::size_t target, std::uint64_t seed,
+                                      std::size_t batch) {
+  service::SamplingRequest request;
+  request.formula = formula;
+  request.seed = seed;
+  request.target_uniques = target;
+  // Safety valve only: every scenario is sized to finish on target, but a
+  // misconfigured environment must not hang the bench.
+  request.deadline_ms = 120000.0;
+  request.deliver_solutions = false;  // throughput of *finding*, not copying
+  request.config.batch = batch;
+  return request;
+}
+
+/// N back-to-back stand-alone runs, each paying transform+compile ("cold"):
+/// the pre-service deployment model.
+Aggregate run_sequential_cold(const cnf::Formula& formula, std::size_t n_requests,
+                              std::size_t target, std::size_t batch,
+                              std::uint64_t base_seed) {
+  Aggregate aggregate;
+  const util::Timer timer;
+  for (std::size_t i = 0; i < n_requests; ++i) {
+    sampler::GradientConfig config;
+    config.batch = batch;
+    config.policy = tensor::Policy::kSerial;
+    sampler::GradientSampler sampler(config);
+    sampler::RunOptions options;
+    options.min_solutions = target;
+    options.budget_ms = 120000.0;
+    options.seed = base_seed + i;
+    const sampler::RunResult result = sampler.run(formula, options);
+    aggregate.uniques += result.n_unique;
+  }
+  aggregate.wall_ms = timer.milliseconds();
+  return aggregate;
+}
+
+Aggregate run_service_concurrent(const cnf::Formula& formula,
+                                 std::size_t n_requests, std::size_t target,
+                                 std::size_t batch, std::uint64_t base_seed,
+                                 std::size_t n_workers,
+                                 service::PlanCache::Stats* cache_stats) {
+  Aggregate aggregate;
+  service::Server server({.n_workers = n_workers});
+  const util::Timer timer;
+  std::vector<service::JobHandle> handles;
+  handles.reserve(n_requests);
+  for (std::size_t i = 0; i < n_requests; ++i) {
+    service::SamplingRequest request =
+        make_request(formula, target, base_seed + i, batch);
+    request.client_id = i;
+    handles.push_back(server.submit(std::move(request)));
+  }
+  for (const service::JobHandle& handle : handles) {
+    (void)handle.wait();
+    aggregate.uniques += handle.stats().n_unique;
+  }
+  aggregate.wall_ms = timer.milliseconds();
+  if (cache_stats != nullptr) *cache_stats = server.plan_cache_stats();
+  return aggregate;
+}
+
+[[nodiscard]] double percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const auto index = static_cast<std::size_t>(
+      p * static_cast<double>(values.size() - 1) + 0.5);
+  return values[std::min(index, values.size() - 1)];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::BenchEnv env;
+  bench::JsonWriter json(argc, argv, "service_throughput");
+  const std::size_t hardware =
+      std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  const auto n_workers = static_cast<std::size_t>(util::env_int(
+      "HTS_BENCH_SERVICE_WORKERS", static_cast<long long>(hardware)));
+  const auto n_requests = static_cast<std::size_t>(
+      util::env_int("HTS_BENCH_SERVICE_REQUESTS", 8));
+
+  std::printf("=== Sampling service: shared fleet + plan cache ===\n");
+  std::printf("workers %zu, %zu concurrent requests, target %zu uniques/request\n\n",
+              n_workers, n_requests, env.min_solutions);
+
+  // --- scenario 1: aggregate throughput, concurrent vs sequential cold ------
+  // s15850a is the family where compilation is a real fraction of a
+  // request (ISCAS'89-scale netlist): exactly the compile-once-sample-many
+  // regime the plan cache exists for.
+  const benchgen::Instance instance =
+      bench::make_scaled_instance("s15850a_3_2", env);
+  // Latency-regime batch: a service request wants its target promptly, not
+  // the biggest bulk harvest per round — and a smaller per-job footprint is
+  // what lets 8 engines coexist.  (pick_batch targets stand-alone bulk
+  // sampling; HTS_BENCH_BATCH still overrides.)
+  const std::size_t batch = env.batch != 0 ? env.batch : 2048;
+  const std::size_t target = env.min_solutions;
+
+  std::fprintf(stderr, "[service_throughput] sequential cold x%zu ...\n",
+               n_requests);
+  const Aggregate sequential = run_sequential_cold(
+      instance.formula, n_requests, target, batch, env.seed);
+  std::fprintf(stderr, "[service_throughput] service concurrent x%zu ...\n",
+               n_requests);
+  service::PlanCache::Stats cache_stats;
+  const Aggregate concurrent = run_service_concurrent(
+      instance.formula, n_requests, target, batch, env.seed, n_workers,
+      &cache_stats);
+  const double speedup =
+      sequential.uniques_per_sec() > 0.0
+          ? concurrent.uniques_per_sec() / sequential.uniques_per_sec()
+          : 0.0;
+
+  util::Table throughput_table({"Mode", "Uniques", "Wall(ms)", "Uniq/s"});
+  throughput_table.add_row({"sequential-cold", std::to_string(sequential.uniques),
+                            util::format_fixed(sequential.wall_ms, 1),
+                            util::format_grouped(sequential.uniques_per_sec(), 1)});
+  throughput_table.add_row({"service-concurrent", std::to_string(concurrent.uniques),
+                            util::format_fixed(concurrent.wall_ms, 1),
+                            util::format_grouped(concurrent.uniques_per_sec(), 1)});
+  std::printf("%s\naggregate speedup: %s (plan cache: %llu hits / %llu misses)\n\n",
+              throughput_table.to_string().c_str(),
+              util::format_speedup(speedup).c_str(),
+              static_cast<unsigned long long>(cache_stats.hits),
+              static_cast<unsigned long long>(cache_stats.misses));
+  {
+    bench::JsonRecord record;
+    record.field("mode", "aggregate-throughput")
+        .field("instance", instance.name)
+        .field("requests", n_requests)
+        .field("workers", n_workers)
+        .field("target_uniques", target)
+        .field("batch", batch)
+        .field("seq_uniques", sequential.uniques)
+        .field("seq_wall_ms", sequential.wall_ms)
+        .field("seq_uniques_per_sec", sequential.uniques_per_sec())
+        .field("svc_uniques", concurrent.uniques)
+        .field("svc_wall_ms", concurrent.wall_ms)
+        .field("svc_uniques_per_sec", concurrent.uniques_per_sec())
+        .field("speedup", speedup)
+        .field("cache_hits", cache_stats.hits)
+        .field("cache_misses", cache_stats.misses);
+    json.add(record);
+  }
+
+  // --- scenario 2: no head-of-line blocking ---------------------------------
+  // Single worker on purpose: with any second worker the short job simply
+  // takes a free slot, so one worker is the configuration where only
+  // time-sliced EDF can save it.
+  // The short job is real work (a full 16k-row harvest on the q-chain
+  // family), not a no-op: its solo latency is the denominator of the
+  // fairness ratio, so it must dwarf scheduling noise.  The long job runs
+  // a moderate batch — its *slice* length, one GD round, is what bounds
+  // the short job's wait under time-sliced EDF.
+  const benchgen::Instance short_instance =
+      bench::make_scaled_instance("75-10-1-q", env);
+  const std::size_t short_target =
+      std::min<std::size_t>(2 * env.min_solutions, 2000);
+  const std::size_t short_batch = 16384;
+  const std::size_t long_batch = 256;
+
+  double solo_ms = 0.0;
+  {
+    service::Server server({.n_workers = 1});
+    service::SamplingRequest request = make_request(
+        short_instance.formula, short_target, env.seed, short_batch);
+    request.deadline_ms = 60000.0;
+    const util::Timer timer;
+    const service::JobHandle handle = server.submit(std::move(request));
+    (void)handle.wait();
+    solo_ms = timer.milliseconds();
+  }
+  double behind_ms = 0.0;
+  std::uint64_t long_rounds = 0;
+  {
+    service::Server server({.n_workers = 1});
+    service::SamplingRequest long_request =
+        make_request(instance.formula, 0, env.seed + 100, long_batch);
+    long_request.deadline_ms = 0.0;     // pure batch job: runs until cancel
+    long_request.max_uniques = 0;
+    const service::JobHandle long_handle = server.submit(std::move(long_request));
+    // The long job must be mid-slice when the short one arrives.
+    while (long_handle.stats().rounds == 0 &&
+           !service::job_status_terminal(long_handle.status())) {
+      std::this_thread::yield();
+    }
+    service::SamplingRequest short_request = make_request(
+        short_instance.formula, short_target, env.seed, short_batch);
+    short_request.deadline_ms = 60000.0;  // EDF priority over the batch job
+    const util::Timer timer;
+    const service::JobHandle short_handle =
+        server.submit(std::move(short_request));
+    (void)short_handle.wait();
+    behind_ms = timer.milliseconds();
+    long_rounds = long_handle.stats().rounds;
+    long_handle.cancel();
+    (void)long_handle.wait();
+  }
+  const double hol_ratio = solo_ms > 0.0 ? behind_ms / solo_ms : 0.0;
+  std::printf("head-of-line check (1 worker): solo %.1f ms, behind long job "
+              "%.1f ms -> ratio %.2f (bar: <= 2)\n\n",
+              solo_ms, behind_ms, hol_ratio);
+  {
+    bench::JsonRecord record;
+    record.field("mode", "hol-fairness")
+        .field("short_instance", short_instance.name)
+        .field("long_instance", instance.name)
+        .field("solo_ms", solo_ms)
+        .field("behind_ms", behind_ms)
+        .field("ratio", hol_ratio)
+        .field("long_rounds_before_cancel", long_rounds);
+    json.add(record);
+  }
+
+  // --- scenario 3: burst latency distribution -------------------------------
+  const std::size_t burst = 2 * n_requests;
+  std::vector<double> latencies;
+  double burst_wall_ms = 0.0;
+  {
+    service::Server server({.n_workers = n_workers});
+    std::vector<service::JobHandle> handles;
+    handles.reserve(burst);
+    const util::Timer timer;
+    for (std::size_t i = 0; i < burst; ++i) {
+      service::SamplingRequest request = make_request(
+          short_instance.formula, short_target, env.seed + i, short_batch);
+      request.client_id = i % 4;
+      handles.push_back(server.submit(std::move(request)));
+    }
+    for (const service::JobHandle& handle : handles) {
+      (void)handle.wait();
+      latencies.push_back(handle.stats().wall_ms);
+    }
+    burst_wall_ms = timer.milliseconds();
+  }
+  const double p50 = percentile(latencies, 0.50);
+  const double p99 = percentile(latencies, 0.99);
+  const double requests_per_sec =
+      burst_wall_ms > 0.0 ? 1000.0 * static_cast<double>(burst) / burst_wall_ms
+                          : 0.0;
+  std::printf("burst of %zu small requests: %.1f req/s, latency p50 %.1f ms, "
+              "p99 %.1f ms\n",
+              burst, requests_per_sec, p50, p99);
+  {
+    bench::JsonRecord record;
+    record.field("mode", "latency-distribution")
+        .field("instance", short_instance.name)
+        .field("requests", burst)
+        .field("workers", n_workers)
+        .field("req_per_sec", requests_per_sec)
+        .field("p50_ms", p50)
+        .field("p99_ms", p99);
+    json.add(record);
+  }
+
+  std::printf("\nReading: the throughput speedup is compile-amortization plus\n"
+              "fleet concurrency (>= 1.5x is the acceptance bar; single-core\n"
+              "hosts see mostly the cache term).  The HOL ratio shows EDF\n"
+              "time-slicing keeping short jobs out from behind batch jobs.\n");
+  if (!json.write(env)) return 1;
+  return 0;
+}

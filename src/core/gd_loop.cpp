@@ -2,13 +2,12 @@
 
 #include <algorithm>
 #include <atomic>
-#include <limits>
 #include <memory>
-#include <optional>
 #include <thread>
 
 #include "circuit/eval_plan.hpp"
 #include "core/harvester.hpp"
+#include "core/round_runner.hpp"
 #include "core/unique_bank.hpp"
 #include "prob/engine.hpp"
 #include "util/rng.hpp"
@@ -18,82 +17,18 @@ namespace hts::sampler {
 
 namespace {
 
-[[nodiscard]] prob::Engine::Config make_engine_config(const GdLoopConfig& config) {
-  prob::Engine::Config engine_config;
-  engine_config.batch = config.batch;
-  engine_config.learning_rate = config.learning_rate;
-  engine_config.init_std = config.init_std;
-  engine_config.policy = config.policy;
-  engine_config.fast_sigmoid = config.fast_sigmoid;
-  return engine_config;
-}
-
-/// Tracks per-row loss progress between harvest windows for plateau
-/// restarts (GdLoopConfig::restart_plateau).  A row "improves" when its
-/// loss drops below its best-so-far by more than a small epsilon; after k
-/// consecutive windows without improvement the row is flagged for
-/// re-seeding.  Solved rows are restart_solved's business: they reset their
-/// tracker and are never flagged here.  Trackers reset every round — a
-/// fresh random V owes no progress to the previous basin.
-class PlateauTracker {
- public:
-  PlateauTracker(std::size_t batch, std::size_t n_words, std::size_t k)
-      : k_(k), batch_(batch), best_(batch), age_(batch), mask_(n_words) {}
-
-  void begin_round() {
-    std::fill(best_.begin(), best_.end(),
-              std::numeric_limits<float>::infinity());
-    std::fill(age_.begin(), age_.end(), 0u);
-  }
-
-  /// Observes the engine's current per-row losses; returns the mask (same
-  /// word layout as harden()) of rows stuck for >= k windows.
-  const std::vector<std::uint64_t>& observe(
-      const prob::Engine& engine, const std::vector<std::uint64_t>& solved) {
-    // Loss improvements below this are float jitter, not progress.
-    constexpr float kEps = 1e-6f;
-    engine.row_losses(losses_);
-    std::fill(mask_.begin(), mask_.end(), 0);
-    for (std::size_t r = 0; r < batch_; ++r) {
-      const std::size_t word = r / 64;
-      const std::uint64_t bit = 1ULL << (r % 64);
-      if (word < solved.size() && (solved[word] & bit) != 0) {
-        best_[r] = std::numeric_limits<float>::infinity();
-        age_[r] = 0;
-        continue;
-      }
-      if (losses_[r] < best_[r] - kEps) {
-        best_[r] = losses_[r];
-        age_[r] = 0;
-        continue;
-      }
-      if (++age_[r] >= k_) {
-        mask_[word] |= bit;
-        best_[r] = std::numeric_limits<float>::infinity();
-        age_[r] = 0;
-      }
-    }
-    return mask_;
-  }
-
- private:
-  std::size_t k_;
-  std::size_t batch_;
-  std::vector<float> best_;
-  std::vector<std::uint32_t> age_;
-  std::vector<std::uint64_t> mask_;
-  std::vector<float> losses_;
-};
-
-/// The legacy single-thread loop, kept verbatim so n_workers == 1 reproduces
+/// The legacy single-thread loop, kept so n_workers == 1 reproduces
 /// pre-refactor results bit for bit (same RNG consumption order, same bank
-/// insertion order, same progress checkpoints).
+/// insertion order, same progress checkpoints).  The round body itself
+/// lives in RoundRunner (shared with the round-parallel workers and the
+/// sampling service); this function owns the across-round policy: when to
+/// start another round and what a checkpoint records.
 RunResult run_serial(const GdProblem& problem, const cnf::Formula& formula,
                      const RunOptions& options, const GdLoopConfig& config,
                      const prob::CompiledCircuit& compiled,
                      const circuit::EvalPlan& eval_plan, GdLoopExtras* extras) {
   RunResult result;
-  prob::Engine engine(compiled, make_engine_config(config));
+  prob::Engine engine(compiled, engine_config_for(config));
 
   util::Rng rng(options.seed);
   util::Deadline deadline(options.budget_ms);
@@ -101,71 +36,35 @@ RunResult run_serial(const GdProblem& problem, const cnf::Formula& formula,
   UniqueBank bank(problem.circuit->n_inputs());
   Harvester<UniqueBank> harvester(problem, formula, options, bank, result,
                                   &eval_plan);
+  RoundRunner<UniqueBank> runner(config, engine, harvester);
 
   std::vector<std::size_t> uniques_per_iteration(
       static_cast<std::size_t>(config.iterations) + 1, 0);
   std::uint64_t rounds = 0;
-  std::uint64_t restarted_rows = 0;
-  std::uint64_t plateau_restarted_rows = 0;
-  std::vector<std::uint64_t> packed;
-  std::optional<PlateauTracker> plateau;
-  if (config.restart_plateau > 0) {
-    plateau.emplace(config.batch, engine.n_words(), config.restart_plateau);
-  }
 
   auto reached_target = [&] {
     return options.min_solutions > 0 &&
            harvester.n_unique() >= options.min_solutions;
   };
-
-  // Solved rows have been banked; re-seeding them starts fresh descents in
-  // the remaining iterations instead of re-converging to the same basin.
-  // Skipped after the round's final harvest — randomize() follows anyway.
-  auto restart_solved_rows = [&] {
-    if (config.restart_solved) {
-      restarted_rows += engine.rerandomize_rows(harvester.last_solved(), rng);
+  auto checkpoint = [&](int iter) {
+    const auto slot = static_cast<std::size_t>(iter);
+    uniques_per_iteration[slot] =
+        std::max(uniques_per_iteration[slot], harvester.n_unique());
+    if (iter > 0) {
+      result.progress.push_back(
+          ProgressPoint{timer.milliseconds(), harvester.n_unique()});
     }
   };
-  // Plateaued rows follow; only meaningful at mid-round harvests, where the
-  // engine's activations come from this round's own forward pass.
-  auto restart_plateau_rows = [&] {
-    if (plateau) {
-      plateau_restarted_rows += engine.rerandomize_rows(
-          plateau->observe(engine, harvester.last_solved()), rng);
-    }
+  auto stop_now = [&] {
+    return reached_target() || deadline.expired() ||
+           options.stop.stop_requested();
   };
 
   while (!reached_target() && !deadline.expired() &&
+         !options.stop.stop_requested() &&
          (config.max_rounds == 0 || rounds < config.max_rounds)) {
     ++rounds;
-    engine.randomize(rng);
-    if (plateau) plateau->begin_round();
-    // Iteration-0 checkpoint: random initialization already satisfies the
-    // unconstrained paths (and occasionally everything).
-    if (config.collect_each_iteration) {
-      engine.harden(packed);
-      harvester.collect(packed, engine.n_words(), config.batch);
-      uniques_per_iteration[0] =
-          std::max(uniques_per_iteration[0], harvester.n_unique());
-      restart_solved_rows();
-    }
-    for (int iter = 1; iter <= config.iterations; ++iter) {
-      engine.run_iteration();
-      if (config.collect_each_iteration || iter == config.iterations) {
-        engine.harden(packed);
-        harvester.collect(packed, engine.n_words(), config.batch);
-        const auto slot = static_cast<std::size_t>(iter);
-        uniques_per_iteration[slot] =
-            std::max(uniques_per_iteration[slot], harvester.n_unique());
-        result.progress.push_back(
-            ProgressPoint{timer.milliseconds(), harvester.n_unique()});
-        if (iter != config.iterations) {
-          restart_solved_rows();
-          restart_plateau_rows();
-        }
-      }
-      if (reached_target() || deadline.expired()) break;
-    }
+    runner.run_round(rng, checkpoint, stop_now);
   }
 
   result.n_unique = harvester.n_unique();
@@ -182,8 +81,9 @@ RunResult run_serial(const GdProblem& problem, const cnf::Formula& formula,
     extras->uniques_per_iteration = std::move(uniques_per_iteration);
     extras->engine_memory_bytes = engine.memory_bytes();
     extras->rounds = rounds;
-    extras->restarted_rows = restarted_rows;
-    extras->plateau_restarted_rows = plateau_restarted_rows;
+    extras->restarted_rows = runner.restarted_rows();
+    extras->plateau_restarted_rows = runner.plateau_restarted_rows();
+    extras->gd_iterations = runner.gd_iterations();
     extras->rows_validated = harvester.rows_validated();
     extras->harvest_ms = harvester.harvest_ms();
   }
@@ -194,8 +94,8 @@ RunResult run_serial(const GdProblem& problem, const cnf::Formula& formula,
 /// decorrelated RNG stream, race through independent randomize -> iterate ->
 /// harden rounds and merge uniques into one shared sharded bank.  Rounds are
 /// claimed from a shared counter (so max_rounds bounds the total), and the
-/// target / deadline checks read the *global* unique count, so workers stop
-/// as soon as the fleet collectively reaches the goal.
+/// target / deadline / cancellation checks read the *global* state, so
+/// workers stop as soon as the fleet collectively reaches the goal.
 RunResult run_parallel(const GdProblem& problem, const cnf::Formula& formula,
                        const RunOptions& options, const GdLoopConfig& config,
                        const prob::CompiledCircuit& compiled,
@@ -208,6 +108,7 @@ RunResult run_parallel(const GdProblem& problem, const cnf::Formula& formula,
     std::uint64_t rounds = 0;
     std::uint64_t restarted_rows = 0;
     std::uint64_t plateau_restarted_rows = 0;
+    std::uint64_t gd_iterations = 0;
     std::uint64_t rows_validated = 0;
     double harvest_ms = 0.0;
   };
@@ -228,7 +129,7 @@ RunResult run_parallel(const GdProblem& problem, const cnf::Formula& formula,
   engines.reserve(n_workers);
   for (std::size_t w = 0; w < n_workers; ++w) {
     engines.push_back(
-        std::make_unique<prob::Engine>(compiled, make_engine_config(config)));
+        std::make_unique<prob::Engine>(compiled, engine_config_for(config)));
   }
 
   util::Deadline deadline(options.budget_ms);
@@ -244,65 +145,37 @@ RunResult run_parallel(const GdProblem& problem, const cnf::Formula& formula,
     util::Rng rng = util::Rng::stream(options.seed, w);
     Harvester<ShardedUniqueBank> harvester(problem, formula, options, bank,
                                            out.result, &eval_plan);
-    std::vector<std::uint64_t> packed;
-    std::optional<PlateauTracker> plateau;
-    if (config.restart_plateau > 0) {
-      plateau.emplace(config.batch, engine.n_words(), config.restart_plateau);
-    }
+    RoundRunner<ShardedUniqueBank> runner(config, engine, harvester);
+
+    auto checkpoint = [&](int iter) {
+      const auto slot = static_cast<std::size_t>(iter);
+      out.uniques_per_iteration[slot] =
+          std::max(out.uniques_per_iteration[slot], bank.size());
+      if (iter > 0) {
+        out.result.progress.push_back(
+            ProgressPoint{timer.milliseconds(), bank.size()});
+      }
+    };
+    auto stop_now = [&] {
+      if (reached_target() || deadline.expired() ||
+          options.stop.stop_requested()) {
+        stop.store(true, std::memory_order_relaxed);
+        return true;
+      }
+      return false;
+    };
 
     while (!stop.load(std::memory_order_relaxed)) {
-      if (reached_target() || deadline.expired()) {
-        stop.store(true, std::memory_order_relaxed);
-        break;
-      }
+      if (stop_now()) break;
       const std::uint64_t round = next_round.fetch_add(1);
       if (config.max_rounds != 0 && round >= config.max_rounds) break;
       ++out.rounds;
-      engine.randomize(rng);
-      if (plateau) plateau->begin_round();
-      // See run_serial: solved rows restart mid-round; the round's final
-      // harvest skips it because randomize() follows.
-      auto restart_solved_rows = [&] {
-        if (config.restart_solved) {
-          out.restarted_rows +=
-              engine.rerandomize_rows(harvester.last_solved(), rng);
-        }
-      };
-      auto restart_plateau_rows = [&] {
-        if (plateau) {
-          out.plateau_restarted_rows += engine.rerandomize_rows(
-              plateau->observe(engine, harvester.last_solved()), rng);
-        }
-      };
-      if (config.collect_each_iteration) {
-        engine.harden(packed);
-        harvester.collect(packed, engine.n_words(), config.batch);
-        out.uniques_per_iteration[0] =
-            std::max(out.uniques_per_iteration[0], bank.size());
-        restart_solved_rows();
-      }
-      for (int iter = 1; iter <= config.iterations; ++iter) {
-        engine.run_iteration();
-        if (config.collect_each_iteration || iter == config.iterations) {
-          engine.harden(packed);
-          harvester.collect(packed, engine.n_words(), config.batch);
-          const auto slot = static_cast<std::size_t>(iter);
-          out.uniques_per_iteration[slot] =
-              std::max(out.uniques_per_iteration[slot], bank.size());
-          out.result.progress.push_back(
-              ProgressPoint{timer.milliseconds(), bank.size()});
-          if (iter != config.iterations) {
-            restart_solved_rows();
-            restart_plateau_rows();
-          }
-        }
-        if (reached_target() || deadline.expired()) {
-          stop.store(true, std::memory_order_relaxed);
-          break;
-        }
-      }
+      runner.run_round(rng, checkpoint, stop_now);
     }
     out.engine_bytes = engine.memory_bytes();
+    out.restarted_rows = runner.restarted_rows();
+    out.plateau_restarted_rows = runner.plateau_restarted_rows();
+    out.gd_iterations = runner.gd_iterations();
     out.rows_validated = harvester.rows_validated();
     out.harvest_ms = harvester.harvest_ms();
   };
@@ -319,6 +192,7 @@ RunResult run_parallel(const GdProblem& problem, const cnf::Formula& formula,
   std::uint64_t rounds = 0;
   std::uint64_t restarted_rows = 0;
   std::uint64_t plateau_restarted_rows = 0;
+  std::uint64_t gd_iterations = 0;
   std::uint64_t rows_validated = 0;
   double harvest_ms = 0.0;
   std::size_t engine_bytes = 0;
@@ -338,6 +212,7 @@ RunResult run_parallel(const GdProblem& problem, const cnf::Formula& formula,
     rounds += out.rounds;
     restarted_rows += out.restarted_rows;
     plateau_restarted_rows += out.plateau_restarted_rows;
+    gd_iterations += out.gd_iterations;
     rows_validated += out.rows_validated;
     harvest_ms += out.harvest_ms;
     engine_bytes += out.engine_bytes;
@@ -370,6 +245,7 @@ RunResult run_parallel(const GdProblem& problem, const cnf::Formula& formula,
     extras->rounds = rounds;
     extras->restarted_rows = restarted_rows;
     extras->plateau_restarted_rows = plateau_restarted_rows;
+    extras->gd_iterations = gd_iterations;
     extras->rows_validated = rows_validated;
     extras->harvest_ms = harvest_ms;
   }

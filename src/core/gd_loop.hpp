@@ -68,6 +68,9 @@ struct GdLoopExtras {
   std::uint64_t restarted_rows = 0;
   /// Rows re-seeded by plateau restarts (0 when restart_plateau is off).
   std::uint64_t plateau_restarted_rows = 0;
+  /// Engine iterations executed across all workers (each is one full
+  /// embed/forward/backward/update sweep over the batch).
+  std::uint64_t gd_iterations = 0;
   /// Batch rows validated by the harvest pipeline and the wall-clock spent
   /// doing it, both summed across workers.  Their ratio is the *mean
   /// per-worker* validation throughput (one engine's counterpart of GD
@@ -78,8 +81,10 @@ struct GdLoopExtras {
 };
 
 /// Runs rounds of randomize -> iterate -> harden -> verify -> bank until
-/// options.min_solutions unique solutions are collected or the deadline
-/// expires.  `formula` is only consulted for RunOptions::verify_against_cnf.
+/// options.min_solutions unique solutions are collected, the deadline
+/// expires, or options.stop requests cancellation (polled at round and
+/// iteration boundaries; partial results are returned cleanly).  `formula`
+/// is only consulted for RunOptions::verify_against_cnf.
 [[nodiscard]] RunResult run_gd_loop(const GdProblem& problem,
                                     const cnf::Formula& formula,
                                     const RunOptions& options,

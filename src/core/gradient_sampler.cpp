@@ -5,6 +5,24 @@
 
 namespace hts::sampler {
 
+GdLoopConfig make_gd_loop_config(const GradientConfig& config) {
+  GdLoopConfig loop_config;
+  loop_config.batch = config.batch;
+  loop_config.iterations = config.iterations;
+  loop_config.learning_rate = config.learning_rate;
+  loop_config.init_std = config.init_std;
+  loop_config.collect_each_iteration = config.collect_each_iteration;
+  loop_config.cone_only = config.cone_only;
+  loop_config.policy = config.policy;
+  loop_config.max_rounds = config.max_rounds;
+  loop_config.n_workers = config.n_workers;
+  loop_config.restart_solved = config.restart_solved;
+  loop_config.restart_plateau = config.restart_plateau;
+  loop_config.fast_sigmoid = config.fast_sigmoid;
+  loop_config.optimize_tape = config.optimize_tape;
+  return loop_config;
+}
+
 RunResult GradientSampler::run(const cnf::Formula& formula,
                                const RunOptions& options) {
   RunResult result;
@@ -24,20 +42,7 @@ RunResult GradientSampler::run(const cnf::Formula& formula,
   gd_problem.circuit = &problem.circuit;
   gd_problem.var_signal = &problem.var_signal;
 
-  GdLoopConfig loop_config;
-  loop_config.batch = config_.batch;
-  loop_config.iterations = config_.iterations;
-  loop_config.learning_rate = config_.learning_rate;
-  loop_config.init_std = config_.init_std;
-  loop_config.collect_each_iteration = config_.collect_each_iteration;
-  loop_config.cone_only = config_.cone_only;
-  loop_config.policy = config_.policy;
-  loop_config.max_rounds = config_.max_rounds;
-  loop_config.n_workers = config_.n_workers;
-  loop_config.restart_solved = config_.restart_solved;
-  loop_config.restart_plateau = config_.restart_plateau;
-  loop_config.fast_sigmoid = config_.fast_sigmoid;
-  loop_config.optimize_tape = config_.optimize_tape;
+  const GdLoopConfig loop_config = make_gd_loop_config(config_);
 
   extras_ = GdLoopExtras{};
   result = run_gd_loop(gd_problem, formula, options, loop_config, &extras_);

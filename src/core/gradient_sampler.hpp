@@ -51,6 +51,14 @@ struct GradientConfig {
   transform::Config transform;
 };
 
+/// Loop configuration implied by a sampler configuration.  One mapping,
+/// shared by GradientSampler::run and the sampling service's job runner, so
+/// a GradientConfig knob can never silently stop reaching the loop on one
+/// of the two paths.  (transform is consumed earlier, at circuit-extraction
+/// time, and n_workers is ignored by the service — its parallelism axis is
+/// concurrent requests, not round-parallel workers within one.)
+[[nodiscard]] GdLoopConfig make_gd_loop_config(const GradientConfig& config);
+
 class GradientSampler : public Sampler {
  public:
   explicit GradientSampler(GradientConfig config = {}) : config_(config) {}

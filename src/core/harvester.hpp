@@ -48,15 +48,21 @@ class Harvester {
   /// `plan` is the circuit's compiled evaluator; pass one to share it across
   /// workers (it is immutable after construction), or leave it null and the
   /// harvester compiles its own.
+  /// `inline_eval` keeps the evaluation phase on the calling thread even
+  /// when the global pool is real: the sampling service sets it for the
+  /// same reason its engines default to kSerial — concurrent jobs are the
+  /// parallelism axis, and a loaded fleet fanning every harvest out to one
+  /// shared pool only adds queue contention and oversubscription.
   Harvester(const GdProblem& problem, const cnf::Formula& formula,
             const RunOptions& options, Bank& bank, RunResult& result,
-            const circuit::EvalPlan* plan = nullptr)
+            const circuit::EvalPlan* plan = nullptr, bool inline_eval = false)
       : problem_(problem),
         formula_(formula),
         options_(options),
         result_(result),
         bank_(bank),
         plan_(plan),
+        inline_eval_(inline_eval),
         // accept_row wants a projected assignment only to store or verify
         // it; a keys-only configuration never reads the stash, so phase 1
         // can skip writing (and allocating) it entirely.
@@ -71,8 +77,15 @@ class Harvester {
   [[nodiscard]] std::size_t n_unique() const { return bank_.size(); }
 
   /// packed: n_inputs x n_words hardened input bits covering `batch` rows.
+  ///
+  /// Honours RunOptions::stop at block boundaries: a cancelled collect stops
+  /// evaluating further blocks and accepts only the rows already validated
+  /// (unevaluated words read as unsolved), so a request abort never waits
+  /// for a full batch validation.  rows_validated() is not advanced by a
+  /// cancelled collect.
   void collect(const std::vector<std::uint64_t>& packed, std::size_t n_words,
                std::size_t batch) {
+    if (options_.stop.stop_requested()) return;
     const util::Timer harvest_timer;
     constexpr std::size_t kB = circuit::EvalPlan::kBlockWords;
     const circuit::EvalPlan& plan = *plan_;
@@ -90,7 +103,7 @@ class Harvester {
     // only decides how many scratch buffers work in parallel.
     util::ThreadPool& pool = util::ThreadPool::global();
     std::size_t n_parts = std::min(n_blocks, pool.size());
-    if (pool.size() <= 1) n_parts = 1;
+    if (pool.size() <= 1 || inline_eval_) n_parts = 1;
     if (scratch_.size() < n_parts) scratch_.resize(n_parts);
     auto eval_part = [&](std::size_t part) {
       std::vector<std::uint64_t>& slots = scratch_[part];
@@ -100,6 +113,7 @@ class Harvester {
       const std::size_t block_begin = n_blocks * part / n_parts;
       const std::size_t block_end = n_blocks * (part + 1) / n_parts;
       for (std::size_t block = block_begin; block < block_end; ++block) {
+        if (options_.stop.stop_requested()) return;
         const std::size_t w0 = block * kB;
         const std::size_t count = std::min(kB, n_words - w0);
         plan.eval_block(packed.data(), n_words, w0, count, slots.data());
@@ -139,7 +153,7 @@ class Harvester {
         accept_row(packed, n_words, n_proj, w, static_cast<std::size_t>(r));
       }
     }
-    rows_validated_ += batch;
+    if (!options_.stop.stop_requested()) rows_validated_ += batch;
     harvest_ms_ += harvest_timer.milliseconds();
   }
 
@@ -195,6 +209,7 @@ class Harvester {
   Bank& bank_;
   const circuit::EvalPlan* plan_;
   std::unique_ptr<circuit::EvalPlan> owned_plan_;
+  bool inline_eval_;
   bool need_proj_;
   std::vector<std::uint64_t> key_;
   std::vector<std::uint64_t> solved_mask_;

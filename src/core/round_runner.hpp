@@ -1,0 +1,200 @@
+#pragma once
+
+// One GD round (randomize -> iterate -> harden -> harvest, with restarts),
+// extracted from the run-to-completion loops of gd_loop.cpp so a third
+// caller — the sampling service, which time-slices jobs at round
+// granularity — executes the *identical* round body instead of a paraphrase
+// of it.  The serial loop, the round-parallel workers, and a service job
+// all construct a RoundRunner over their own engine/harvester pair and
+// drive it one round at a time; what differs between them (where the
+// unique count lives, what a checkpoint records, when to bail out) enters
+// through the two callbacks.
+//
+// Determinism contract: for a fixed RNG state the runner consumes random
+// draws in exactly the historical order (randomize, then restart draws per
+// harvest window), calls collect() at exactly the historical points, and
+// never draws on behalf of bookkeeping — so run_serial stays bit-identical
+// to the pre-extraction loop, and a service job whose rounds are seeded
+// per-round (util::Rng::stream(seed, round)) produces one well-defined
+// solution stream no matter which worker runs which slice.
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <vector>
+
+#include "core/gd_loop.hpp"
+#include "core/harvester.hpp"
+#include "prob/engine.hpp"
+#include "util/rng.hpp"
+
+namespace hts::sampler {
+
+/// Engine configuration implied by a loop configuration; shared by every
+/// call site that builds an Engine for the GD loop (serial, round-parallel
+/// workers, service jobs), so a config knob can never reach one path but
+/// not another.
+[[nodiscard]] inline prob::Engine::Config engine_config_for(
+    const GdLoopConfig& config) {
+  prob::Engine::Config engine_config;
+  engine_config.batch = config.batch;
+  engine_config.learning_rate = config.learning_rate;
+  engine_config.init_std = config.init_std;
+  engine_config.policy = config.policy;
+  engine_config.fast_sigmoid = config.fast_sigmoid;
+  return engine_config;
+}
+
+namespace detail {
+
+/// Tracks per-row loss progress between harvest windows for plateau
+/// restarts (GdLoopConfig::restart_plateau).  A row "improves" when its
+/// loss drops below its best-so-far by more than a small epsilon; after k
+/// consecutive windows without improvement the row is flagged for
+/// re-seeding.  Solved rows are restart_solved's business: they reset their
+/// tracker and are never flagged here.  Trackers reset every round — a
+/// fresh random V owes no progress to the previous basin.
+class PlateauTracker {
+ public:
+  PlateauTracker(std::size_t batch, std::size_t n_words, std::size_t k)
+      : k_(k), batch_(batch), best_(batch), age_(batch), mask_(n_words) {}
+
+  void begin_round() {
+    std::fill(best_.begin(), best_.end(),
+              std::numeric_limits<float>::infinity());
+    std::fill(age_.begin(), age_.end(), 0u);
+  }
+
+  /// Observes the engine's current per-row losses; returns the mask (same
+  /// word layout as harden()) of rows stuck for >= k windows.
+  const std::vector<std::uint64_t>& observe(
+      const prob::Engine& engine, const std::vector<std::uint64_t>& solved) {
+    // Loss improvements below this are float jitter, not progress.
+    constexpr float kEps = 1e-6f;
+    engine.row_losses(losses_);
+    std::fill(mask_.begin(), mask_.end(), 0);
+    for (std::size_t r = 0; r < batch_; ++r) {
+      const std::size_t word = r / 64;
+      const std::uint64_t bit = 1ULL << (r % 64);
+      if (word < solved.size() && (solved[word] & bit) != 0) {
+        best_[r] = std::numeric_limits<float>::infinity();
+        age_[r] = 0;
+        continue;
+      }
+      if (losses_[r] < best_[r] - kEps) {
+        best_[r] = losses_[r];
+        age_[r] = 0;
+        continue;
+      }
+      if (++age_[r] >= k_) {
+        mask_[word] |= bit;
+        best_[r] = std::numeric_limits<float>::infinity();
+        age_[r] = 0;
+      }
+    }
+    return mask_;
+  }
+
+ private:
+  std::size_t k_;
+  std::size_t batch_;
+  std::vector<float> best_;
+  std::vector<std::uint32_t> age_;
+  std::vector<std::uint64_t> mask_;
+  std::vector<float> losses_;
+};
+
+}  // namespace detail
+
+template <typename Bank>
+class RoundRunner {
+ public:
+  /// The engine and harvester are borrowed for the runner's lifetime; the
+  /// packed-bits buffer and plateau tracker are owned here and reused
+  /// across rounds (no per-round allocation after the first).
+  RoundRunner(const GdLoopConfig& config, prob::Engine& engine,
+              Harvester<Bank>& harvester)
+      : config_(config), engine_(engine), harvester_(harvester) {
+    if (config.restart_plateau > 0) {
+      plateau_.emplace(config.batch, engine.n_words(), config.restart_plateau);
+    }
+  }
+
+  /// Runs one randomize -> iterate -> harden -> harvest round.
+  ///
+  /// `checkpoint(iter)` fires after the harvest of iteration `iter` (0 is
+  /// the pre-descent collect of the fresh randomization) and is where the
+  /// caller records unique counts / progress / streams solutions out; it
+  /// must not consume `rng`.  `stop_now()` is polled once per iteration
+  /// *after* its checkpoint — returning true ends the round early (target
+  /// reached, deadline, cooperative cancel).  The historical loop shape is
+  /// preserved exactly: the iteration-0 collect has no stop poll (descent
+  /// always gets its first iteration), and the round's final harvest skips
+  /// the restart draws because a fresh randomize() follows anyway.
+  template <typename Checkpoint, typename Stop>
+  void run_round(util::Rng& rng, Checkpoint&& checkpoint, Stop&& stop_now) {
+    engine_.randomize(rng);
+    if (plateau_) plateau_->begin_round();
+    // Solved rows have been banked; re-seeding them starts fresh descents in
+    // the remaining iterations instead of re-converging to the same basin.
+    auto restart_solved_rows = [&] {
+      if (config_.restart_solved) {
+        restarted_rows_ +=
+            engine_.rerandomize_rows(harvester_.last_solved(), rng);
+      }
+    };
+    // Plateaued rows follow; only meaningful at mid-round harvests, where
+    // the engine's activations come from this round's own forward pass.
+    auto restart_plateau_rows = [&] {
+      if (plateau_) {
+        plateau_restarted_rows_ += engine_.rerandomize_rows(
+            plateau_->observe(engine_, harvester_.last_solved()), rng);
+      }
+    };
+    // Iteration-0 checkpoint: random initialization already satisfies the
+    // unconstrained paths (and occasionally everything).
+    if (config_.collect_each_iteration) {
+      engine_.harden(packed_);
+      harvester_.collect(packed_, engine_.n_words(), config_.batch);
+      checkpoint(0);
+      restart_solved_rows();
+    }
+    for (int iter = 1; iter <= config_.iterations; ++iter) {
+      engine_.run_iteration();
+      ++gd_iterations_;
+      if (config_.collect_each_iteration || iter == config_.iterations) {
+        engine_.harden(packed_);
+        harvester_.collect(packed_, engine_.n_words(), config_.batch);
+        checkpoint(iter);
+        if (iter != config_.iterations) {
+          restart_solved_rows();
+          restart_plateau_rows();
+        }
+      }
+      if (stop_now()) break;
+    }
+  }
+
+  /// Rows re-seeded by solved-row restarts over the runner's lifetime.
+  [[nodiscard]] std::uint64_t restarted_rows() const { return restarted_rows_; }
+  /// Rows re-seeded by plateau restarts over the runner's lifetime.
+  [[nodiscard]] std::uint64_t plateau_restarted_rows() const {
+    return plateau_restarted_rows_;
+  }
+  /// Engine iterations executed over the runner's lifetime (JobStats fuel
+  /// gauge for the service).
+  [[nodiscard]] std::uint64_t gd_iterations() const { return gd_iterations_; }
+
+ private:
+  const GdLoopConfig& config_;
+  prob::Engine& engine_;
+  Harvester<Bank>& harvester_;
+  std::optional<detail::PlateauTracker> plateau_;
+  std::vector<std::uint64_t> packed_;
+  std::uint64_t restarted_rows_ = 0;
+  std::uint64_t plateau_restarted_rows_ = 0;
+  std::uint64_t gd_iterations_ = 0;
+};
+
+}  // namespace hts::sampler

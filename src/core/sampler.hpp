@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "cnf/formula.hpp"
+#include "util/stop_token.hpp"
 
 namespace hts::sampler {
 
@@ -36,6 +37,13 @@ struct RunOptions {
   /// failures in n_invalid (all samplers must keep this at 0; enabled by
   /// tests, costs one formula evaluation per solution).
   bool verify_against_cnf = false;
+  /// Cooperative cancellation: samplers poll this at their natural yield
+  /// points (the GD loop checks it at round and iteration boundaries, the
+  /// harvester between evaluation blocks) and return partial results when a
+  /// stop is requested.  The default token never fires, so existing callers
+  /// are unaffected; the service layer wires each request's abort source
+  /// (client cancel or deadline reaper) in here.
+  util::StopToken stop;
 };
 
 struct ProgressPoint {

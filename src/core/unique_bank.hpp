@@ -38,6 +38,17 @@ struct PackedKeyHash {
   }
 };
 
+/// Approximate heap bytes one banked key costs: the packed words, the
+/// std::vector header, and the unordered_set node (stored hash + bucket
+/// chain pointer + allocator rounding).  Shared by both bank variants so
+/// size_bytes() means the same thing everywhere; it is an accounting
+/// estimate for per-client memory caps, not an allocator audit.
+[[nodiscard]] inline std::size_t key_footprint_bytes(std::size_t n_words) {
+  constexpr std::size_t kNodeOverhead = 32;
+  return n_words * sizeof(std::uint64_t) + sizeof(std::vector<std::uint64_t>) +
+         kNodeOverhead;
+}
+
 /// Packs a byte-per-bit assignment into the canonical key layout.  Shared by
 /// both bank variants so they can never disagree on key identity.
 [[nodiscard]] inline std::vector<std::uint64_t> pack_bits(
@@ -69,6 +80,12 @@ class UniqueBank {
 
   [[nodiscard]] std::size_t size() const { return set_.size(); }
   [[nodiscard]] std::size_t n_words() const { return n_words_; }
+
+  /// Approximate heap footprint of the banked keys (see
+  /// detail::key_footprint_bytes); grows linearly with size().
+  [[nodiscard]] std::size_t size_bytes() const {
+    return set_.size() * detail::key_footprint_bytes(n_words_);
+  }
 
  private:
   std::size_t n_bits_;
@@ -115,6 +132,14 @@ class ShardedUniqueBank {
   [[nodiscard]] std::size_t size() const {
     return size_.load(std::memory_order_relaxed);
   }
+
+  /// Approximate heap footprint of the banked keys (see
+  /// detail::key_footprint_bytes).  Lock-free like size(), so the service
+  /// can poll per-request memory caps from any thread.
+  [[nodiscard]] std::size_t size_bytes() const {
+    return size() * detail::key_footprint_bytes(n_words_);
+  }
+
   [[nodiscard]] std::size_t n_words() const { return n_words_; }
   [[nodiscard]] std::size_t n_shards() const { return shards_.size(); }
 

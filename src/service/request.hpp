@@ -1,0 +1,139 @@
+#pragma once
+
+// Request, status, and accounting types of the in-process sampling service.
+//
+// A SamplingRequest is one client's job: a formula, a seed, a deadline, a
+// unique-solution target, memory caps, and engine tuning overrides.  The
+// service compiles the formula once (or pulls the compiled plan from the
+// cache), time-slices GD rounds across the worker fleet, and streams unique
+// solutions back through the request's SolutionStream as they are
+// harvested.  JobStats is the per-request bill: what was produced, what it
+// cost, and how long the request waited for a worker.
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+#include "cnf/formula.hpp"
+#include "core/gradient_sampler.hpp"
+#include "tensor/tensor.hpp"
+
+namespace hts::service {
+
+/// Engine tuning defaults for service jobs.  Identical to the stand-alone
+/// GradientSampler defaults except the kernel policy: a service worker runs
+/// many jobs concurrently, so each engine keeps its kernels on its own
+/// worker thread (kSerial) instead of fanning every tile out to the global
+/// pool — concurrent requests are the parallelism axis, and stacking
+/// data-parallel dispatch on top of a loaded fleet only adds queue
+/// contention.  Override config.policy per request to compose deliberately.
+[[nodiscard]] inline sampler::GradientConfig default_job_config() {
+  sampler::GradientConfig config;
+  config.policy = tensor::Policy::kSerial;
+  return config;
+}
+
+struct SamplingRequest {
+  /// The formula to sample (copied into the job; the caller's object need
+  /// not outlive the request).
+  cnf::Formula formula;
+
+  /// Fairness key: the scheduler round-robins across clients when deadlines
+  /// tie, so one client queueing many jobs cannot crowd out another.
+  std::uint64_t client_id = 0;
+
+  /// Base seed of the job's RNG streams.  Round r draws from
+  /// util::Rng::stream(seed, r), so a job's solution stream is a pure
+  /// function of (formula, seed, config) — independent of fleet size,
+  /// scheduling order, and whatever else the server is running.
+  std::uint64_t seed = 0x5eed;
+
+  /// Wall-clock budget in milliseconds, counted from submission (queue wait
+  /// included — that is what "deadline-aware" schedules against).  0 means
+  /// no deadline.  An expired job finalizes with its partial results.
+  double deadline_ms = 0.0;
+
+  /// Finish successfully once this many unique solutions are banked.
+  /// 0 means "run until the deadline or a cap" (requires deadline_ms,
+  /// max_uniques, max_bank_bytes, or an eventual cancel() to terminate).
+  std::size_t target_uniques = 1000;
+
+  /// Hard per-request cap on banked uniques (0 = none).  The job finalizes
+  /// as kCapped at the first harvest boundary at or past the cap, bounding
+  /// the client's bank memory at roughly max_uniques keys + one batch.
+  std::size_t max_uniques = 0;
+
+  /// Hard cap on the unique bank's approximate heap bytes (0 = none); see
+  /// ShardedUniqueBank::size_bytes().  Same kCapped semantics as above.
+  std::size_t max_bank_bytes = 0;
+
+  /// Bound on the solution stream's buffered assignments (0 = unbounded).
+  /// A full stream applies backpressure: the job's worker blocks at the
+  /// next delivery until the consumer drains (or the job aborts), so a slow
+  /// consumer throttles exactly its own job.
+  std::size_t stream_capacity = 0;
+
+  /// Deliver projected assignments through the stream (on by default).
+  /// Count-only clients turn this off and read JobStats instead; the bank
+  /// still deduplicates, but no assignment is materialized or buffered.
+  bool deliver_solutions = true;
+
+  /// Callback delivery: when set, each new unique assignment is handed to
+  /// this callable synchronously from the worker thread instead of being
+  /// buffered in the stream (stream_capacity is then ignored).  Must be
+  /// thread-safe across jobs sharing the callable and fast — the round is
+  /// stalled while it runs.
+  std::function<void(const cnf::Assignment&)> on_solution;
+
+  /// Engine/loop tuning.  n_workers and max_rounds are ignored (the service
+  /// owns scheduling); transform/cone_only/optimize_tape participate in the
+  /// plan-cache key, so two requests differing only in those compile
+  /// separate plans.
+  sampler::GradientConfig config = default_job_config();
+};
+
+enum class JobStatus : std::uint8_t {
+  kQueued,           // submitted, waiting for a worker slice
+  kRunning,          // a worker holds the job (between slices it re-queues)
+  kCompleted,        // reached target_uniques
+  kDeadlineExpired,  // budget ran out; partial results delivered
+  kCancelled,        // client cancel() or server shutdown
+  kCapped,           // hit max_uniques / max_bank_bytes
+  kUnsat,            // the transformation proved the formula unsatisfiable
+};
+
+[[nodiscard]] constexpr bool job_status_terminal(JobStatus status) {
+  return status != JobStatus::kQueued && status != JobStatus::kRunning;
+}
+
+[[nodiscard]] constexpr const char* job_status_name(JobStatus status) {
+  switch (status) {
+    case JobStatus::kQueued: return "queued";
+    case JobStatus::kRunning: return "running";
+    case JobStatus::kCompleted: return "completed";
+    case JobStatus::kDeadlineExpired: return "deadline";
+    case JobStatus::kCancelled: return "cancelled";
+    case JobStatus::kCapped: return "capped";
+    case JobStatus::kUnsat: return "unsat";
+  }
+  return "?";
+}
+
+/// Per-request accounting, final once the job is terminal (wait() first).
+/// Snapshots taken earlier are consistent but mid-flight.
+struct JobStats {
+  std::size_t n_unique = 0;        // banked unique solutions
+  std::size_t delivered = 0;       // assignments handed to the sink
+  std::uint64_t rounds = 0;        // GD rounds fully or partially executed
+  std::uint64_t gd_iterations = 0; // engine sweeps across all rounds
+  std::uint64_t rows_validated = 0;
+  double queue_wait_ms = 0.0;      // total time spent waiting for a worker
+  double exec_ms = 0.0;            // total time holding a worker
+  double compile_ms = 0.0;         // this job's wait on plan compilation
+  double wall_ms = 0.0;            // submission -> terminal
+  bool plan_cache_hit = false;     // plan reused (possibly after waiting on
+                                   // another request's in-flight compile)
+  std::size_t bank_bytes = 0;      // final bank footprint estimate
+};
+
+}  // namespace hts::service

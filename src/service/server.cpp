@@ -1,0 +1,460 @@
+#include "service/server.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <limits>
+#include <thread>
+#include <utility>
+
+#include "core/harvester.hpp"
+#include "core/round_runner.hpp"
+#include "core/unique_bank.hpp"
+#include "prob/engine.hpp"
+#include "util/rng.hpp"
+#include "util/stop_token.hpp"
+#include "util/timer.hpp"
+
+namespace hts::service {
+
+namespace detail {
+
+/// One submitted request's full lifetime: scheduler bookkeeping, the lazily
+/// built execution state (plan, engine, bank, harvester, runner — created
+/// on the job's first slice, released at finalize so terminal jobs hold no
+/// engine memory), and the cross-thread stats clients poll.
+///
+/// Concurrency contract: the execution-state block is touched only by the
+/// worker currently holding the job (jobs are in exactly one of ready_/
+/// running_/terminal, never two places); `status` is atomic; `stats` is
+/// guarded by `mutex`.  Lock order is server mutex_ -> job mutex; no path
+/// takes them in reverse.
+struct Job {
+  explicit Job(SamplingRequest req)
+      : request(std::move(req)),
+        deadline(request.deadline_ms > 0.0 ? request.deadline_ms : -1.0),
+        stream(std::make_shared<SolutionStream>(request.stream_capacity,
+                                                request.on_solution)) {}
+
+  SamplingRequest request;
+  std::uint64_t id = 0;
+  std::uint64_t submit_seq = 0;
+  /// Clock starts at construction (== submission), so queue wait counts
+  /// against the budget: that is the deadline the scheduler orders by.
+  util::Deadline deadline;
+  util::StopSource abort;
+  std::atomic<bool> user_cancelled{false};
+  std::shared_ptr<SolutionStream> stream;
+  std::atomic<JobStatus> status{JobStatus::kQueued};
+
+  // ---- execution state (worker-held; see contract above) ----
+  sampler::GdLoopConfig loop_config;
+  sampler::RunOptions run_options;
+  sampler::GdProblem gd_problem;
+  std::shared_ptr<const CompiledPlan> plan;
+  std::unique_ptr<sampler::ShardedUniqueBank> bank;
+  std::unique_ptr<prob::Engine> engine;
+  sampler::RunResult result;
+  std::unique_ptr<sampler::Harvester<sampler::ShardedUniqueBank>> harvester;
+  std::unique_ptr<sampler::RoundRunner<sampler::ShardedUniqueBank>> runner;
+  /// Rounds claimed so far; round r seeds util::Rng::stream(seed, r).
+  std::uint64_t rounds_started = 0;
+  /// Round-robin stamp of the job's own last pop (guarded by the server
+  /// mutex): among one client's deadline-tied jobs, the least recently
+  /// scheduled one runs next, so re-queued long jobs interleave with their
+  /// siblings instead of monopolizing the FIFO head.
+  std::uint64_t last_pop_seq = 0;
+  /// lifetime mark of the latest enqueue (written and read under the
+  /// server mutex across the enqueue -> pop handoff).
+  double enqueued_at_ms = 0.0;
+
+  // ---- cross-thread accounting ----
+  mutable std::mutex mutex;
+  std::condition_variable done_cv;
+  JobStats stats;
+  util::Timer lifetime;
+
+  void cancel() {
+    user_cancelled.store(true, std::memory_order_relaxed);
+    abort.request_stop();
+  }
+};
+
+}  // namespace detail
+
+using detail::Job;
+
+// ---- JobHandle ---------------------------------------------------------------
+
+JobHandle::JobHandle(std::shared_ptr<detail::Job> job) : job_(std::move(job)) {}
+
+std::uint64_t JobHandle::id() const { return job_->id; }
+
+JobStatus JobHandle::status() const {
+  return job_->status.load(std::memory_order_acquire);
+}
+
+JobStats JobHandle::stats() const {
+  std::lock_guard<std::mutex> lock(job_->mutex);
+  return job_->stats;
+}
+
+SolutionStream& JobHandle::stream() const { return *job_->stream; }
+
+void JobHandle::cancel() const { job_->cancel(); }
+
+JobStatus JobHandle::wait() const {
+  std::unique_lock<std::mutex> lock(job_->mutex);
+  job_->done_cv.wait(lock, [this] {
+    return job_status_terminal(job_->status.load(std::memory_order_acquire));
+  });
+  return job_->status.load(std::memory_order_acquire);
+}
+
+bool JobHandle::wait_for(double timeout_ms) const {
+  std::unique_lock<std::mutex> lock(job_->mutex);
+  return job_->done_cv.wait_for(
+      lock, std::chrono::duration<double, std::milli>(timeout_ms), [this] {
+        return job_status_terminal(
+            job_->status.load(std::memory_order_acquire));
+      });
+}
+
+// ---- Server ------------------------------------------------------------------
+
+Server::Server(ServerConfig config)
+    : config_(config),
+      n_workers_(config.n_workers != 0
+                     ? config.n_workers
+                     : std::max<std::size_t>(
+                           1, std::thread::hardware_concurrency())),
+      cache_(config.plan_cache_capacity),
+      pool_(n_workers_) {
+  if (config_.rounds_per_slice == 0) config_.rounds_per_slice = 1;
+  workers_alive_ = n_workers_;
+  for (std::size_t w = 0; w < n_workers_; ++w) {
+    pool_.submit([this] { worker_loop(); });
+  }
+}
+
+Server::~Server() { shutdown(); }
+
+JobHandle Server::submit(SamplingRequest request) {
+  auto job = std::make_shared<Job>(std::move(request));
+  bool rejected = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    job->id = next_id_++;
+    job->submit_seq = job->id;
+    ++stats_.submitted;
+    if (shutdown_) {
+      rejected = true;
+    } else {
+      job->enqueued_at_ms = job->lifetime.milliseconds();
+      ready_.push_back(job);
+    }
+  }
+  if (rejected) {
+    job->cancel();
+    finalize(job, JobStatus::kCancelled);
+  } else {
+    work_cv_.notify_one();
+  }
+  return JobHandle(job);
+}
+
+void Server::shutdown() {
+  std::vector<std::shared_ptr<Job>> outstanding;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+    outstanding.insert(outstanding.end(), ready_.begin(), ready_.end());
+    outstanding.insert(outstanding.end(), running_.begin(), running_.end());
+  }
+  // Abort everything in flight; workers retire the ready queue (each pop
+  // sees the cancel and finalizes without spending a slice) and then exit.
+  for (const std::shared_ptr<Job>& job : outstanding) job->cancel();
+  work_cv_.notify_all();
+  std::unique_lock<std::mutex> lock(mutex_);
+  workers_exit_cv_.wait(lock, [this] { return workers_alive_ == 0; });
+}
+
+ServerStats Server::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+bool Server::schedules_before_locked(const Job& a, const Job& b) const {
+  // Aborted jobs first: retiring one frees its slot without spending a
+  // slice, so a cancelled job never waits behind real work.
+  const bool abort_a = a.abort.stop_requested();
+  const bool abort_b = b.abort.stop_requested();
+  if (abort_a != abort_b) return abort_a;
+  // EDF on remaining budget (both read "now" within one scan, so this
+  // orders like absolute deadlines); no-deadline jobs report ~1e18 and sort
+  // last together, where the round-robin below takes over.
+  const double da = a.deadline.remaining_ms();
+  const double db = b.deadline.remaining_ms();
+  if (da != db) return da < db;
+  const auto stamp = [this](std::uint64_t client) -> std::uint64_t {
+    const auto it = client_last_pop_.find(client);
+    return it == client_last_pop_.end() ? 0 : it->second;
+  };
+  const std::uint64_t ca = stamp(a.request.client_id);
+  const std::uint64_t cb = stamp(b.request.client_id);
+  if (ca != cb) return ca < cb;  // least recently scheduled client first
+  // Within one client: round-robin across its jobs too (a re-queued job
+  // carries a fresh stamp, so an unserved sibling goes first), then FIFO.
+  if (a.last_pop_seq != b.last_pop_seq) return a.last_pop_seq < b.last_pop_seq;
+  return a.submit_seq < b.submit_seq;
+}
+
+std::shared_ptr<Job> Server::pop_best_locked() {
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < ready_.size(); ++i) {
+    if (schedules_before_locked(*ready_[i], *ready_[best])) best = i;
+  }
+  std::shared_ptr<Job> job = ready_[best];
+  ready_.erase(ready_.begin() +
+               static_cast<std::ptrdiff_t>(best));
+  client_last_pop_[job->request.client_id] = ++pop_seq_;
+  job->last_pop_seq = pop_seq_;
+  ++stats_.slices;
+  {
+    std::lock_guard<std::mutex> jlock(job->mutex);
+    job->stats.queue_wait_ms +=
+        job->lifetime.milliseconds() - job->enqueued_at_ms;
+  }
+  return job;
+}
+
+void Server::reap_running_locked() {
+  for (const std::shared_ptr<Job>& job : running_) {
+    if (job->deadline.expired()) job->abort.request_stop();
+  }
+}
+
+void Server::worker_loop() {
+  for (;;) {
+    std::shared_ptr<Job> job;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      for (;;) {
+        reap_running_locked();
+        if (!ready_.empty()) break;
+        if (shutdown_) {
+          --workers_alive_;
+          workers_exit_cv_.notify_all();
+          return;
+        }
+        // Sleep until work arrives — but never past the nearest running
+        // deadline, so an expired job's abort token fires promptly even
+        // when every other worker is busy inside a slice.
+        double margin_ms = std::numeric_limits<double>::infinity();
+        for (const std::shared_ptr<Job>& running : running_) {
+          margin_ms = std::min(margin_ms, running->deadline.remaining_ms());
+        }
+        if (margin_ms > 1e17) {
+          work_cv_.wait(lock);
+        } else {
+          margin_ms = std::clamp(margin_ms, 1.0, 50.0);
+          work_cv_.wait_for(
+              lock, std::chrono::duration<double, std::milli>(margin_ms));
+        }
+      }
+      job = pop_best_locked();
+      job->status.store(JobStatus::kRunning, std::memory_order_release);
+      running_.push_back(job);
+    }
+
+    const double slice_begin_ms = job->lifetime.milliseconds();
+    const JobStatus outcome = run_slice(*job);
+    {
+      std::lock_guard<std::mutex> jlock(job->mutex);
+      job->stats.exec_ms += job->lifetime.milliseconds() - slice_begin_ms;
+    }
+
+    bool requeued = false;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      running_.erase(std::find(running_.begin(), running_.end(), job));
+      if (outcome == JobStatus::kRunning) {
+        job->enqueued_at_ms = job->lifetime.milliseconds();
+        job->status.store(JobStatus::kQueued, std::memory_order_release);
+        ready_.push_back(job);
+        requeued = true;
+      }
+    }
+    if (requeued) {
+      work_cv_.notify_one();
+    } else {
+      finalize(job, outcome);
+    }
+  }
+}
+
+JobStatus Server::run_slice(Job& job) {
+  const SamplingRequest& request = job.request;
+
+  // A job can be aborted (cancel, shutdown, reaper) or expire while it sits
+  // in the queue; retire it before paying for compilation or engine
+  // allocation.
+  if (job.user_cancelled.load(std::memory_order_relaxed)) {
+    return JobStatus::kCancelled;
+  }
+  if (job.deadline.expired()) return JobStatus::kDeadlineExpired;
+  if (job.abort.stop_requested()) return JobStatus::kCancelled;
+
+  if (job.plan == nullptr) {
+    // First slice: pull the compiled artifacts from the cache (or compile
+    // them, once per distinct formula/options) and build the job's private
+    // execution state around them.
+    PlanOptions plan_options;
+    plan_options.cone_only = request.config.cone_only;
+    plan_options.optimize_tape = request.config.optimize_tape;
+    plan_options.transform = request.config.transform;
+    const util::Timer compile_timer;
+    bool hit = false;
+    job.plan = cache_.get_or_compile(request.formula, plan_options, &hit);
+    {
+      std::lock_guard<std::mutex> jlock(job.mutex);
+      job.stats.compile_ms = compile_timer.milliseconds();
+      job.stats.plan_cache_hit = hit;
+    }
+    if (job.plan->transformed.proven_unsat) return JobStatus::kUnsat;
+
+    job.loop_config = sampler::make_gd_loop_config(request.config);
+    job.run_options.min_solutions = request.target_uniques;
+    job.run_options.budget_ms = request.deadline_ms;
+    job.run_options.seed = request.seed;
+    const bool deliver =
+        request.deliver_solutions || static_cast<bool>(request.on_solution);
+    job.run_options.store_limit =
+        deliver ? std::numeric_limits<std::size_t>::max() : 0;
+    job.run_options.stop = job.abort.token();
+    job.gd_problem.circuit = &job.plan->transformed.circuit;
+    job.gd_problem.var_signal = &job.plan->transformed.var_signal;
+    job.bank = std::make_unique<sampler::ShardedUniqueBank>(
+        job.gd_problem.circuit->n_inputs());
+    job.engine = std::make_unique<prob::Engine>(
+        *job.plan->compiled, sampler::engine_config_for(job.loop_config));
+    job.harvester =
+        std::make_unique<sampler::Harvester<sampler::ShardedUniqueBank>>(
+            job.gd_problem, request.formula, job.run_options, *job.bank,
+            job.result, &*job.plan->eval_plan, /*inline_eval=*/true);
+    job.runner = std::make_unique<
+        sampler::RoundRunner<sampler::ShardedUniqueBank>>(
+        job.loop_config, *job.engine, *job.harvester);
+  }
+
+  auto reached_target = [&] {
+    return request.target_uniques > 0 &&
+           job.bank->size() >= request.target_uniques;
+  };
+  auto capped = [&] {
+    return (request.max_uniques > 0 &&
+            job.bank->size() >= request.max_uniques) ||
+           (request.max_bank_bytes > 0 &&
+            job.bank->size_bytes() >= request.max_bank_bytes);
+  };
+  // New uniques land in job.result.solutions in harvest order; hand them to
+  // the sink and update the live counters after every harvest.
+  const util::StopToken abort_token = job.abort.token();
+  auto checkpoint = [&](int) {
+    for (cnf::Assignment& assignment : job.result.solutions) {
+      if (!job.stream->push(std::move(assignment), abort_token,
+                            job.deadline)) {
+        break;  // dropped: consumer cancelled or the job is winding down
+      }
+    }
+    job.result.solutions.clear();
+    std::lock_guard<std::mutex> jlock(job.mutex);
+    job.stats.n_unique = job.bank->size();
+    job.stats.delivered = job.stream->delivered();
+    job.stats.rounds = job.rounds_started;
+    job.stats.gd_iterations = job.runner->gd_iterations();
+    job.stats.rows_validated = job.harvester->rows_validated();
+  };
+  auto stop_now = [&] {
+    return reached_target() || capped() || job.deadline.expired() ||
+           job.abort.stop_requested();
+  };
+
+  for (std::size_t s = 0; s < config_.rounds_per_slice; ++s) {
+    if (stop_now()) break;
+    // Per-round RNG streams make the job's trajectory a pure function of
+    // (seed, round index) — scheduling order and fleet size never reach it.
+    util::Rng rng = util::Rng::stream(request.seed, job.rounds_started);
+    ++job.rounds_started;
+    job.runner->run_round(rng, checkpoint, stop_now);
+  }
+
+  if (reached_target()) return JobStatus::kCompleted;
+  if (job.user_cancelled.load(std::memory_order_relaxed)) {
+    return JobStatus::kCancelled;
+  }
+  if (capped()) return JobStatus::kCapped;
+  if (job.deadline.expired()) return JobStatus::kDeadlineExpired;
+  if (job.abort.stop_requested()) return JobStatus::kCancelled;
+  return JobStatus::kRunning;
+}
+
+void Server::finalize(const std::shared_ptr<Job>& job, JobStatus status) {
+  {
+    std::lock_guard<std::mutex> jlock(job->mutex);
+    JobStats& stats = job->stats;
+    stats.wall_ms = job->lifetime.milliseconds();
+    stats.rounds = job->rounds_started;
+    if (job->bank) {
+      stats.n_unique = job->bank->size();
+      stats.bank_bytes = job->bank->size_bytes();
+    }
+    if (job->harvester) stats.rows_validated = job->harvester->rows_validated();
+    if (job->runner) stats.gd_iterations = job->runner->gd_iterations();
+    stats.delivered = job->stream->delivered();
+  }
+  // Release the execution state in dependency order (runner borrows
+  // engine+harvester; harvester borrows bank/options/problem): a terminal
+  // job reachable through lingering handles must not pin engine buffers or
+  // the compiled plan.
+  job->runner.reset();
+  job->harvester.reset();
+  job->engine.reset();
+  job->bank.reset();
+  job->result = sampler::RunResult{};
+  job->plan.reset();
+  job->stream->close();
+  // Fleet counters move before the terminal status is visible, so a client
+  // that wait()s and then reads Server::stats() observes its own job.
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    // Drop the client's round-robin stamp once its last outstanding job is
+    // gone — a long-lived server must not grow state per client_id ever
+    // seen.  (A returning client restarts as "least recently scheduled",
+    // exactly like a new one.)
+    const std::uint64_t client = job->request.client_id;
+    auto has_same_client = [client](const std::shared_ptr<Job>& other) {
+      return other->request.client_id == client;
+    };
+    if (std::none_of(ready_.begin(), ready_.end(), has_same_client) &&
+        std::none_of(running_.begin(), running_.end(), has_same_client)) {
+      client_last_pop_.erase(client);
+    }
+    switch (status) {
+      case JobStatus::kCompleted: ++stats_.completed; break;
+      case JobStatus::kDeadlineExpired: ++stats_.deadline_expired; break;
+      case JobStatus::kCancelled: ++stats_.cancelled; break;
+      case JobStatus::kCapped: ++stats_.capped; break;
+      case JobStatus::kUnsat: ++stats_.unsat; break;
+      case JobStatus::kQueued:
+      case JobStatus::kRunning: break;  // unreachable: finalize is terminal
+    }
+  }
+  {
+    std::lock_guard<std::mutex> jlock(job->mutex);
+    job->status.store(status, std::memory_order_release);
+  }
+  job->done_cv.notify_all();
+}
+
+}  // namespace hts::service

@@ -1,0 +1,159 @@
+#pragma once
+
+// In-process sampling service: many concurrent SamplingRequests, one
+// machine.
+//
+// A Server owns a fixed worker fleet (long-lived scheduler loops submitted
+// to a util::ThreadPool it owns) and a compiled-plan cache.  submit() is
+// non-blocking: the request joins a fair run queue and the returned
+// JobHandle is the client's view of the job — its solution stream, live
+// stats, cancellation, and completion wait.
+//
+// Scheduling is earliest-deadline-first over *time slices*: a worker pops
+// the queued job with the nearest deadline (no-deadline jobs sort last, as
+// batch traffic), runs a bounded number of GD rounds, and re-queues the
+// job, so a long request cannot occupy a worker beyond one slice while a
+// short-deadline request waits — no head-of-line blocking.  Deadline ties
+// (notably the all-batch case) break round-robin across client_ids, then
+// FIFO by submission, so one chatty client cannot crowd out another.
+// Expired deadlines are noticed three ways: the job's own slice polls at
+// iteration boundaries, idle workers reap running jobs' abort tokens (which
+// interrupt even mid-harvest, at block boundaries), and expired queued jobs
+// sort to the front where the next free worker retires them without
+// spending a slice.
+//
+// Every job's solution stream is deterministic in (formula, seed, config):
+// rounds execute sequentially per job and round r draws from
+// util::Rng::stream(seed, r), so fleet size and scheduling interleave
+// change only timing, never results.
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "service/plan_cache.hpp"
+#include "service/request.hpp"
+#include "service/solution_stream.hpp"
+#include "util/thread_pool.hpp"
+
+namespace hts::service {
+
+namespace detail {
+struct Job;
+}
+
+struct ServerConfig {
+  /// Worker fleet size; 0 = hardware concurrency.  Each worker runs one
+  /// job slice at a time, so this bounds concurrently resident engines.
+  std::size_t n_workers = 0;
+  /// GD rounds per scheduling slice.  1 (default) gives the finest-grained
+  /// fairness; raise it to amortize scheduling overhead on tiny instances.
+  std::size_t rounds_per_slice = 1;
+  /// Plan-cache capacity in entries (distinct formula/options pairs).
+  std::size_t plan_cache_capacity = 32;
+};
+
+/// Fleet-level counters (monotone over the server's lifetime).
+struct ServerStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t deadline_expired = 0;
+  std::uint64_t cancelled = 0;
+  std::uint64_t capped = 0;
+  std::uint64_t unsat = 0;
+  /// Scheduling slices executed (queue pops that ran work).
+  std::uint64_t slices = 0;
+};
+
+/// Client-side view of a submitted job.  Cheap to copy; the underlying job
+/// outlives the server's interest in it as long as any handle remains.
+class JobHandle {
+ public:
+  JobHandle() = default;
+
+  [[nodiscard]] bool valid() const { return job_ != nullptr; }
+  [[nodiscard]] std::uint64_t id() const;
+  [[nodiscard]] JobStatus status() const;
+  /// Consistent snapshot; final once status() is terminal.
+  [[nodiscard]] JobStats stats() const;
+  /// The job's delivery channel (see SolutionStream).  Valid for the
+  /// handle's lifetime; closed when the job reaches a terminal status.
+  [[nodiscard]] SolutionStream& stream() const;
+  /// Requests cooperative cancellation; the job finalizes kCancelled with
+  /// whatever it has at the next boundary.  Idempotent, non-blocking.
+  void cancel() const;
+  /// Blocks until the job is terminal; returns the final status.
+  JobStatus wait() const;
+  /// Bounded wait; true when the job is terminal.
+  bool wait_for(double timeout_ms) const;
+
+ private:
+  friend class Server;
+  explicit JobHandle(std::shared_ptr<detail::Job> job);
+
+  std::shared_ptr<detail::Job> job_;
+};
+
+class Server {
+ public:
+  explicit Server(ServerConfig config = {});
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Enqueues a request; non-blocking.  After shutdown(), returns an
+  /// already-cancelled handle.
+  [[nodiscard]] JobHandle submit(SamplingRequest request);
+
+  /// Cancels every queued and running job, drains the fleet, and stops the
+  /// workers.  Idempotent; called by the destructor.
+  void shutdown();
+
+  [[nodiscard]] std::size_t n_workers() const { return n_workers_; }
+  [[nodiscard]] ServerStats stats() const;
+  [[nodiscard]] PlanCache::Stats plan_cache_stats() const {
+    return cache_.stats();
+  }
+  [[nodiscard]] std::size_t plan_cache_size() const { return cache_.size(); }
+
+ private:
+  void worker_loop();
+  /// Pops the scheduling-order minimum from the ready queue; updates the
+  /// client round-robin stamp and the job's queue-wait accounting.
+  [[nodiscard]] std::shared_ptr<detail::Job> pop_best_locked();
+  [[nodiscard]] bool schedules_before_locked(const detail::Job& a,
+                                             const detail::Job& b) const;
+  /// Fires the abort token of running jobs whose deadline has passed, so
+  /// their slices wind down mid-harvest instead of at the next iteration.
+  void reap_running_locked();
+  /// Runs one slice; returns kRunning to continue (re-queue) or the
+  /// terminal status.
+  [[nodiscard]] JobStatus run_slice(detail::Job& job);
+  void finalize(const std::shared_ptr<detail::Job>& job, JobStatus status);
+
+  ServerConfig config_;
+  std::size_t n_workers_ = 0;
+  PlanCache cache_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::condition_variable workers_exit_cv_;
+  std::vector<std::shared_ptr<detail::Job>> ready_;
+  std::vector<std::shared_ptr<detail::Job>> running_;
+  std::unordered_map<std::uint64_t, std::uint64_t> client_last_pop_;
+  std::uint64_t pop_seq_ = 0;
+  std::uint64_t next_id_ = 1;
+  std::size_t workers_alive_ = 0;
+  bool shutdown_ = false;
+  ServerStats stats_;
+
+  /// Declared last so it is destroyed first; by then shutdown() has drained
+  /// the worker loops, so the pool destructor joins idle threads.
+  util::ThreadPool pool_;
+};
+
+}  // namespace hts::service

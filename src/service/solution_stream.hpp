@@ -1,0 +1,163 @@
+#pragma once
+
+// Per-request delivery channel for harvested unique solutions.
+//
+// The worker running a job's slice pushes each newly banked assignment in
+// harvest order; the client consumes from any thread via the blocking
+// iterator (next), non-blocking polls (try_next / drain), or — configured
+// at submit time — a synchronous callback that bypasses the buffer
+// entirely.  A bounded stream applies backpressure: when the buffer is
+// full, push() blocks the job's worker until the consumer drains, the job
+// aborts, or its deadline expires, so a slow consumer throttles exactly its
+// own job and nothing else (the fleet's other workers keep scheduling other
+// requests).
+//
+// Delivery order is the job's deterministic harvest order: rounds execute
+// sequentially per job and each round's accept phase is serial, so for a
+// fixed (formula, seed, config) the stream contents — including order —
+// are identical under any worker-fleet size.
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "cnf/types.hpp"
+#include "util/stop_token.hpp"
+#include "util/timer.hpp"
+
+namespace hts::service {
+
+class SolutionStream {
+ public:
+  /// capacity 0 = unbounded buffer (push never blocks).  When `callback` is
+  /// set the stream is in callback mode: push invokes it inline and the
+  /// buffer/capacity machinery is bypassed.
+  explicit SolutionStream(
+      std::size_t capacity = 0,
+      std::function<void(const cnf::Assignment&)> callback = {})
+      : capacity_(capacity), callback_(std::move(callback)) {}
+
+  // ---- producer side (the job's worker) ------------------------------------
+
+  /// Delivers one assignment.  Blocks while a bounded buffer is full, until
+  /// space opens or `abort`/`deadline` fires.  Returns false when the
+  /// assignment was dropped (consumer cancelled, or abort/deadline while
+  /// waiting); the job treats that as "stop delivering", not an error.
+  bool push(cnf::Assignment&& assignment, const util::StopToken& abort,
+            const util::Deadline& deadline) {
+    if (callback_) {
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (cancelled_) return false;
+        ++delivered_;
+      }
+      callback_(assignment);
+      return true;
+    }
+    std::unique_lock<std::mutex> lock(mutex_);
+    while (capacity_ != 0 && queue_.size() >= capacity_ && !cancelled_) {
+      if (abort.stop_requested() || deadline.expired()) return false;
+      // Bounded wait so an abort/deadline raised while we sleep is noticed
+      // promptly even if no consumer ever wakes us.
+      space_cv_.wait_for(lock, std::chrono::milliseconds(10));
+    }
+    if (cancelled_) return false;
+    queue_.push_back(std::move(assignment));
+    ++delivered_;
+    item_cv_.notify_one();
+    return true;
+  }
+
+  /// No more items will be pushed (job terminal).  Wakes blocked consumers.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    item_cv_.notify_all();
+  }
+
+  // ---- consumer side (the client) ------------------------------------------
+
+  /// Blocking iterator: waits for the next assignment.  Returns false when
+  /// the stream is closed (job terminal) and drained — the end of the
+  /// stream.
+  bool next(cnf::Assignment& out) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    item_cv_.wait(lock,
+                  [this] { return !queue_.empty() || closed_ || cancelled_; });
+    if (queue_.empty()) return false;
+    out = std::move(queue_.front());
+    queue_.pop_front();
+    space_cv_.notify_one();
+    return true;
+  }
+
+  /// Non-blocking poll; false when nothing is buffered right now.
+  bool try_next(cnf::Assignment& out) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (queue_.empty()) return false;
+    out = std::move(queue_.front());
+    queue_.pop_front();
+    space_cv_.notify_one();
+    return true;
+  }
+
+  /// Appends everything currently buffered to `out`; returns the count.
+  std::size_t drain(std::vector<cnf::Assignment>& out) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const std::size_t n = queue_.size();
+    for (cnf::Assignment& assignment : queue_) {
+      out.push_back(std::move(assignment));
+    }
+    queue_.clear();
+    if (n > 0) space_cv_.notify_all();
+    return n;
+  }
+
+  /// Consumer abandons the stream: the buffer is discarded and every future
+  /// push is dropped (the job itself keeps running — cancel the JobHandle
+  /// to stop the work too).
+  void cancel() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      cancelled_ = true;
+      queue_.clear();
+    }
+    item_cv_.notify_all();
+    space_cv_.notify_all();
+  }
+
+  [[nodiscard]] bool closed() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+  }
+  /// Assignments accepted into the stream (buffered or callback-delivered).
+  [[nodiscard]] std::size_t delivered() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return delivered_;
+  }
+  [[nodiscard]] std::size_t buffered() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return queue_.size();
+  }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+ private:
+  const std::size_t capacity_;
+  const std::function<void(const cnf::Assignment&)> callback_;
+  mutable std::mutex mutex_;
+  std::condition_variable item_cv_;
+  std::condition_variable space_cv_;
+  std::deque<cnf::Assignment> queue_;
+  std::size_t delivered_ = 0;
+  bool closed_ = false;
+  bool cancelled_ = false;
+};
+
+}  // namespace hts::service

@@ -1,0 +1,62 @@
+#pragma once
+
+// Cooperative cancellation for long-running sampling loops.
+//
+// A StopSource owns a shared flag; StopTokens are cheap views of it that
+// components poll at natural yield points (GD round and iteration
+// boundaries, harvest blocks).  A default-constructed token observes
+// nothing and never requests a stop, so plumbing a token through an API is
+// free for callers that do not cancel — the polling sites cost one relaxed
+// atomic load when a source is attached and a null check when not.
+//
+// This is the request-abort primitive of the service layer: a job's
+// deadline reaper and its client-facing cancel() both fire the same source,
+// and the GD loop winds down at the next boundary with whatever partial
+// results it has banked.  (std::stop_token is jthread-centric and cannot be
+// observed without a jthread; this standalone pair is the few lines we
+// need.)
+
+#include <atomic>
+#include <memory>
+
+namespace hts::util {
+
+class StopToken {
+ public:
+  /// Default token: never stops (no source attached).
+  StopToken() = default;
+
+  [[nodiscard]] bool stop_requested() const {
+    return flag_ != nullptr && flag_->load(std::memory_order_relaxed);
+  }
+
+  /// True when a source is attached (a request could ever arrive).
+  [[nodiscard]] bool stop_possible() const { return flag_ != nullptr; }
+
+ private:
+  friend class StopSource;
+  explicit StopToken(std::shared_ptr<const std::atomic<bool>> flag)
+      : flag_(std::move(flag)) {}
+
+  std::shared_ptr<const std::atomic<bool>> flag_;
+};
+
+class StopSource {
+ public:
+  StopSource() : flag_(std::make_shared<std::atomic<bool>>(false)) {}
+
+  void request_stop() { flag_->store(true, std::memory_order_relaxed); }
+
+  [[nodiscard]] bool stop_requested() const {
+    return flag_->load(std::memory_order_relaxed);
+  }
+
+  /// A token observing this source; outlives the source safely (shared
+  /// ownership of the flag).
+  [[nodiscard]] StopToken token() const { return StopToken(flag_); }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> flag_;
+};
+
+}  // namespace hts::util

@@ -30,8 +30,19 @@ void ThreadPool::worker_loop() {
       std::unique_lock<std::mutex> lock(mutex_);
       work_ready_.wait(lock, [this] { return stop_ || !queue_.empty(); });
       if (stop_ && queue_.empty()) return;
-      task = queue_.back();
+      task = std::move(queue_.back());
       queue_.pop_back();
+      // Detached tasks still queued at shutdown are dropped, per submit()'s
+      // contract: starting a long-lived service loop during teardown would
+      // leave the destructor joining a worker that never returns.
+      // parallel_for chunks are different — a caller is blocked on their
+      // countdown, so they always run.
+      if (stop_ && task.detached) continue;
+    }
+    if (task.detached) {
+      // Fire-and-forget: nothing to count down, no caller to wake.
+      task.detached();
+      continue;
     }
     (*task.fn)(task.begin, task.end);
     {
@@ -39,6 +50,16 @@ void ThreadPool::worker_loop() {
       if (--*task.remaining == 0) work_done_.notify_all();
     }
   }
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    Task entry;
+    entry.detached = std::move(task);
+    queue_.push_back(std::move(entry));
+  }
+  work_ready_.notify_one();
 }
 
 void ThreadPool::parallel_for(
@@ -58,7 +79,12 @@ void ThreadPool::parallel_for(
   {
     std::lock_guard<std::mutex> lock(mutex_);
     for (std::size_t begin = 0; begin < n; begin += chunk) {
-      queue_.push_back(Task{&fn, begin, std::min(begin + chunk, n), &remaining});
+      Task task;
+      task.fn = &fn;
+      task.begin = begin;
+      task.end = std::min(begin + chunk, n);
+      task.remaining = &remaining;
+      queue_.push_back(std::move(task));
       ++remaining;
     }
   }

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <thread>
 #include <vector>
 
@@ -16,6 +17,8 @@
 #include "cnf/dimacs.hpp"
 #include "solver/brute.hpp"
 #include "util/rng.hpp"
+#include "util/stop_token.hpp"
+#include "util/timer.hpp"
 
 namespace hts::sampler {
 namespace {
@@ -351,6 +354,102 @@ TEST(GdParallel, StoreLimitRespectedUnderMerge) {
   for (const cnf::Assignment& solution : result.solutions) {
     EXPECT_TRUE(formula.satisfied_by(solution));
   }
+}
+
+// --- cooperative cancellation (RunOptions::stop) -----------------------------
+
+TEST(GdParallel, PreFiredStopTokenReturnsImmediately) {
+  const cnf::Formula formula = small_formula();
+  util::StopSource source;
+  source.request_stop();
+  for (const std::size_t n_workers : {std::size_t{1}, std::size_t{3}}) {
+    GradientSampler sampler(small_config(n_workers));
+    RunOptions options = fast_options(1000000);  // unreachable target
+    options.budget_ms = 60000.0;
+    options.stop = source.token();
+    util::Timer timer;
+    const RunResult result = sampler.run(formula, options);
+    // At most one round sneaks in before the first boundary poll.
+    EXPECT_LT(timer.milliseconds(), 30000.0);
+    EXPECT_TRUE(result.timed_out);
+    EXPECT_EQ(result.n_invalid, 0u);
+  }
+}
+
+TEST(GdParallel, AsyncStopCancelsALongRunCleanly) {
+  const cnf::Formula formula = small_formula();
+  for (const std::size_t n_workers : {std::size_t{1}, std::size_t{2}}) {
+    GradientSampler sampler(small_config(n_workers));
+    RunOptions options = fast_options(1000000);  // can never complete
+    options.budget_ms = 120000.0;  // the stop must beat this by far
+    util::StopSource source;
+    options.stop = source.token();
+    std::thread canceller([&source] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      source.request_stop();
+    });
+    util::Timer timer;
+    const RunResult result = sampler.run(formula, options);
+    canceller.join();
+    EXPECT_LT(timer.milliseconds(), 60000.0);
+    // Partial results are intact: every surviving solution still verifies.
+    EXPECT_EQ(result.n_invalid, 0u);
+    EXPECT_GT(result.n_unique, 0u);
+  }
+}
+
+TEST(GdParallel, EmptyStopTokenChangesNothing) {
+  // The default token must be inert: identical results with and without an
+  // (unfired) source attached.
+  const cnf::Formula formula = small_formula();
+  GradientSampler plain(small_config(1));
+  const RunResult base = plain.run(formula, fast_options(40));
+  util::StopSource source;  // never fired
+  GradientSampler tokened(small_config(1));
+  RunOptions options = fast_options(40);
+  options.stop = source.token();
+  const RunResult with_token = tokened.run(formula, options);
+  EXPECT_EQ(base.n_unique, with_token.n_unique);
+  EXPECT_EQ(base.n_valid, with_token.n_valid);
+  ASSERT_EQ(base.solutions.size(), with_token.solutions.size());
+  for (std::size_t i = 0; i < base.solutions.size(); ++i) {
+    EXPECT_EQ(base.solutions[i], with_token.solutions[i]) << "solution " << i;
+  }
+}
+
+// --- bank memory accounting (ShardedUniqueBank::size_bytes) ------------------
+
+TEST(ShardedUniqueBank, SizeBytesGrowsLinearlyWithInserts) {
+  ShardedUniqueBank bank(130);  // 3 words per key
+  EXPECT_EQ(bank.size_bytes(), 0u);
+  std::vector<std::uint64_t> key(bank.n_words(), 0);
+  ASSERT_TRUE(bank.insert(key));
+  const std::size_t per_key = bank.size_bytes();
+  // At least the raw key words; plus bounded bookkeeping overhead.
+  EXPECT_GE(per_key, bank.n_words() * sizeof(std::uint64_t));
+  EXPECT_LE(per_key, bank.n_words() * sizeof(std::uint64_t) + 128u);
+  for (std::uint64_t i = 1; i < 100; ++i) {
+    key[0] = i;
+    ASSERT_TRUE(bank.insert(key));
+  }
+  EXPECT_EQ(bank.size_bytes(), 100u * per_key);
+  // Duplicates cost nothing.
+  key[0] = 5;
+  EXPECT_FALSE(bank.insert(key));
+  EXPECT_EQ(bank.size_bytes(), 100u * per_key);
+}
+
+TEST(UniqueBank, SizeBytesMatchesShardedAccounting) {
+  UniqueBank serial(70);
+  ShardedUniqueBank sharded(70);
+  std::vector<std::uint64_t> key(serial.n_words(), 0);
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    key[0] = i;
+    ASSERT_TRUE(serial.insert(key));
+    ASSERT_TRUE(sharded.insert(key));
+  }
+  EXPECT_EQ(serial.size_bytes(), sharded.size_bytes());
+  EXPECT_GT(serial.size_bytes(), 0u);
 }
 
 }  // namespace

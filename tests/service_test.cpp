@@ -1,0 +1,476 @@
+// Tests for the sampling service: job lifecycle end to end, determinism of
+// each job's solution stream under any fleet size, plan-cache hit/eviction/
+// in-flight-dedup behaviour, deadline and cancellation correctness,
+// per-request memory caps, stream backpressure and callback delivery, and
+// the no-head-of-line-blocking scheduling property.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "benchgen/families.hpp"
+#include "cnf/dimacs.hpp"
+#include "service/plan_cache.hpp"
+#include "service/server.hpp"
+
+namespace hts::service {
+namespace {
+
+/// (x1|x2) & (x3|x4) & (~x1|~x3) over 7 vars: 5 constrained models times
+/// 2^3 free variables = 40 solutions — every small target is reachable,
+/// and an absurd target never is (endless-job fixture).
+cnf::Formula formula_a() {
+  return cnf::parse_dimacs_string("p cnf 7 3\n1 2 0\n3 4 0\n-1 -3 0\n");
+}
+
+/// A structurally different instance: (x5 xor x6) & (x1|x2|x3) & (~x2|x4)
+/// over 8 vars; comfortably satisfiable.
+cnf::Formula formula_b() {
+  return cnf::parse_dimacs_string(
+      "p cnf 8 4\n5 6 0\n-5 -6 0\n1 2 3 0\n-2 4 0\n");
+}
+
+/// Contains an empty clause, which the transformation's flush path
+/// simplifies to constant false — the one shape it *proves* UNSAT.  (Merely
+/// contradictory formulas, e.g. the 2-var XOR contradiction, transform into
+/// circuits whose constraints are unsatisfiable but are not detected; a
+/// service job on one runs to its deadline/cap like any other dry well.)
+cnf::Formula unsat_formula() {
+  return cnf::parse_dimacs_string("p cnf 2 3\n1 2 0\n0\n-1 0\n");
+}
+
+/// A request the test server can finish quickly.
+SamplingRequest small_request(cnf::Formula formula, std::size_t target = 20,
+                              std::uint64_t seed = 123) {
+  SamplingRequest request;
+  request.formula = std::move(formula);
+  request.seed = seed;
+  request.target_uniques = target;
+  request.config.batch = 128;
+  request.config.iterations = 3;
+  return request;
+}
+
+/// A request that can never complete (target far above the model count) —
+/// the deadline / cancel / cap fixtures build on it.
+SamplingRequest endless_request(std::uint64_t seed = 7) {
+  SamplingRequest request = small_request(formula_a(), 1000000, seed);
+  return request;
+}
+
+std::vector<cnf::Assignment> collect_stream(const JobHandle& handle) {
+  std::vector<cnf::Assignment> all;
+  cnf::Assignment assignment;
+  while (handle.stream().next(assignment)) all.push_back(assignment);
+  return all;
+}
+
+void expect_all_valid(const cnf::Formula& formula,
+                      const std::vector<cnf::Assignment>& solutions) {
+  for (const cnf::Assignment& solution : solutions) {
+    ASSERT_EQ(solution.size(), formula.n_vars());
+    EXPECT_TRUE(formula.satisfied_by(solution));
+  }
+}
+
+void expect_all_distinct(const std::vector<cnf::Assignment>& solutions) {
+  std::set<cnf::Assignment> unique(solutions.begin(), solutions.end());
+  EXPECT_EQ(unique.size(), solutions.size());
+}
+
+// --- lifecycle ---------------------------------------------------------------
+
+TEST(ServiceServer, SingleJobCompletesAndStreamsValidUniqueSolutions) {
+  Server server({.n_workers = 2});
+  JobHandle handle = server.submit(small_request(formula_a(), 25));
+  ASSERT_TRUE(handle.valid());
+  EXPECT_EQ(handle.wait(), JobStatus::kCompleted);
+
+  const std::vector<cnf::Assignment> solutions = collect_stream(handle);
+  const JobStats stats = handle.stats();
+  EXPECT_GE(stats.n_unique, 25u);
+  EXPECT_EQ(stats.delivered, solutions.size());
+  EXPECT_EQ(stats.n_unique, solutions.size());
+  expect_all_valid(formula_a(), solutions);
+  expect_all_distinct(solutions);
+  EXPECT_GE(stats.rounds, 1u);
+  EXPECT_GE(stats.gd_iterations, 1u);
+  EXPECT_GT(stats.rows_validated, 0u);
+  EXPECT_GT(stats.wall_ms, 0.0);
+  EXPECT_GT(stats.bank_bytes, 0u);
+  EXPECT_FALSE(stats.plan_cache_hit);  // cold cache
+
+  const ServerStats server_stats = server.stats();
+  EXPECT_EQ(server_stats.submitted, 1u);
+  EXPECT_EQ(server_stats.completed, 1u);
+}
+
+TEST(ServiceServer, UnsatFormulaFinishesAsUnsat) {
+  Server server({.n_workers = 1});
+  JobHandle handle = server.submit(small_request(unsat_formula(), 5));
+  EXPECT_EQ(handle.wait(), JobStatus::kUnsat);
+  EXPECT_EQ(handle.stats().n_unique, 0u);
+  EXPECT_EQ(collect_stream(handle).size(), 0u);
+}
+
+TEST(ServiceServer, SubmitAfterShutdownReturnsCancelledHandle) {
+  Server server({.n_workers = 1});
+  server.shutdown();
+  JobHandle handle = server.submit(small_request(formula_a()));
+  EXPECT_EQ(handle.wait(), JobStatus::kCancelled);
+}
+
+TEST(ServiceServer, ShutdownCancelsOutstandingJobs) {
+  Server server({.n_workers = 1});
+  std::vector<JobHandle> handles;
+  for (int i = 0; i < 4; ++i) {
+    handles.push_back(server.submit(endless_request(static_cast<std::uint64_t>(i))));
+  }
+  // Let at least one job start before tearing the fleet down.
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  server.shutdown();
+  for (const JobHandle& handle : handles) {
+    EXPECT_EQ(handle.wait(), JobStatus::kCancelled);
+    EXPECT_TRUE(handle.stream().closed());
+  }
+}
+
+// --- determinism -------------------------------------------------------------
+
+TEST(ServiceServer, SolutionStreamIsDeterministicAcrossFleetSizes) {
+  auto run_once = [](std::size_t n_workers, bool with_decoys) {
+    Server server({.n_workers = n_workers});
+    std::vector<JobHandle> decoys;
+    if (with_decoys) {
+      for (int i = 0; i < 6; ++i) {
+        decoys.push_back(server.submit(
+            small_request(formula_b(), 15, 1000 + static_cast<std::uint64_t>(i))));
+      }
+    }
+    JobHandle handle = server.submit(small_request(formula_a(), 30, 99));
+    EXPECT_EQ(handle.wait(), JobStatus::kCompleted);
+    std::vector<cnf::Assignment> solutions = collect_stream(handle);
+    for (const JobHandle& decoy : decoys) decoy.wait();
+    return solutions;
+  };
+
+  const std::vector<cnf::Assignment> solo = run_once(1, false);
+  const std::vector<cnf::Assignment> fleet = run_once(4, true);
+  // Not just the same set: the same assignments in the same order.
+  EXPECT_EQ(solo, fleet);
+  EXPECT_GE(solo.size(), 30u);
+}
+
+// --- multi-client stress -----------------------------------------------------
+
+TEST(ServiceServer, ManyOverlappingMixedClientsAllFinishCorrectly) {
+  const benchgen::Instance or_instance =
+      benchgen::make_instance("or-50-10-7-UC-10");
+  Server server({.n_workers = 4});
+
+  struct Submitted {
+    JobHandle handle;
+    const cnf::Formula* formula;
+    JobStatus expect;
+  };
+  std::vector<Submitted> jobs;
+  const cnf::Formula a = formula_a();
+  const cnf::Formula b = formula_b();
+  const cnf::Formula unsat = unsat_formula();
+
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    SamplingRequest request = small_request(a, 20, 10 + i);
+    request.client_id = i;
+    jobs.push_back({server.submit(std::move(request)), &a,
+                    JobStatus::kCompleted});
+  }
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    SamplingRequest request = small_request(b, 15, 20 + i);
+    request.client_id = i;
+    jobs.push_back({server.submit(std::move(request)), &b,
+                    JobStatus::kCompleted});
+  }
+  for (std::uint64_t i = 0; i < 2; ++i) {
+    SamplingRequest request;
+    request.formula = or_instance.formula;
+    request.seed = 30 + i;
+    request.target_uniques = 25;
+    request.config.batch = 512;
+    request.client_id = 4 + i;
+    jobs.push_back({server.submit(std::move(request)), &or_instance.formula,
+                    JobStatus::kCompleted});
+  }
+  {
+    SamplingRequest request = small_request(unsat, 5, 40);
+    request.client_id = 6;
+    jobs.push_back({server.submit(std::move(request)), &unsat,
+                    JobStatus::kUnsat});
+  }
+  {
+    SamplingRequest request = endless_request(41);
+    request.client_id = 7;
+    request.max_uniques = 30;
+    request.target_uniques = 0;
+    jobs.push_back({server.submit(std::move(request)), &a, JobStatus::kCapped});
+  }
+
+  for (Submitted& job : jobs) {
+    EXPECT_EQ(job.handle.wait(), job.expect);
+    const std::vector<cnf::Assignment> solutions = collect_stream(job.handle);
+    expect_all_valid(*job.formula, solutions);
+    expect_all_distinct(solutions);
+    const JobStats stats = job.handle.stats();
+    EXPECT_EQ(stats.delivered, solutions.size());
+    EXPECT_EQ(stats.n_unique, solutions.size());
+    if (job.expect == JobStatus::kCompleted) {
+      EXPECT_GE(stats.n_unique, 15u);
+    }
+  }
+
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.submitted, jobs.size());
+  EXPECT_EQ(stats.completed, 10u);
+  EXPECT_EQ(stats.unsat, 1u);
+  EXPECT_EQ(stats.capped, 1u);
+  // 12 jobs over 4 distinct formula/options keys -> 4 compiles total.
+  const PlanCache::Stats cache = server.plan_cache_stats();
+  EXPECT_EQ(cache.misses, 4u);
+  EXPECT_EQ(cache.hits, jobs.size() - 4u);
+}
+
+// --- plan cache --------------------------------------------------------------
+
+TEST(PlanCache, FingerprintSeparatesFormulasAndOptions) {
+  const PlanOptions base;
+  const PlanKey key_a = plan_fingerprint(formula_a(), base);
+  EXPECT_EQ(key_a, plan_fingerprint(formula_a(), base));  // stable
+  EXPECT_FALSE(key_a == plan_fingerprint(formula_b(), base));
+
+  PlanOptions cone = base;
+  cone.cone_only = true;
+  EXPECT_FALSE(key_a == plan_fingerprint(formula_a(), cone));
+
+  // Clause order is structural: permuted formulas compile differently.
+  cnf::Formula permuted = cnf::parse_dimacs_string(
+      "p cnf 7 3\n3 4 0\n1 2 0\n-1 -3 0\n");
+  EXPECT_FALSE(key_a == plan_fingerprint(permuted, base));
+}
+
+TEST(PlanCache, SecondRequestHitsAndSharesThePlan) {
+  PlanCache cache(4);
+  bool hit = true;
+  const auto first = cache.get_or_compile(formula_a(), {}, &hit);
+  EXPECT_FALSE(hit);
+  ASSERT_NE(first, nullptr);
+  EXPECT_TRUE(first->compiled.has_value());
+  EXPECT_TRUE(first->eval_plan.has_value());
+  EXPECT_GE(first->compile_ms, 0.0);
+
+  const auto second = cache.get_or_compile(formula_a(), {}, &hit);
+  EXPECT_TRUE(hit);
+  EXPECT_EQ(first.get(), second.get());  // shared, not recompiled
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(PlanCache, EvictsLeastRecentlyUsedBeyondCapacity) {
+  PlanCache cache(2);
+  (void)cache.get_or_compile(formula_a(), {}, nullptr);
+  (void)cache.get_or_compile(formula_b(), {}, nullptr);
+  // Touch A so B is the LRU victim when a third key arrives.
+  bool hit = false;
+  (void)cache.get_or_compile(formula_a(), {}, &hit);
+  EXPECT_TRUE(hit);
+  (void)cache.get_or_compile(unsat_formula(), {}, nullptr);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+
+  (void)cache.get_or_compile(formula_a(), {}, &hit);
+  EXPECT_TRUE(hit);  // survived
+  (void)cache.get_or_compile(formula_b(), {}, &hit);
+  EXPECT_FALSE(hit);  // was evicted, recompiled
+}
+
+TEST(PlanCache, ConcurrentMissesOnOneKeyCompileOnce) {
+  PlanCache cache(4);
+  constexpr std::size_t kThreads = 8;
+  std::vector<std::shared_ptr<const CompiledPlan>> plans(kThreads);
+  std::vector<std::thread> threads;
+  const cnf::Formula formula = formula_a();
+  threads.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back(
+        [&, t] { plans[t] = cache.get_or_compile(formula, {}, nullptr); });
+  }
+  for (std::thread& thread : threads) thread.join();
+  for (std::size_t t = 1; t < kThreads; ++t) {
+    EXPECT_EQ(plans[0].get(), plans[t].get());
+  }
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.stats().hits, kThreads - 1);
+}
+
+TEST(PlanCache, UnsatPlanCarriesNoEngineArtifacts) {
+  PlanCache cache(2);
+  const auto plan = cache.get_or_compile(unsat_formula(), {}, nullptr);
+  EXPECT_TRUE(plan->transformed.proven_unsat);
+  EXPECT_FALSE(plan->compiled.has_value());
+  EXPECT_FALSE(plan->eval_plan.has_value());
+}
+
+// --- deadlines, cancellation, caps -------------------------------------------
+
+TEST(ServiceServer, DeadlineExpiryReturnsPartialResultsCleanly) {
+  Server server({.n_workers = 1});
+  SamplingRequest request = endless_request();
+  request.deadline_ms = 200.0;
+  const JobHandle handle = server.submit(std::move(request));
+  EXPECT_EQ(handle.wait(), JobStatus::kDeadlineExpired);
+  const JobStats stats = handle.stats();
+  // Partial results: the formula has only 40 models, so the job banked
+  // them all long before the deadline and kept (unsuccessfully) looking.
+  EXPECT_GT(stats.n_unique, 0u);
+  EXPECT_EQ(stats.delivered, stats.n_unique);
+  // The budget is overshot by at most slice granularity, not by rounds of
+  // extra work; generous bound to stay robust on loaded CI machines.
+  EXPECT_LT(stats.wall_ms, 5000.0);
+  const std::vector<cnf::Assignment> solutions = collect_stream(handle);
+  expect_all_valid(formula_a(), solutions);
+  EXPECT_EQ(solutions.size(), stats.n_unique);
+}
+
+TEST(ServiceServer, CancelStopsARunningJobPromptly) {
+  Server server({.n_workers = 1});
+  const JobHandle handle = server.submit(endless_request());
+  // Let it start producing, then cancel.
+  while (handle.stats().rounds == 0 &&
+         !job_status_terminal(handle.status())) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  handle.cancel();
+  EXPECT_EQ(handle.wait(), JobStatus::kCancelled);
+  EXPECT_TRUE(handle.stream().closed());
+  // Partial results survive cancellation.
+  EXPECT_EQ(collect_stream(handle).size(), handle.stats().delivered);
+}
+
+TEST(ServiceServer, CancelRetiresQueuedJobsWithoutRunningThem) {
+  Server server({.n_workers = 1});
+  const JobHandle runner = server.submit(endless_request(1));
+  const JobHandle queued = server.submit(endless_request(2));
+  queued.cancel();
+  EXPECT_EQ(queued.wait(), JobStatus::kCancelled);
+  EXPECT_EQ(queued.stats().rounds, 0u);
+  EXPECT_EQ(queued.stats().gd_iterations, 0u);
+  runner.cancel();
+  EXPECT_EQ(runner.wait(), JobStatus::kCancelled);
+}
+
+TEST(ServiceServer, MaxUniquesCapBoundsTheBank) {
+  Server server({.n_workers = 1});
+  SamplingRequest request = endless_request();
+  request.target_uniques = 0;  // run until a cap fires
+  request.max_uniques = 10;
+  const JobHandle handle = server.submit(std::move(request));
+  EXPECT_EQ(handle.wait(), JobStatus::kCapped);
+  const JobStats stats = handle.stats();
+  EXPECT_GE(stats.n_unique, 10u);
+  // Overshoot is bounded by one harvest of one batch.
+  EXPECT_LE(stats.n_unique, 10u + 128u);
+  EXPECT_GT(stats.bank_bytes, 0u);
+}
+
+TEST(ServiceServer, MaxBankBytesCapFires) {
+  Server server({.n_workers = 1});
+  SamplingRequest request = endless_request();
+  request.target_uniques = 0;
+  request.max_bank_bytes = 1;  // any banked unique trips it
+  const JobHandle handle = server.submit(std::move(request));
+  EXPECT_EQ(handle.wait(), JobStatus::kCapped);
+  EXPECT_GE(handle.stats().bank_bytes, 1u);
+}
+
+// --- delivery modes ----------------------------------------------------------
+
+TEST(ServiceServer, BoundedStreamBackpressureLosesNothing) {
+  Server server({.n_workers = 2});
+  SamplingRequest request = small_request(formula_a(), 30);
+  request.stream_capacity = 2;  // far below the target: push must block
+  const JobHandle handle = server.submit(std::move(request));
+
+  // Consume deliberately slowly; the producer must wait, not drop.
+  std::vector<cnf::Assignment> solutions;
+  cnf::Assignment assignment;
+  while (handle.stream().next(assignment)) {
+    solutions.push_back(assignment);
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(handle.wait(), JobStatus::kCompleted);
+  const JobStats stats = handle.stats();
+  EXPECT_EQ(solutions.size(), stats.delivered);
+  EXPECT_EQ(solutions.size(), stats.n_unique);
+  expect_all_valid(formula_a(), solutions);
+  expect_all_distinct(solutions);
+}
+
+TEST(ServiceServer, CallbackDeliveryBypassesTheBuffer) {
+  Server server({.n_workers = 1});
+  std::mutex mutex;
+  std::vector<cnf::Assignment> delivered;
+  SamplingRequest request = small_request(formula_a(), 20);
+  request.on_solution = [&](const cnf::Assignment& assignment) {
+    std::lock_guard<std::mutex> lock(mutex);
+    delivered.push_back(assignment);
+  };
+  const JobHandle handle = server.submit(std::move(request));
+  EXPECT_EQ(handle.wait(), JobStatus::kCompleted);
+  std::lock_guard<std::mutex> lock(mutex);
+  EXPECT_EQ(delivered.size(), handle.stats().delivered);
+  EXPECT_GE(delivered.size(), 20u);
+  EXPECT_EQ(handle.stream().buffered(), 0u);
+  expect_all_valid(formula_a(), delivered);
+}
+
+TEST(ServiceServer, CountOnlyJobsDeliverNothingButStillCount) {
+  Server server({.n_workers = 1});
+  SamplingRequest request = small_request(formula_a(), 20);
+  request.deliver_solutions = false;
+  const JobHandle handle = server.submit(std::move(request));
+  EXPECT_EQ(handle.wait(), JobStatus::kCompleted);
+  EXPECT_GE(handle.stats().n_unique, 20u);
+  EXPECT_EQ(handle.stats().delivered, 0u);
+  EXPECT_EQ(collect_stream(handle).size(), 0u);
+}
+
+// --- scheduling fairness -----------------------------------------------------
+
+TEST(ServiceServer, ShortDeadlineJobIsNotBlockedBehindALongJob) {
+  // One worker makes head-of-line blocking maximally visible: the long job
+  // is mid-flight when the short job arrives, and only time-sliced EDF
+  // scheduling lets the short one through.
+  Server server({.n_workers = 1});
+  SamplingRequest long_request = endless_request();
+  long_request.config.batch = 1024;
+  const JobHandle long_handle = server.submit(std::move(long_request));
+  while (long_handle.stats().rounds == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  SamplingRequest short_request = small_request(formula_b(), 15, 5);
+  short_request.deadline_ms = 30000.0;  // EDF priority over the batch job
+  const JobHandle short_handle = server.submit(std::move(short_request));
+  EXPECT_EQ(short_handle.wait(), JobStatus::kCompleted);
+  // The long job is still going when the short one finishes.
+  EXPECT_FALSE(job_status_terminal(long_handle.status()));
+  long_handle.cancel();
+  EXPECT_EQ(long_handle.wait(), JobStatus::kCancelled);
+}
+
+}  // namespace
+}  // namespace hts::service

@@ -12,6 +12,7 @@
 
 #include "util/env.hpp"
 #include "util/rng.hpp"
+#include "util/stop_token.hpp"
 #include "util/table.hpp"
 #include "util/thread_pool.hpp"
 #include "util/timer.hpp"
@@ -312,6 +313,77 @@ TEST(Env, IntFallbackAndParse) {
   ::setenv("HTS_TEST_ENV_I", "42", 1);
   EXPECT_EQ(env_int("HTS_TEST_ENV_I", 7), 42);
   ::unsetenv("HTS_TEST_ENV_I");
+}
+
+TEST(StopToken, DefaultTokenNeverStops) {
+  StopToken token;
+  EXPECT_FALSE(token.stop_possible());
+  EXPECT_FALSE(token.stop_requested());
+}
+
+TEST(StopToken, ObservesItsSource) {
+  StopSource source;
+  StopToken token = source.token();
+  EXPECT_TRUE(token.stop_possible());
+  EXPECT_FALSE(token.stop_requested());
+  source.request_stop();
+  EXPECT_TRUE(token.stop_requested());
+  EXPECT_TRUE(source.stop_requested());
+}
+
+TEST(StopToken, TokenOutlivesSource) {
+  StopToken token;
+  {
+    StopSource source;
+    token = source.token();
+    source.request_stop();
+  }
+  EXPECT_TRUE(token.stop_requested());  // shared flag, no dangling
+}
+
+TEST(StopToken, CopiedTokensShareTheFlag) {
+  StopSource source;
+  const StopToken a = source.token();
+  const StopToken b = a;  // NOLINT(performance-unnecessary-copy-initialization)
+  source.request_stop();
+  EXPECT_TRUE(a.stop_requested());
+  EXPECT_TRUE(b.stop_requested());
+}
+
+TEST(ThreadPool, SubmitRunsDetachedTasks) {
+  ThreadPool pool(3);
+  constexpr int kTasks = 64;
+  std::atomic<int> done{0};
+  for (int i = 0; i < kTasks; ++i) {
+    pool.submit([&done] { done.fetch_add(1); });
+  }
+  const Timer timer;
+  while (done.load() < kTasks && timer.milliseconds() < 10000.0) {
+    std::this_thread::yield();
+  }
+  EXPECT_EQ(done.load(), kTasks);
+}
+
+TEST(ThreadPool, SubmitInterleavesWithParallelFor) {
+  // The service fleet holds pool threads in long-lived submitted loops while
+  // parallel_for traffic flows through the same queue type; make sure one
+  // shape cannot wedge the other.
+  ThreadPool pool(4);
+  std::atomic<bool> release{false};
+  std::atomic<int> long_tasks_running{0};
+  for (int i = 0; i < 2; ++i) {
+    pool.submit([&] {
+      long_tasks_running.fetch_add(1);
+      while (!release.load()) std::this_thread::yield();
+    });
+  }
+  while (long_tasks_running.load() < 2) std::this_thread::yield();
+  std::atomic<std::size_t> covered{0};
+  pool.parallel_for(1000, [&](std::size_t begin, std::size_t end) {
+    covered.fetch_add(end - begin);
+  });
+  EXPECT_EQ(covered.load(), 1000u);
+  release.store(true);
 }
 
 }  // namespace
