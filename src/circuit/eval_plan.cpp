@@ -3,7 +3,9 @@
 #include <algorithm>
 
 #include "tensor/simd.hpp"
+#include "util/check.hpp"
 #include "util/plan_order.hpp"
+#include "verify/plan_verifier.hpp"
 
 namespace hts::circuit {
 
@@ -170,6 +172,15 @@ EvalPlan::EvalPlan(const Circuit& circuit) {
   }
   stats_.n_runs = run_begin_.size() - 1;
   stats_.max_run_length = util::max_run_length(run_begin_);
+
+  // Self-check hook: every plan this process builds is proven well-formed
+  // when plan verification is on (Debug default; HTS_VERIFY_PLANS
+  // overrides).  A violation is a compiler bug, not an input error — abort
+  // with the structured report.
+  if (verify::plans_verified()) {
+    const verify::Report report = verify::verify_eval_plan(*this);
+    HTS_CHECK_MSG(report.ok(), report.to_string().c_str());
+  }
 }
 
 void EvalPlan::eval_block(const std::uint64_t* packed, std::size_t n_words,

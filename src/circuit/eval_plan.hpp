@@ -66,6 +66,11 @@ class EvalPlan {
   /// Words evaluated per block: one u64x4 vector op per plan op.
   static constexpr std::size_t kBlockWords = 4;
 
+  struct ConstSlot {
+    std::uint32_t slot;
+    std::uint64_t value;  // 0 or ~0
+  };
+
   explicit EvalPlan(const Circuit& circuit);
 
   [[nodiscard]] std::size_t n_slots() const { return n_slots_; }
@@ -105,12 +110,31 @@ class EvalPlan {
   [[nodiscard]] std::vector<std::uint64_t> eval64(
       const std::vector<std::uint64_t>& input_words) const;
 
- private:
-  struct ConstSlot {
-    std::uint32_t slot;
-    std::uint64_t value;  // 0 or ~0
-  };
+  // Read-only plan internals, exposed for the plan-IR verifier
+  // (verify/plan_verifier.hpp) and structural tests.
+  [[nodiscard]] const std::vector<WordOp>& ops() const { return op_; }
+  [[nodiscard]] const std::vector<std::uint32_t>& dsts() const { return dst_; }
+  [[nodiscard]] const std::vector<std::uint32_t>& operand_a() const {
+    return a_;
+  }
+  [[nodiscard]] const std::vector<std::uint32_t>& operand_b() const {
+    return b_;
+  }
+  [[nodiscard]] const std::vector<std::uint32_t>& run_begin() const {
+    return run_begin_;
+  }
+  [[nodiscard]] const std::vector<SignalId>& input_signals() const {
+    return input_signal_;
+  }
+  [[nodiscard]] const std::vector<ConstSlot>& const_slots() const {
+    return const_slots_;
+  }
+  [[nodiscard]] const std::vector<OutputConstraint>& output_constraints()
+      const {
+    return outputs_;
+  }
 
+ private:
   std::size_t n_signals_ = 0;
   std::size_t n_slots_ = 0;
   /// Parallel arrays ordered by (level, opcode): the compiled plan.

@@ -117,6 +117,13 @@ RunResult run_parallel(const GdProblem& problem, const cnf::Formula& formula,
   std::vector<WorkerOutput> outputs(n_workers);
   for (WorkerOutput& out : outputs) out.uniques_per_iteration.assign(n_slots, 0);
 
+  // Synchronization audit (Clang -Wthread-safety covers the mutex-based
+  // components; this function is lock-free by design, so the contract lives
+  // here): each worker writes only outputs[w] — its private slot — while it
+  // runs; the merge below reads all slots only after join(), which carries
+  // the happens-before edge.  The bank serializes internally per shard,
+  // `stop`/`next_round` are atomics, and everything else the workers touch
+  // (compiled plans, options, deadline) is read-only for the whole run.
   ShardedUniqueBank bank(problem.circuit->n_inputs());
   std::atomic<bool> stop{false};
   std::atomic<std::uint64_t> next_round{0};

@@ -16,9 +16,11 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <unordered_set>
 #include <vector>
+
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace hts::sampler {
 
@@ -117,7 +119,7 @@ class ShardedUniqueBank {
     Shard& shard = shards_[(h >> 48) & (shards_.size() - 1)];
     bool is_new = false;
     {
-      std::lock_guard<std::mutex> lock(shard.mutex);
+      util::LockGuard lock(shard.mutex);
       is_new = shard.set.insert(key).second;
     }
     if (is_new) size_.fetch_add(1, std::memory_order_relaxed);
@@ -144,9 +146,12 @@ class ShardedUniqueBank {
   [[nodiscard]] std::size_t n_shards() const { return shards_.size(); }
 
  private:
+  /// Shard mutexes are leaf locks: at most one shard is held at a time and
+  /// nothing else is acquired under it (see util/mutex.hpp's lock order).
   struct Shard {
-    std::mutex mutex;
-    std::unordered_set<std::vector<std::uint64_t>, detail::PackedKeyHash> set;
+    util::Mutex mutex;
+    std::unordered_set<std::vector<std::uint64_t>, detail::PackedKeyHash> set
+        HTS_GUARDED_BY(mutex);
   };
 
   [[nodiscard]] static std::size_t round_up_pow2(std::size_t n) {

@@ -6,10 +6,12 @@
 #include <unordered_map>
 
 #include "util/plan_order.hpp"
+#include "verify/plan_verifier.hpp"
 
 namespace hts::prob {
 
-CompiledCircuit::CompiledCircuit(const circuit::Circuit& circuit, Options options) {
+CompiledCircuit::CompiledCircuit(const circuit::Circuit& circuit, Options options)
+    : options_(options) {
   const std::vector<std::uint8_t> cone =
       options.cone_only ? circuit.constrained_cone()
                         : std::vector<std::uint8_t>(circuit.n_signals(), 1);
@@ -104,6 +106,15 @@ CompiledCircuit::CompiledCircuit(const circuit::Circuit& circuit, Options option
 
   if (options.optimize) optimize();
   build_plan();
+
+  // Self-check hook: prove the finished tape + plan well-formed when plan
+  // verification is on (Debug default; HTS_VERIFY_PLANS overrides).  A
+  // violation is a compiler/optimizer bug, not an input error — abort with
+  // the structured report.
+  if (verify::plans_verified()) {
+    const verify::Report report = verify::verify_exec_plan(*this);
+    HTS_CHECK_MSG(report.ok(), report.to_string().c_str());
+  }
 }
 
 // Post-compile tape optimization.  Every rewrite here is *exactly* value

@@ -162,6 +162,10 @@ class CompiledCircuit {
       : CompiledCircuit(circuit, Options{}) {}
   CompiledCircuit(const circuit::Circuit& circuit, Options options);
 
+  /// The options this circuit was compiled with (the plan-IR verifier keys
+  /// its optimized-only rules off Options::optimize).
+  [[nodiscard]] const Options& options() const { return options_; }
+
   [[nodiscard]] std::size_t n_slots() const { return n_slots_; }
   [[nodiscard]] std::size_t n_circuit_inputs() const { return input_slot_.size(); }
   [[nodiscard]] const std::vector<TapeOp>& tape() const { return tape_; }
@@ -206,6 +210,7 @@ class CompiledCircuit {
   void optimize();
   void build_plan();
 
+  Options options_;
   std::size_t n_slots_ = 0;
   std::vector<TapeOp> tape_;
   std::vector<std::int32_t> input_slot_;

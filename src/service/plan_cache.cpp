@@ -2,7 +2,9 @@
 
 #include <utility>
 
+#include "util/check.hpp"
 #include "util/timer.hpp"
+#include "verify/plan_verifier.hpp"
 
 namespace hts::service {
 
@@ -37,6 +39,9 @@ PlanKey plan_fingerprint(const cnf::Formula& formula,
       ++key.n_literals;
     }
   }
+  // verify_plans is deliberately NOT mixed in: verification never changes
+  // the compiled artifacts, so verified and unverified requests must share
+  // one cache entry.
   h = mix(h, (options.cone_only ? 1ULL : 0ULL) |
                  (options.optimize_tape ? 2ULL : 0ULL));
   h = mix(h, options.transform.max_block_clauses);
@@ -55,6 +60,15 @@ CompiledPlan::CompiledPlan(const cnf::Formula& formula,
         transformed.circuit,
         prob::CompiledCircuit::Options{options.cone_only, options.optimize_tape});
     eval_plan.emplace(transformed.circuit);
+    if (options.verify_plans && !verify::plans_verified()) {
+      // The build-wide hook is off; this request asked for verification
+      // explicitly, so lint both artifacts now (fatal on violation, like
+      // the hook).
+      const verify::Report tape_report = verify::verify_exec_plan(*compiled);
+      HTS_CHECK_MSG(tape_report.ok(), tape_report.to_string().c_str());
+      const verify::Report eval_report = verify::verify_eval_plan(*eval_plan);
+      HTS_CHECK_MSG(eval_report.ok(), eval_report.to_string().c_str());
+    }
   }
   compile_ms = timer.milliseconds();
 }
@@ -68,7 +82,7 @@ std::shared_ptr<const CompiledPlan> PlanCache::get_or_compile(
 
   std::shared_ptr<Entry> entry;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::LockGuard lock(mutex_);
     auto it = entries_.find(key);
     if (it == entries_.end()) {
       entry = std::make_shared<Entry>();
@@ -85,14 +99,14 @@ std::shared_ptr<const CompiledPlan> PlanCache::get_or_compile(
   // concurrent requesters for the same key block here instead of compiling
   // redundantly, then share the plan.  The cache-wide mutex is never held
   // across a compile, so other keys stay fully concurrent.
-  std::lock_guard<std::mutex> build_lock(entry->build_mutex);
+  util::LockGuard build_lock(entry->build_mutex);
   const bool hit = entry->plan != nullptr;
   if (!hit) {
     entry->plan = std::make_shared<const CompiledPlan>(formula, options);
     entry->built.store(true, std::memory_order_release);
   }
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::LockGuard lock(mutex_);
     if (hit) {
       ++stats_.hits;
     } else {
@@ -126,17 +140,17 @@ void PlanCache::evict_locked() {
 }
 
 PlanCache::Stats PlanCache::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::LockGuard lock(mutex_);
   return stats_;
 }
 
 std::size_t PlanCache::size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::LockGuard lock(mutex_);
   return entries_.size();
 }
 
 void PlanCache::clear() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::LockGuard lock(mutex_);
   entries_.clear();
 }
 

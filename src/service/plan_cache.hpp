@@ -23,7 +23,6 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <unordered_map>
 
@@ -31,6 +30,8 @@
 #include "cnf/formula.hpp"
 #include "prob/compiled.hpp"
 #include "transform/transform.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace hts::service {
 
@@ -41,6 +42,13 @@ struct PlanOptions {
   bool cone_only = false;
   bool optimize_tape = true;
   transform::Config transform;
+  /// Run the plan-IR verifier (verify/plan_verifier.hpp) over the freshly
+  /// compiled tape and eval plan, aborting on any violation.  Redundant (and
+  /// skipped) when the build-wide HTS_VERIFY_PLANS hook already verifies
+  /// every construction; cache-neutral — verification never changes the
+  /// artifacts, so it is excluded from the fingerprint and a hit on an
+  /// already-verified entry stays a hit.
+  bool verify_plans = false;
 };
 
 struct PlanKey {
@@ -92,24 +100,29 @@ class PlanCache {
   /// avoided compiling.
   [[nodiscard]] std::shared_ptr<const CompiledPlan> get_or_compile(
       const cnf::Formula& formula, const PlanOptions& options,
-      bool* cache_hit = nullptr);
+      bool* cache_hit = nullptr) HTS_EXCLUDES(mutex_);
 
-  [[nodiscard]] Stats stats() const;
-  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] Stats stats() const HTS_EXCLUDES(mutex_);
+  [[nodiscard]] std::size_t size() const HTS_EXCLUDES(mutex_);
   [[nodiscard]] std::size_t capacity() const { return capacity_; }
-  void clear();
+  void clear() HTS_EXCLUDES(mutex_);
 
  private:
   struct Entry {
     /// Serializes the one-time compile; get_or_compile holds it only while
     /// plan is still null (first requester) or to read it (waiters).
-    std::mutex build_mutex;
-    std::shared_ptr<const CompiledPlan> plan;  // guarded by build_mutex
+    /// Lock order: build_mutex -> PlanCache::mutex_ (the stats update after
+    /// a compile); never the reverse — eviction under the cache mutex reads
+    /// the atomic `built` flag instead of taking build_mutex.
+    util::Mutex build_mutex;
+    std::shared_ptr<const CompiledPlan> plan HTS_GUARDED_BY(build_mutex);
     /// Published after the compile lands; lets evict_locked (which holds
     /// only the cache mutex) see build completion without touching
     /// build_mutex — taking it there would block eviction behind compiles.
     std::atomic<bool> built{false};
-    std::uint64_t last_use = 0;  // guarded by the cache mutex
+    /// Guarded by the *cache* mutex (PlanCache::mutex_), not build_mutex —
+    /// a cross-object guard the analysis cannot express on a nested struct.
+    std::uint64_t last_use = 0;
   };
 
   struct KeyHash {
@@ -118,13 +131,14 @@ class PlanCache {
     }
   };
 
-  void evict_locked();
+  void evict_locked() HTS_REQUIRES(mutex_);
 
   const std::size_t capacity_;
-  mutable std::mutex mutex_;
-  std::unordered_map<PlanKey, std::shared_ptr<Entry>, KeyHash> entries_;
-  std::uint64_t use_seq_ = 0;
-  Stats stats_;
+  mutable util::Mutex mutex_;
+  std::unordered_map<PlanKey, std::shared_ptr<Entry>, KeyHash> entries_
+      HTS_GUARDED_BY(mutex_);
+  std::uint64_t use_seq_ HTS_GUARDED_BY(mutex_) = 0;
+  Stats stats_ HTS_GUARDED_BY(mutex_);
 };
 
 }  // namespace hts::service

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <atomic>
-#include <chrono>
 #include <limits>
 #include <thread>
 #include <utility>
@@ -11,8 +10,10 @@
 #include "core/round_runner.hpp"
 #include "core/unique_bank.hpp"
 #include "prob/engine.hpp"
+#include "util/mutex.hpp"
 #include "util/rng.hpp"
 #include "util/stop_token.hpp"
+#include "util/thread_annotations.hpp"
 #include "util/timer.hpp"
 
 namespace hts::service {
@@ -27,8 +28,11 @@ namespace detail {
 /// Concurrency contract: the execution-state block is touched only by the
 /// worker currently holding the job (jobs are in exactly one of ready_/
 /// running_/terminal, never two places); `status` is atomic; `stats` is
-/// guarded by `mutex`.  Lock order is server mutex_ -> job mutex; no path
-/// takes them in reverse.
+/// guarded by `mutex` (annotated — Clang -Wthread-safety enforces it).
+/// `last_pop_seq` and `enqueued_at_ms` are guarded by the *server* mutex_
+/// across the enqueue -> pop handoff, a cross-object guard the analysis
+/// cannot express on this struct, so those two stay comment-documented.
+/// Lock order is server mutex_ -> job mutex; no path takes them in reverse.
 struct Job {
   explicit Job(SamplingRequest req)
       : request(std::move(req)),
@@ -69,9 +73,9 @@ struct Job {
   double enqueued_at_ms = 0.0;
 
   // ---- cross-thread accounting ----
-  mutable std::mutex mutex;
-  std::condition_variable done_cv;
-  JobStats stats;
+  mutable util::Mutex mutex;
+  util::CondVar done_cv;
+  JobStats stats HTS_GUARDED_BY(mutex);
   util::Timer lifetime;
 
   void cancel() {
@@ -95,7 +99,7 @@ JobStatus JobHandle::status() const {
 }
 
 JobStats JobHandle::stats() const {
-  std::lock_guard<std::mutex> lock(job_->mutex);
+  util::LockGuard lock(job_->mutex);
   return job_->stats;
 }
 
@@ -103,21 +107,27 @@ SolutionStream& JobHandle::stream() const { return *job_->stream; }
 
 void JobHandle::cancel() const { job_->cancel(); }
 
+// status is atomic, but the waits still hold job mutex: finalize() stores
+// the terminal status under it before notifying, so a waiter can never
+// check the predicate, miss the store, and then sleep through the notify.
+
 JobStatus JobHandle::wait() const {
-  std::unique_lock<std::mutex> lock(job_->mutex);
-  job_->done_cv.wait(lock, [this] {
-    return job_status_terminal(job_->status.load(std::memory_order_acquire));
-  });
+  util::LockGuard lock(job_->mutex);
+  while (!job_status_terminal(job_->status.load(std::memory_order_acquire))) {
+    job_->done_cv.wait(job_->mutex);
+  }
   return job_->status.load(std::memory_order_acquire);
 }
 
 bool JobHandle::wait_for(double timeout_ms) const {
-  std::unique_lock<std::mutex> lock(job_->mutex);
-  return job_->done_cv.wait_for(
-      lock, std::chrono::duration<double, std::milli>(timeout_ms), [this] {
-        return job_status_terminal(
-            job_->status.load(std::memory_order_acquire));
-      });
+  const util::Timer timer;
+  util::LockGuard lock(job_->mutex);
+  while (!job_status_terminal(job_->status.load(std::memory_order_acquire))) {
+    const double left = timeout_ms - timer.milliseconds();
+    if (left <= 0.0) return false;
+    job_->done_cv.wait_for_ms(job_->mutex, left);
+  }
+  return true;
 }
 
 // ---- Server ------------------------------------------------------------------
@@ -131,7 +141,13 @@ Server::Server(ServerConfig config)
       cache_(config.plan_cache_capacity),
       pool_(n_workers_) {
   if (config_.rounds_per_slice == 0) config_.rounds_per_slice = 1;
-  workers_alive_ = n_workers_;
+  {
+    // No worker exists yet, but workers_alive_ is mutex_-guarded and the
+    // analysis (rightly) has no "still single-threaded" notion — and the
+    // first submitted worker starts concurrently with the rest of this body.
+    util::LockGuard lock(mutex_);
+    workers_alive_ = n_workers_;
+  }
   for (std::size_t w = 0; w < n_workers_; ++w) {
     pool_.submit([this] { worker_loop(); });
   }
@@ -143,7 +159,7 @@ JobHandle Server::submit(SamplingRequest request) {
   auto job = std::make_shared<Job>(std::move(request));
   bool rejected = false;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::LockGuard lock(mutex_);
     job->id = next_id_++;
     job->submit_seq = job->id;
     ++stats_.submitted;
@@ -166,7 +182,7 @@ JobHandle Server::submit(SamplingRequest request) {
 void Server::shutdown() {
   std::vector<std::shared_ptr<Job>> outstanding;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::LockGuard lock(mutex_);
     shutdown_ = true;
     outstanding.insert(outstanding.end(), ready_.begin(), ready_.end());
     outstanding.insert(outstanding.end(), running_.begin(), running_.end());
@@ -175,12 +191,12 @@ void Server::shutdown() {
   // sees the cancel and finalizes without spending a slice) and then exit.
   for (const std::shared_ptr<Job>& job : outstanding) job->cancel();
   work_cv_.notify_all();
-  std::unique_lock<std::mutex> lock(mutex_);
-  workers_exit_cv_.wait(lock, [this] { return workers_alive_ == 0; });
+  util::LockGuard lock(mutex_);
+  while (workers_alive_ != 0) workers_exit_cv_.wait(mutex_);
 }
 
 ServerStats Server::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::LockGuard lock(mutex_);
   return stats_;
 }
 
@@ -221,7 +237,7 @@ std::shared_ptr<Job> Server::pop_best_locked() {
   job->last_pop_seq = pop_seq_;
   ++stats_.slices;
   {
-    std::lock_guard<std::mutex> jlock(job->mutex);
+    util::LockGuard jlock(job->mutex);
     job->stats.queue_wait_ms +=
         job->lifetime.milliseconds() - job->enqueued_at_ms;
   }
@@ -238,7 +254,7 @@ void Server::worker_loop() {
   for (;;) {
     std::shared_ptr<Job> job;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
+      util::LockGuard lock(mutex_);
       for (;;) {
         reap_running_locked();
         if (!ready_.empty()) break;
@@ -255,11 +271,10 @@ void Server::worker_loop() {
           margin_ms = std::min(margin_ms, running->deadline.remaining_ms());
         }
         if (margin_ms > 1e17) {
-          work_cv_.wait(lock);
+          work_cv_.wait(mutex_);
         } else {
           margin_ms = std::clamp(margin_ms, 1.0, 50.0);
-          work_cv_.wait_for(
-              lock, std::chrono::duration<double, std::milli>(margin_ms));
+          work_cv_.wait_for_ms(mutex_, margin_ms);
         }
       }
       job = pop_best_locked();
@@ -270,13 +285,13 @@ void Server::worker_loop() {
     const double slice_begin_ms = job->lifetime.milliseconds();
     const JobStatus outcome = run_slice(*job);
     {
-      std::lock_guard<std::mutex> jlock(job->mutex);
+      util::LockGuard jlock(job->mutex);
       job->stats.exec_ms += job->lifetime.milliseconds() - slice_begin_ms;
     }
 
     bool requeued = false;
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      util::LockGuard lock(mutex_);
       running_.erase(std::find(running_.begin(), running_.end(), job));
       if (outcome == JobStatus::kRunning) {
         job->enqueued_at_ms = job->lifetime.milliseconds();
@@ -317,7 +332,7 @@ JobStatus Server::run_slice(Job& job) {
     bool hit = false;
     job.plan = cache_.get_or_compile(request.formula, plan_options, &hit);
     {
-      std::lock_guard<std::mutex> jlock(job.mutex);
+      util::LockGuard jlock(job.mutex);
       job.stats.compile_ms = compile_timer.milliseconds();
       job.stats.plan_cache_hit = hit;
     }
@@ -368,7 +383,7 @@ JobStatus Server::run_slice(Job& job) {
       }
     }
     job.result.solutions.clear();
-    std::lock_guard<std::mutex> jlock(job.mutex);
+    util::LockGuard jlock(job.mutex);
     job.stats.n_unique = job.bank->size();
     job.stats.delivered = job.stream->delivered();
     job.stats.rounds = job.rounds_started;
@@ -401,7 +416,7 @@ JobStatus Server::run_slice(Job& job) {
 
 void Server::finalize(const std::shared_ptr<Job>& job, JobStatus status) {
   {
-    std::lock_guard<std::mutex> jlock(job->mutex);
+    util::LockGuard jlock(job->mutex);
     JobStats& stats = job->stats;
     stats.wall_ms = job->lifetime.milliseconds();
     stats.rounds = job->rounds_started;
@@ -427,7 +442,7 @@ void Server::finalize(const std::shared_ptr<Job>& job, JobStatus status) {
   // Fleet counters move before the terminal status is visible, so a client
   // that wait()s and then reads Server::stats() observes its own job.
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::LockGuard lock(mutex_);
     // Drop the client's round-robin stamp once its last outstanding job is
     // gone — a long-lived server must not grow state per client_id ever
     // seen.  (A returning client restarts as "least recently scheduled",
@@ -451,7 +466,7 @@ void Server::finalize(const std::shared_ptr<Job>& job, JobStatus status) {
     }
   }
   {
-    std::lock_guard<std::mutex> jlock(job->mutex);
+    util::LockGuard jlock(job->mutex);
     job->status.store(status, std::memory_order_release);
   }
   job->done_cv.notify_all();

@@ -27,16 +27,16 @@
 // util::Rng::stream(seed, r), so fleet size and scheduling interleave
 // change only timing, never results.
 
-#include <condition_variable>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
 #include "service/plan_cache.hpp"
 #include "service/request.hpp"
 #include "service/solution_stream.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 #include "util/thread_pool.hpp"
 
 namespace hts::service {
@@ -107,49 +107,55 @@ class Server {
 
   /// Enqueues a request; non-blocking.  After shutdown(), returns an
   /// already-cancelled handle.
-  [[nodiscard]] JobHandle submit(SamplingRequest request);
+  [[nodiscard]] JobHandle submit(SamplingRequest request) HTS_EXCLUDES(mutex_);
 
   /// Cancels every queued and running job, drains the fleet, and stops the
   /// workers.  Idempotent; called by the destructor.
-  void shutdown();
+  void shutdown() HTS_EXCLUDES(mutex_);
 
   [[nodiscard]] std::size_t n_workers() const { return n_workers_; }
-  [[nodiscard]] ServerStats stats() const;
+  [[nodiscard]] ServerStats stats() const HTS_EXCLUDES(mutex_);
   [[nodiscard]] PlanCache::Stats plan_cache_stats() const {
     return cache_.stats();
   }
   [[nodiscard]] std::size_t plan_cache_size() const { return cache_.size(); }
 
  private:
-  void worker_loop();
+  void worker_loop() HTS_EXCLUDES(mutex_);
   /// Pops the scheduling-order minimum from the ready queue; updates the
   /// client round-robin stamp and the job's queue-wait accounting.
-  [[nodiscard]] std::shared_ptr<detail::Job> pop_best_locked();
+  [[nodiscard]] std::shared_ptr<detail::Job> pop_best_locked()
+      HTS_REQUIRES(mutex_);
   [[nodiscard]] bool schedules_before_locked(const detail::Job& a,
-                                             const detail::Job& b) const;
+                                             const detail::Job& b) const
+      HTS_REQUIRES(mutex_);
   /// Fires the abort token of running jobs whose deadline has passed, so
   /// their slices wind down mid-harvest instead of at the next iteration.
-  void reap_running_locked();
+  void reap_running_locked() HTS_REQUIRES(mutex_);
   /// Runs one slice; returns kRunning to continue (re-queue) or the
   /// terminal status.
-  [[nodiscard]] JobStatus run_slice(detail::Job& job);
-  void finalize(const std::shared_ptr<detail::Job>& job, JobStatus status);
+  [[nodiscard]] JobStatus run_slice(detail::Job& job) HTS_EXCLUDES(mutex_);
+  void finalize(const std::shared_ptr<detail::Job>& job, JobStatus status)
+      HTS_EXCLUDES(mutex_);
 
   ServerConfig config_;
   std::size_t n_workers_ = 0;
   PlanCache cache_;
 
-  mutable std::mutex mutex_;
-  std::condition_variable work_cv_;
-  std::condition_variable workers_exit_cv_;
-  std::vector<std::shared_ptr<detail::Job>> ready_;
-  std::vector<std::shared_ptr<detail::Job>> running_;
-  std::unordered_map<std::uint64_t, std::uint64_t> client_last_pop_;
-  std::uint64_t pop_seq_ = 0;
-  std::uint64_t next_id_ = 1;
-  std::size_t workers_alive_ = 0;
-  bool shutdown_ = false;
-  ServerStats stats_;
+  // Lock order: mutex_ -> detail::Job::mutex, never the reverse (see
+  // util/mutex.hpp for the repo-wide contract).
+  mutable util::Mutex mutex_;
+  util::CondVar work_cv_;
+  util::CondVar workers_exit_cv_;
+  std::vector<std::shared_ptr<detail::Job>> ready_ HTS_GUARDED_BY(mutex_);
+  std::vector<std::shared_ptr<detail::Job>> running_ HTS_GUARDED_BY(mutex_);
+  std::unordered_map<std::uint64_t, std::uint64_t> client_last_pop_
+      HTS_GUARDED_BY(mutex_);
+  std::uint64_t pop_seq_ HTS_GUARDED_BY(mutex_) = 0;
+  std::uint64_t next_id_ HTS_GUARDED_BY(mutex_) = 1;
+  std::size_t workers_alive_ HTS_GUARDED_BY(mutex_) = 0;
+  bool shutdown_ HTS_GUARDED_BY(mutex_) = false;
+  ServerStats stats_ HTS_GUARDED_BY(mutex_);
 
   /// Declared last so it is destroyed first; by then shutdown() has drained
   /// the worker loops, so the pool destructor joins idle threads.

@@ -16,18 +16,21 @@
 // sequentially per job and each round's accept phase is serial, so for a
 // fixed (formula, seed, config) the stream contents — including order —
 // are identical under any worker-fleet size.
+//
+// Lock discipline (machine-checked under Clang -Wthread-safety): mutex_
+// guards the buffer and every flag; it is a leaf lock — the callback runs
+// outside it, and nothing else is acquired under it.
 
-#include <chrono>
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <utility>
 #include <vector>
 
 #include "cnf/types.hpp"
+#include "util/mutex.hpp"
 #include "util/stop_token.hpp"
+#include "util/thread_annotations.hpp"
 #include "util/timer.hpp"
 
 namespace hts::service {
@@ -49,22 +52,22 @@ class SolutionStream {
   /// assignment was dropped (consumer cancelled, or abort/deadline while
   /// waiting); the job treats that as "stop delivering", not an error.
   bool push(cnf::Assignment&& assignment, const util::StopToken& abort,
-            const util::Deadline& deadline) {
+            const util::Deadline& deadline) HTS_EXCLUDES(mutex_) {
     if (callback_) {
       {
-        std::lock_guard<std::mutex> lock(mutex_);
+        util::LockGuard lock(mutex_);
         if (cancelled_) return false;
         ++delivered_;
       }
       callback_(assignment);
       return true;
     }
-    std::unique_lock<std::mutex> lock(mutex_);
+    util::LockGuard lock(mutex_);
     while (capacity_ != 0 && queue_.size() >= capacity_ && !cancelled_) {
       if (abort.stop_requested() || deadline.expired()) return false;
       // Bounded wait so an abort/deadline raised while we sleep is noticed
       // promptly even if no consumer ever wakes us.
-      space_cv_.wait_for(lock, std::chrono::milliseconds(10));
+      space_cv_.wait_for_ms(mutex_, 10.0);
     }
     if (cancelled_) return false;
     queue_.push_back(std::move(assignment));
@@ -74,9 +77,9 @@ class SolutionStream {
   }
 
   /// No more items will be pushed (job terminal).  Wakes blocked consumers.
-  void close() {
+  void close() HTS_EXCLUDES(mutex_) {
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      util::LockGuard lock(mutex_);
       closed_ = true;
     }
     item_cv_.notify_all();
@@ -87,10 +90,9 @@ class SolutionStream {
   /// Blocking iterator: waits for the next assignment.  Returns false when
   /// the stream is closed (job terminal) and drained — the end of the
   /// stream.
-  bool next(cnf::Assignment& out) {
-    std::unique_lock<std::mutex> lock(mutex_);
-    item_cv_.wait(lock,
-                  [this] { return !queue_.empty() || closed_ || cancelled_; });
+  bool next(cnf::Assignment& out) HTS_EXCLUDES(mutex_) {
+    util::LockGuard lock(mutex_);
+    while (queue_.empty() && !closed_ && !cancelled_) item_cv_.wait(mutex_);
     if (queue_.empty()) return false;
     out = std::move(queue_.front());
     queue_.pop_front();
@@ -99,8 +101,8 @@ class SolutionStream {
   }
 
   /// Non-blocking poll; false when nothing is buffered right now.
-  bool try_next(cnf::Assignment& out) {
-    std::lock_guard<std::mutex> lock(mutex_);
+  bool try_next(cnf::Assignment& out) HTS_EXCLUDES(mutex_) {
+    util::LockGuard lock(mutex_);
     if (queue_.empty()) return false;
     out = std::move(queue_.front());
     queue_.pop_front();
@@ -109,8 +111,8 @@ class SolutionStream {
   }
 
   /// Appends everything currently buffered to `out`; returns the count.
-  std::size_t drain(std::vector<cnf::Assignment>& out) {
-    std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t drain(std::vector<cnf::Assignment>& out) HTS_EXCLUDES(mutex_) {
+    util::LockGuard lock(mutex_);
     const std::size_t n = queue_.size();
     for (cnf::Assignment& assignment : queue_) {
       out.push_back(std::move(assignment));
@@ -123,9 +125,9 @@ class SolutionStream {
   /// Consumer abandons the stream: the buffer is discarded and every future
   /// push is dropped (the job itself keeps running — cancel the JobHandle
   /// to stop the work too).
-  void cancel() {
+  void cancel() HTS_EXCLUDES(mutex_) {
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      util::LockGuard lock(mutex_);
       cancelled_ = true;
       queue_.clear();
     }
@@ -133,17 +135,17 @@ class SolutionStream {
     space_cv_.notify_all();
   }
 
-  [[nodiscard]] bool closed() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+  [[nodiscard]] bool closed() const HTS_EXCLUDES(mutex_) {
+    util::LockGuard lock(mutex_);
     return closed_;
   }
   /// Assignments accepted into the stream (buffered or callback-delivered).
-  [[nodiscard]] std::size_t delivered() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+  [[nodiscard]] std::size_t delivered() const HTS_EXCLUDES(mutex_) {
+    util::LockGuard lock(mutex_);
     return delivered_;
   }
-  [[nodiscard]] std::size_t buffered() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+  [[nodiscard]] std::size_t buffered() const HTS_EXCLUDES(mutex_) {
+    util::LockGuard lock(mutex_);
     return queue_.size();
   }
   [[nodiscard]] std::size_t capacity() const { return capacity_; }
@@ -151,13 +153,13 @@ class SolutionStream {
  private:
   const std::size_t capacity_;
   const std::function<void(const cnf::Assignment&)> callback_;
-  mutable std::mutex mutex_;
-  std::condition_variable item_cv_;
-  std::condition_variable space_cv_;
-  std::deque<cnf::Assignment> queue_;
-  std::size_t delivered_ = 0;
-  bool closed_ = false;
-  bool cancelled_ = false;
+  mutable util::Mutex mutex_;
+  util::CondVar item_cv_;
+  util::CondVar space_cv_;
+  std::deque<cnf::Assignment> queue_ HTS_GUARDED_BY(mutex_);
+  std::size_t delivered_ HTS_GUARDED_BY(mutex_) = 0;
+  bool closed_ HTS_GUARDED_BY(mutex_) = false;
+  bool cancelled_ HTS_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace hts::service

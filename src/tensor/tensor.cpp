@@ -7,6 +7,12 @@ namespace hts::tensor {
 
 namespace {
 
+// Thread-safety audit: tensor state shared across threads is exactly these
+// two accounting atomics (relaxed — the peak is advisory, see the CAS loop
+// in record_alloc); kernel dispatch borrows util::ThreadPool, whose lock
+// discipline is capability-annotated in util/thread_pool.hpp.  Tensor
+// buffers themselves are single-owner and partitioned across workers by
+// parallel_for, so they carry no locks.
 std::atomic<std::int64_t> g_live_bytes{0};
 std::atomic<std::int64_t> g_peak_bytes{0};
 

@@ -15,6 +15,13 @@
 // results it has banked.  (std::stop_token is jthread-centric and cannot be
 // observed without a jthread; this standalone pair is the few lines we
 // need.)
+//
+// Thread-safety: lock-free by design — the flag is a monotone one-way
+// atomic (false -> true, relaxed order suffices: observers act on it at
+// their next poll either way), so there is no mutex to annotate and Clang's
+// capability analysis (util/thread_annotations.hpp) has nothing to track
+// here.  The shared_ptr control block makes token lifetime safe across
+// threads on its own.
 
 #include <atomic>
 #include <memory>

@@ -16,7 +16,7 @@ ThreadPool::ThreadPool(std::size_t n_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    LockGuard lock(mutex_);
     stop_ = true;
   }
   work_ready_.notify_all();
@@ -27,8 +27,8 @@ void ThreadPool::worker_loop() {
   for (;;) {
     Task task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      work_ready_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      LockGuard lock(mutex_);
+      while (!stop_ && queue_.empty()) work_ready_.wait(mutex_);
       if (stop_ && queue_.empty()) return;
       task = std::move(queue_.back());
       queue_.pop_back();
@@ -46,7 +46,7 @@ void ThreadPool::worker_loop() {
     }
     (*task.fn)(task.begin, task.end);
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      LockGuard lock(mutex_);
       if (--*task.remaining == 0) work_done_.notify_all();
     }
   }
@@ -54,7 +54,7 @@ void ThreadPool::worker_loop() {
 
 void ThreadPool::submit(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    LockGuard lock(mutex_);
     Task entry;
     entry.detached = std::move(task);
     queue_.push_back(std::move(entry));
@@ -74,10 +74,11 @@ void ThreadPool::parallel_for(
   }
   const std::size_t chunk = (n + n_chunks - 1) / n_chunks;
   // Per-call completion count: concurrent parallel_for calls from distinct
-  // threads each wait only for their own chunks.
+  // threads each wait only for their own chunks.  Written under mutex_ from
+  // here on (see Task::remaining).
   std::size_t remaining = 0;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    LockGuard lock(mutex_);
     for (std::size_t begin = 0; begin < n; begin += chunk) {
       Task task;
       task.fn = &fn;
@@ -89,8 +90,8 @@ void ThreadPool::parallel_for(
     }
   }
   work_ready_.notify_all();
-  std::unique_lock<std::mutex> lock(mutex_);
-  work_done_.wait(lock, [&remaining] { return remaining == 0; });
+  LockGuard lock(mutex_);
+  while (remaining != 0) work_done_.wait(mutex_);
 }
 
 ThreadPool& ThreadPool::global() {

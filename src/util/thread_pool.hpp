@@ -5,13 +5,18 @@
 // This is the "GPU simulator" substrate: the paper's sampler is data-parallel
 // across batch rows, and we reproduce the GPU-vs-CPU ablation (Fig. 4, left)
 // by running identical kernels either serially or across this pool.
+//
+// Lock discipline (machine-checked under Clang -Wthread-safety): mutex_
+// guards the queue and the stop flag; it is a leaf lock — tasks always run
+// with no pool lock held (see util/mutex.hpp for the repo-wide order).
 
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace hts::util {
 
@@ -30,7 +35,8 @@ class ThreadPool {
   /// calling thread, blocking until all chunks complete.  fn must be safe to
   /// invoke concurrently on disjoint ranges.
   void parallel_for(std::size_t n,
-                    const std::function<void(std::size_t, std::size_t)>& fn);
+                    const std::function<void(std::size_t, std::size_t)>& fn)
+      HTS_EXCLUDES(mutex_);
 
   /// Enqueues a single fire-and-forget task; returns immediately.  The task
   /// runs on one pool worker (never the caller), interleaved with
@@ -40,7 +46,7 @@ class ThreadPool {
   /// with the data-parallel kernels instead of owning raw std::threads.
   /// Tasks still queued when the pool is destroyed are dropped; tasks must
   /// not outlive-block the pool unless the owner drains them first.
-  void submit(std::function<void()> task);
+  void submit(std::function<void()> task) HTS_EXCLUDES(mutex_);
 
   /// Global pool sized to the machine; shared by tensor kernels.
   static ThreadPool& global();
@@ -52,23 +58,26 @@ class ThreadPool {
     std::size_t end = 0;
     /// Per-call chunk countdown living on the caller's stack (the caller
     /// blocks until it reaches zero, so the pointer outlives the task).
-    /// Guarded by mutex_.  Distinct calls track completion independently,
-    /// so concurrent callers — e.g. round-parallel GD workers dispatching
-    /// data-parallel kernels — never wait on each other's chunks.
+    /// The *pointee* is guarded by mutex_ — a cross-object relationship the
+    /// analysis cannot express on a nested struct, so it stays a comment;
+    /// every dereference in thread_pool.cpp is under a mutex_ guard.
+    /// Distinct calls track completion independently, so concurrent callers
+    /// — e.g. round-parallel GD workers dispatching data-parallel kernels —
+    /// never wait on each other's chunks.
     std::size_t* remaining = nullptr;
     /// submit() tasks carry their callable by value (fn stays null and no
     /// completion is tracked — fire and forget).
     std::function<void()> detached;
   };
 
-  void worker_loop();
+  void worker_loop() HTS_EXCLUDES(mutex_);
 
   std::vector<std::thread> workers_;
-  std::vector<Task> queue_;
-  std::mutex mutex_;
-  std::condition_variable work_ready_;
-  std::condition_variable work_done_;
-  bool stop_ = false;
+  Mutex mutex_;
+  std::vector<Task> queue_ HTS_GUARDED_BY(mutex_);
+  CondVar work_ready_;
+  CondVar work_done_;
+  bool stop_ HTS_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace hts::util
