@@ -17,6 +17,13 @@
 //                         within 2x its solo latency.
 //   latency-distribution  a burst of small requests from several clients:
 //                         requests/sec and p50/p99 completion latency.
+//   overload-shedding     demand ~4x what the fleet can serve within the
+//                         deadline, with admission control on: infeasible
+//                         requests must bounce at submit() (no compile, no
+//                         rounds, sub-millisecond), and >= 90% of the jobs
+//                         the server *did* accept must meet their deadline.
+//                         This scenario asserts (exit nonzero on violation),
+//                         so the perf-smoke CTest run gates on it.
 //
 // Extra knobs on top of bench_common's:
 //   HTS_BENCH_SERVICE_REQUESTS  concurrent requests in the throughput
@@ -301,6 +308,118 @@ int main(int argc, char** argv) {
         .field("p50_ms", p50)
         .field("p99_ms", p99);
     json.add(record);
+  }
+
+  // --- scenario 4: overload shedding under admission control ----------------
+  // A two-worker fleet is offered ~4x the work it can finish inside the
+  // deadline.  Calibration first: a few sequential warmup jobs measure the
+  // true per-job cost on this machine, so the deadline below scales with
+  // host speed (and sanitizer overhead) instead of hardcoding milliseconds.
+  // The overload server is then constructed with that measurement as its
+  // cost prior — the bench tests shedding accuracy, not how fast the EWMA
+  // converges from a cold prior.
+  {
+    constexpr std::size_t kWarmup = 4;
+    double cost_ms = 0.0;
+    {
+      service::Server warmup_server({.n_workers = 2});
+      for (std::size_t i = 0; i < kWarmup; ++i) {
+        service::SamplingRequest request = make_request(
+            short_instance.formula, short_target, env.seed + i, short_batch);
+        const service::JobHandle handle = warmup_server.submit(std::move(request));
+        (void)handle.wait();
+        cost_ms = std::max(cost_ms, handle.stats().wall_ms);
+      }
+    }
+    service::ServerConfig config{.n_workers = 2};
+    config.admission.enabled = true;
+    config.admission.initial_job_cost_ms = cost_ms;
+    service::Server server(std::move(config));
+
+    // deadline = 4x one job's cost => the two workers can finish ~8 jobs
+    // in time; offering 32 makes demand ~4x capacity.
+    const double deadline_ms = std::max(4.0 * cost_ms, 1.0);
+    constexpr std::size_t kOffered = 32;
+    std::vector<service::JobHandle> handles;
+    std::vector<double> submit_us;
+    handles.reserve(kOffered);
+    for (std::size_t i = 0; i < kOffered; ++i) {
+      service::SamplingRequest request = make_request(
+          short_instance.formula, short_target, env.seed + 100 + i, short_batch);
+      request.client_id = i % 4;
+      request.deadline_ms = deadline_ms;
+      const util::Timer submit_timer;
+      handles.push_back(server.submit(std::move(request)));
+      submit_us.push_back(1000.0 * submit_timer.milliseconds());
+    }
+
+    std::size_t rejected = 0;
+    std::size_t accepted = 0;
+    std::size_t met = 0;
+    double reject_max_us = 0.0;
+    bool reject_did_work = false;
+    for (std::size_t i = 0; i < kOffered; ++i) {
+      const service::JobStatus status = handles[i].wait();
+      const service::JobStats stats = handles[i].stats();
+      if (status == service::JobStatus::kRejected) {
+        ++rejected;
+        reject_max_us = std::max(reject_max_us, submit_us[i]);
+        // Load shedding is only cheap if it happens *before* any compile or
+        // execution; a reject that burned worker time defeats the point.
+        if (stats.compile_ms > 0.0 || stats.rounds > 0) reject_did_work = true;
+      } else {
+        ++accepted;
+        if (status == service::JobStatus::kCompleted) ++met;
+      }
+    }
+    const double met_fraction =
+        accepted > 0 ? static_cast<double>(met) / static_cast<double>(accepted)
+                     : 0.0;
+    std::printf("\noverload (2 workers, %zu offered, deadline %.1f ms = 4x "
+                "calibrated cost %.1f ms):\n  accepted %zu (%.0f%% met "
+                "deadline), rejected %zu at submit (max %.0f us)\n",
+                kOffered, deadline_ms, cost_ms, accepted, 100.0 * met_fraction,
+                rejected, reject_max_us);
+    {
+      bench::JsonRecord record;
+      record.field("mode", "overload-shedding")
+          .field("instance", short_instance.name)
+          .field("offered", kOffered)
+          .field("workers", std::size_t{2})
+          .field("calibrated_cost_ms", cost_ms)
+          .field("deadline_ms", deadline_ms)
+          .field("accepted", accepted)
+          .field("rejected", rejected)
+          .field("deadline_met_fraction", met_fraction)
+          .field("reject_max_us", reject_max_us);
+      json.add(record);
+    }
+    // The acceptance bars, enforced here so perf-smoke CI gates on them.
+    bool ok = true;
+    if (rejected == 0) {
+      std::fprintf(stderr, "[service_throughput] FAIL: overload shed nothing "
+                           "(admission control never rejected)\n");
+      ok = false;
+    }
+    if (reject_did_work) {
+      std::fprintf(stderr, "[service_throughput] FAIL: a rejected job compiled "
+                           "or ran rounds before bouncing\n");
+      ok = false;
+    }
+    // Sub-ms is the design target; 10 ms is the hard bar so sanitizer and
+    // loaded-CI builds do not flake on scheduler noise.
+    if (reject_max_us > 10000.0) {
+      std::fprintf(stderr, "[service_throughput] FAIL: slowest rejection took "
+                           "%.0f us (bar: 10000)\n", reject_max_us);
+      ok = false;
+    }
+    if (met_fraction < 0.9) {
+      std::fprintf(stderr, "[service_throughput] FAIL: only %.0f%% of accepted "
+                           "jobs met their deadline (bar: 90%%)\n",
+                   100.0 * met_fraction);
+      ok = false;
+    }
+    if (!ok) return 1;
   }
 
   std::printf("\nReading: the throughput speedup is compile-amortization plus\n"

@@ -1,6 +1,12 @@
 // serve_cli: drive the in-process sampling service with a batch of jobs.
 //
-//   ./serve_cli [--workers N] [jobspec-file]
+//   ./serve_cli [--workers N] [--admission] [--fault SPEC] [jobspec-file]
+//
+// --admission turns on deadline-aware admission control (infeasible requests
+// come back `rejected` at submit, before any compile); --fault arms the
+// deterministic fault injector with SPEC (same grammar as HTS_FAULT_SPEC,
+// e.g. 'compile:every=3;slice:every=5:kind=transient') so the failure paths
+// in the table below can be exercised from the command line.
 //
 // Each non-comment line of the jobspec file is one request:
 //
@@ -74,15 +80,31 @@ cnf::Formula load_formula(const std::string& instance) {
   return cnf::parse_dimacs_file(instance);
 }
 
+/// One cell summarizing a job's error, empty when it finished clean:
+/// "category@site: message" is exactly what an operator greps logs for.
+std::string error_cell(const service::ErrorInfo& error) {
+  if (error.ok()) return "-";
+  std::string cell = service::error_category_name(error.category);
+  if (!error.site.empty()) cell += "@" + error.site;
+  if (!error.message.empty()) cell += ": " + error.message;
+  return cell;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::size_t n_workers = 0;  // hardware
   std::string spec_path;
+  std::string fault_spec;
+  bool admission = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--workers" && i + 1 < argc) {
       n_workers = static_cast<std::size_t>(std::stoul(argv[++i]));
+    } else if (arg == "--fault" && i + 1 < argc) {
+      fault_spec = argv[++i];
+    } else if (arg == "--admission") {
+      admission = true;
     } else {
       spec_path = arg;
     }
@@ -106,9 +128,13 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  service::Server server({.n_workers = n_workers});
-  std::printf("service up: %zu workers, %zu jobs\n\n", server.n_workers(),
-              specs.size());
+  service::ServerConfig server_config{.n_workers = n_workers};
+  server_config.fault_spec = fault_spec;
+  server_config.admission.enabled = admission;
+  service::Server server(std::move(server_config));
+  std::printf("service up: %zu workers, %zu jobs%s%s\n\n", server.n_workers(),
+              specs.size(), admission ? ", admission control on" : "",
+              server.fault_injector().armed() ? ", fault injector armed" : "");
 
   struct Submitted {
     JobSpec spec;
@@ -137,7 +163,7 @@ int main(int argc, char** argv) {
   // in scheduler order, not submission order — the table below is the
   // consolidated view.)
   util::Table table({"Job", "Client", "Instance", "Status", "Unique",
-                     "Wait(ms)", "Wall(ms)", "Cache"});
+                     "Wait(ms)", "Wall(ms)", "Cache", "Error"});
   for (const Submitted& job : jobs) {
     const service::JobStatus status = job.handle.wait();
     const service::JobStats stats = job.handle.stats();
@@ -151,17 +177,21 @@ int main(int argc, char** argv) {
                    std::to_string(stats.n_unique),
                    util::format_fixed(stats.queue_wait_ms, 1),
                    util::format_fixed(stats.wall_ms, 1),
-                   stats.plan_cache_hit ? "hit" : "miss"});
+                   stats.plan_cache_hit ? "hit" : "miss",
+                   error_cell(stats.error)});
   }
 
   const service::ServerStats stats = server.stats();
   const service::PlanCache::Stats cache = server.plan_cache_stats();
   std::printf("\n%s\n", table.to_string().c_str());
-  std::printf("fleet: %llu jobs, %llu completed, %llu expired; plan cache "
-              "%llu hits / %llu misses\n",
+  std::printf("fleet: %llu jobs, %llu completed, %llu expired, %llu failed, "
+              "%llu rejected, %llu retried; plan cache %llu hits / %llu misses\n",
               static_cast<unsigned long long>(stats.submitted),
               static_cast<unsigned long long>(stats.completed),
               static_cast<unsigned long long>(stats.deadline_expired),
+              static_cast<unsigned long long>(stats.failed),
+              static_cast<unsigned long long>(stats.rejected),
+              static_cast<unsigned long long>(stats.retried),
               static_cast<unsigned long long>(cache.hits),
               static_cast<unsigned long long>(cache.misses));
   return 0;

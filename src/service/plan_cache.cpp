@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "service/request.hpp"
 #include "util/check.hpp"
 #include "util/timer.hpp"
 #include "verify/plan_verifier.hpp"
@@ -77,7 +78,8 @@ PlanCache::PlanCache(std::size_t capacity)
     : capacity_(capacity == 0 ? 1 : capacity) {}
 
 std::shared_ptr<const CompiledPlan> PlanCache::get_or_compile(
-    const cnf::Formula& formula, const PlanOptions& options, bool* cache_hit) {
+    const cnf::Formula& formula, const PlanOptions& options, bool* cache_hit,
+    util::FaultInjector* injector) {
   const PlanKey key = plan_fingerprint(formula, options);
 
   std::shared_ptr<Entry> entry;
@@ -99,9 +101,14 @@ std::shared_ptr<const CompiledPlan> PlanCache::get_or_compile(
   // concurrent requesters for the same key block here instead of compiling
   // redundantly, then share the plan.  The cache-wide mutex is never held
   // across a compile, so other keys stay fully concurrent.
+  // A throwing compile (the seam below, or a real failure inside
+  // CompiledPlan) unwinds from here with the entry still resident and
+  // `plan` still null — the next requester retries the compile, and
+  // neither hit nor miss is counted for the aborted attempt.
   util::LockGuard build_lock(entry->build_mutex);
   const bool hit = entry->plan != nullptr;
   if (!hit) {
+    if (injector != nullptr) injector->maybe_fault(fault_sites::kCompile);
     entry->plan = std::make_shared<const CompiledPlan>(formula, options);
     entry->built.store(true, std::memory_order_release);
   }

@@ -30,6 +30,7 @@
 #include "cnf/formula.hpp"
 #include "prob/compiled.hpp"
 #include "transform/transform.hpp"
+#include "util/fault_injector.hpp"
 #include "util/mutex.hpp"
 #include "util/thread_annotations.hpp"
 
@@ -97,10 +98,21 @@ class PlanCache {
   /// Returns the plan for (formula, options), compiling it on first sight.
   /// Safe from any number of threads; concurrent requests for one key
   /// compile once.  `cache_hit`, when given, reports whether *this* call
-  /// avoided compiling.
+  /// avoided compiling.  `injector`, when given and armed, is evaluated at
+  /// the "compile" seam just before a real compile runs.
+  ///
+  /// Failure containment: a throwing compile (injected or real) propagates
+  /// to the caller but leaves the cache coherent — the entry stays resident
+  /// and unbuilt, so the next requester for the key simply compiles again
+  /// (counted as a miss) and publishes on success.  Waiters blocked on the
+  /// in-flight compile observe the null plan and retry the same way; nobody
+  /// is handed a half-built artifact.  (Unbuilt entries are exempt from LRU
+  /// eviction, so a formula whose compile fails forever pins one capacity
+  /// slot; acceptable until proven otherwise.)
   [[nodiscard]] std::shared_ptr<const CompiledPlan> get_or_compile(
       const cnf::Formula& formula, const PlanOptions& options,
-      bool* cache_hit = nullptr) HTS_EXCLUDES(mutex_);
+      bool* cache_hit = nullptr,
+      util::FaultInjector* injector = nullptr) HTS_EXCLUDES(mutex_);
 
   [[nodiscard]] Stats stats() const HTS_EXCLUDES(mutex_);
   [[nodiscard]] std::size_t size() const HTS_EXCLUDES(mutex_);

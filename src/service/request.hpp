@@ -13,12 +13,25 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <string>
 
 #include "cnf/formula.hpp"
 #include "core/gradient_sampler.hpp"
 #include "tensor/tensor.hpp"
 
 namespace hts::service {
+
+/// Named fault-injection seams of the service layer (see
+/// util/fault_injector.hpp).  Each is evaluated on the corresponding path
+/// and doubles as the error-attribution site recorded in ErrorInfo when a
+/// real (non-injected) exception escapes that phase.
+namespace fault_sites {
+inline constexpr const char* kCompile = "compile";          // plan-cache compile
+inline constexpr const char* kEngineAlloc = "engine_alloc"; // engine/bank/harvester build
+inline constexpr const char* kHarvest = "harvest";          // post-collect checkpoint
+inline constexpr const char* kStreamPush = "stream_push";   // solution delivery
+inline constexpr const char* kSlice = "slice";              // worker slice body
+}  // namespace fault_sites
 
 /// Engine tuning defaults for service jobs.  Identical to the stand-alone
 /// GradientSampler defaults except the kernel policy: a service worker runs
@@ -100,6 +113,10 @@ enum class JobStatus : std::uint8_t {
   kCancelled,        // client cancel() or server shutdown
   kCapped,           // hit max_uniques / max_bank_bytes
   kUnsat,            // the transformation proved the formula unsatisfiable
+  kFailed,           // an error escaped the job (see JobStats::error); the
+                     // job is contained — stream closed, fleet unaffected
+  kRejected,         // admission control refused it at submit(), before any
+                     // compile (see JobStats::error for the reason)
 };
 
 [[nodiscard]] constexpr bool job_status_terminal(JobStatus status) {
@@ -115,9 +132,49 @@ enum class JobStatus : std::uint8_t {
     case JobStatus::kCancelled: return "cancelled";
     case JobStatus::kCapped: return "capped";
     case JobStatus::kUnsat: return "unsat";
+    case JobStatus::kFailed: return "failed";
+    case JobStatus::kRejected: return "rejected";
   }
   return "?";
 }
+
+/// What went wrong, in decreasing order of "the request itself was the
+/// problem".  kTransient and kResource are the retryable categories: the
+/// scheduler re-enqueues those with exponential backoff up to
+/// ServerConfig::max_retries before finalizing kFailed.
+enum class ErrorCategory : std::uint8_t {
+  kNone,       // no error (the default on every non-failed job)
+  kAdmission,  // rejected at submit(): infeasible deadline or quota
+  kCompile,    // the formula's transform/compile threw
+  kResource,   // allocation failure (std::bad_alloc); retryable
+  kTransient,  // momentary failure, expected to pass; retryable
+  kExecution,  // an exception escaped the slice (engine, harvest, delivery)
+  kInternal,   // unclassifiable (non-std::exception) — contained, never retried
+};
+
+[[nodiscard]] constexpr const char* error_category_name(ErrorCategory category) {
+  switch (category) {
+    case ErrorCategory::kNone: return "none";
+    case ErrorCategory::kAdmission: return "admission";
+    case ErrorCategory::kCompile: return "compile";
+    case ErrorCategory::kResource: return "resource";
+    case ErrorCategory::kTransient: return "transient";
+    case ErrorCategory::kExecution: return "execution";
+    case ErrorCategory::kInternal: return "internal";
+  }
+  return "?";
+}
+
+/// The error that failed (or last troubled) a job: what kind, at which
+/// seam, and the exception text.  `site` is one of the fault_sites names
+/// for slice-time errors, or "submit" for admission rejections.
+struct ErrorInfo {
+  ErrorCategory category = ErrorCategory::kNone;
+  std::string site;
+  std::string message;
+
+  [[nodiscard]] bool ok() const { return category == ErrorCategory::kNone; }
+};
 
 /// Per-request accounting, final once the job is terminal (wait() first).
 /// Snapshots taken earlier are consistent but mid-flight.
@@ -134,6 +191,17 @@ struct JobStats {
   bool plan_cache_hit = false;     // plan reused (possibly after waiting on
                                    // another request's in-flight compile)
   std::size_t bank_bytes = 0;      // final bank footprint estimate
+  /// Set when the job failed (kFailed), was rejected (kRejected), or
+  /// survived transient errors on the way to another terminal status (the
+  /// last such error is kept, with `retries` saying how many re-enqueues it
+  /// cost).  ok() on every untroubled job.
+  ErrorInfo error;
+  /// Transient-retry re-enqueues consumed (bounded by ServerConfig::max_retries).
+  std::uint32_t retries = 0;
+  /// Admission accepted the job only after shrinking its round budget (see
+  /// AdmissionConfig::allow_degrade); the stream is then a pure function of
+  /// the *degraded* config, not the submitted one.
+  bool degraded = false;
 };
 
 }  // namespace hts::service

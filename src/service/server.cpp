@@ -2,7 +2,11 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdio>
+#include <exception>
 #include <limits>
+#include <new>
+#include <string>
 #include <thread>
 #include <utility>
 
@@ -62,7 +66,22 @@ struct Job {
   std::unique_ptr<sampler::Harvester<sampler::ShardedUniqueBank>> harvester;
   std::unique_ptr<sampler::RoundRunner<sampler::ShardedUniqueBank>> runner;
   /// Rounds claimed so far; round r seeds util::Rng::stream(seed, r).
+  /// Rolled back when a round throws mid-flight, so a retry re-runs the
+  /// faulted round with the same RNG stream (bank dedup keeps delivery
+  /// exactly-once).
   std::uint64_t rounds_started = 0;
+  /// Retry re-enqueues consumed so far (worker-held, like rounds_started;
+  /// the client-visible copy is stats.retries).
+  std::uint32_t retries = 0;
+  /// The last claimed round threw mid-flight: the next slice must re-run it
+  /// to its natural end (skipping the pre-round stop check) so the stream
+  /// converges to the fault-free trajectory instead of stopping at the
+  /// retry boundary with the round half-delivered.
+  bool replay_round = false;
+  /// Phase marker for error attribution: which seam the slice is currently
+  /// inside, so a real (non-injected) exception is blamed on the right
+  /// site.  Worker-held; read only by the worker that just caught.
+  const char* fail_site = fault_sites::kSlice;
   /// Round-robin stamp of the job's own last pop (guarded by the server
   /// mutex): among one client's deadline-tied jobs, the least recently
   /// scheduled one runs next, so re-queued long jobs interleave with their
@@ -71,6 +90,13 @@ struct Job {
   /// lifetime mark of the latest enqueue (written and read under the
   /// server mutex across the enqueue -> pop handoff).
   double enqueued_at_ms = 0.0;
+  /// Earliest lifetime mark at which a retried job may be popped again
+  /// (exponential backoff); 0 = immediately.  Guarded by the server mutex,
+  /// like enqueued_at_ms.
+  double not_before_ms = 0.0;
+  /// Whether this job was counted into client_usage_ at admission (rejected
+  /// and post-shutdown jobs never are).  Guarded by the server mutex.
+  bool usage_accounted = false;
 
   // ---- cross-thread accounting ----
   mutable util::Mutex mutex;
@@ -104,6 +130,11 @@ JobStats JobHandle::stats() const {
 }
 
 SolutionStream& JobHandle::stream() const { return *job_->stream; }
+
+ErrorInfo JobHandle::error() const {
+  util::LockGuard lock(job_->mutex);
+  return job_->stats.error;
+}
 
 void JobHandle::cancel() const { job_->cancel(); }
 
@@ -141,12 +172,19 @@ Server::Server(ServerConfig config)
       cache_(config.plan_cache_capacity),
       pool_(n_workers_) {
   if (config_.rounds_per_slice == 0) config_.rounds_per_slice = 1;
+  if (config_.retry_backoff_ms < 0.0) config_.retry_backoff_ms = 0.0;
+  // Arm the injector before any worker exists; a malformed spec throws out
+  // of the constructor (the pool joins its idle threads on unwind).
+  injector_ = util::FaultInjector::from_spec(
+      config_.fault_spec.empty() ? util::FaultInjector::env_spec()
+                                 : config_.fault_spec);
   {
     // No worker exists yet, but workers_alive_ is mutex_-guarded and the
     // analysis (rightly) has no "still single-threaded" notion — and the
     // first submitted worker starts concurrently with the rest of this body.
     util::LockGuard lock(mutex_);
     workers_alive_ = n_workers_;
+    avg_job_cost_ms_ = config_.admission.initial_job_cost_ms;
   }
   for (std::size_t w = 0; w < n_workers_; ++w) {
     pool_.submit([this] { worker_loop(); });
@@ -157,26 +195,127 @@ Server::~Server() { shutdown(); }
 
 JobHandle Server::submit(SamplingRequest request) {
   auto job = std::make_shared<Job>(std::move(request));
-  bool rejected = false;
+  enum class Outcome : std::uint8_t { kAccepted, kShutdown, kRejected };
+  Outcome outcome = Outcome::kAccepted;
+  ErrorInfo error;
   {
     util::LockGuard lock(mutex_);
     job->id = next_id_++;
     job->submit_seq = job->id;
     ++stats_.submitted;
     if (shutdown_) {
-      rejected = true;
+      outcome = Outcome::kShutdown;
+    } else if (!admit_locked(*job, &error)) {
+      outcome = Outcome::kRejected;
     } else {
+      ClientUsage& usage = client_usage_[job->request.client_id];
+      ++usage.live_jobs;
+      usage.reserved_bank_bytes += job->request.max_bank_bytes;
+      job->usage_accounted = true;
       job->enqueued_at_ms = job->lifetime.milliseconds();
       ready_.push_back(job);
     }
   }
-  if (rejected) {
-    job->cancel();
-    finalize(job, JobStatus::kCancelled);
-  } else {
-    work_cv_.notify_one();
+  switch (outcome) {
+    case Outcome::kShutdown:
+      job->cancel();
+      finalize(job, JobStatus::kCancelled);
+      break;
+    case Outcome::kRejected: {
+      // Rejected before any compile or engine work: record the reason and
+      // finalize immediately — the stream closes, wait() returns, and a
+      // blocked next() sees end-of-stream, all within submit().
+      {
+        util::LockGuard jlock(job->mutex);
+        job->stats.error = error;
+      }
+      finalize(job, JobStatus::kRejected);
+      break;
+    }
+    case Outcome::kAccepted:
+      work_cv_.notify_one();
+      break;
   }
   return JobHandle(job);
+}
+
+bool Server::admit_locked(Job& job, ErrorInfo* error) {
+  const SamplingRequest& request = job.request;
+  const AdmissionConfig& admission = config_.admission;
+  auto reject = [&](const std::string& message) {
+    error->category = ErrorCategory::kAdmission;
+    error->site = "submit";
+    error->message = message;
+    return false;
+  };
+
+  // Quotas first — they hold regardless of the feasibility switch.
+  if (admission.max_client_jobs != 0 || admission.max_client_bank_bytes != 0) {
+    const auto it = client_usage_.find(request.client_id);
+    const ClientUsage usage =
+        it == client_usage_.end() ? ClientUsage{} : it->second;
+    if (admission.max_client_jobs != 0 &&
+        usage.live_jobs >= admission.max_client_jobs) {
+      return reject("client job quota exceeded (" +
+                    std::to_string(usage.live_jobs) + "/" +
+                    std::to_string(admission.max_client_jobs) + " live jobs)");
+    }
+    if (admission.max_client_bank_bytes != 0) {
+      if (request.max_bank_bytes == 0) {
+        return reject(
+            "bank-byte quota in force: request must set max_bank_bytes");
+      }
+      if (usage.reserved_bank_bytes + request.max_bank_bytes >
+          admission.max_client_bank_bytes) {
+        return reject(
+            "client bank-byte quota exceeded (" +
+            std::to_string(usage.reserved_bank_bytes) + " reserved + " +
+            std::to_string(request.max_bank_bytes) + " requested > " +
+            std::to_string(admission.max_client_bank_bytes) + ")");
+      }
+    }
+  }
+
+  if (!admission.enabled || request.deadline_ms <= 0.0) return true;
+
+  // Feasibility: project this request's queue wait from the calibrated
+  // per-job cost and the work already ahead of it (running slices plus
+  // queued jobs with earlier deadlines — EDF serves those first).
+  std::size_t ahead = running_.size();
+  for (const std::shared_ptr<Job>& queued : ready_) {
+    if (queued->deadline.remaining_ms() < request.deadline_ms) ++ahead;
+  }
+  const double cost = avg_job_cost_ms_;
+  const double wait =
+      cost * static_cast<double>(ahead) / static_cast<double>(n_workers_);
+  const double budget = request.deadline_ms / admission.safety_factor;
+  const double slack = budget - wait;  // time left for the job's own work
+  if (slack >= cost) return true;
+
+  // Infeasible as submitted.  A shrunk batch costs roughly proportionally
+  // less per round, so degrade by the factor needed to fit — if the config
+  // allows it and the factor is sane.
+  if (admission.max_degrade > 1.0 && slack > 0.0) {
+    const double shrink = cost / slack;
+    if (shrink <= admission.max_degrade) {
+      job.request.config.batch =
+          std::max(admission.min_degraded_batch,
+                   static_cast<std::size_t>(
+                       static_cast<double>(job.request.config.batch) / shrink));
+      {
+        util::LockGuard jlock(job.mutex);
+        job.stats.degraded = true;
+      }
+      ++stats_.degraded;
+      return true;
+    }
+  }
+  char buffer[160];
+  std::snprintf(buffer, sizeof(buffer),
+                "deadline infeasible: projected wait %.1fms + cost %.1fms "
+                "exceeds deadline %.1fms / safety %.2f",
+                wait, cost, request.deadline_ms, admission.safety_factor);
+  return reject(buffer);
 }
 
 void Server::shutdown() {
@@ -225,11 +364,24 @@ bool Server::schedules_before_locked(const Job& a, const Job& b) const {
   return a.submit_seq < b.submit_seq;
 }
 
+bool Server::eligible_locked(const Job& job) const {
+  // Aborted/expired jobs bypass any backoff: retiring them is cheap and
+  // frees their slot immediately.
+  if (job.abort.stop_requested() || job.deadline.expired()) return true;
+  return job.not_before_ms <= 0.0 ||
+         job.lifetime.milliseconds() >= job.not_before_ms;
+}
+
 std::shared_ptr<Job> Server::pop_best_locked() {
-  std::size_t best = 0;
-  for (std::size_t i = 1; i < ready_.size(); ++i) {
-    if (schedules_before_locked(*ready_[i], *ready_[best])) best = i;
+  std::size_t best = ready_.size();
+  for (std::size_t i = 0; i < ready_.size(); ++i) {
+    if (!eligible_locked(*ready_[i])) continue;
+    if (best == ready_.size() ||
+        schedules_before_locked(*ready_[i], *ready_[best])) {
+      best = i;
+    }
   }
+  if (best == ready_.size()) return nullptr;  // all queued jobs in backoff
   std::shared_ptr<Job> job = ready_[best];
   ready_.erase(ready_.begin() +
                static_cast<std::ptrdiff_t>(best));
@@ -257,18 +409,27 @@ void Server::worker_loop() {
       util::LockGuard lock(mutex_);
       for (;;) {
         reap_running_locked();
-        if (!ready_.empty()) break;
-        if (shutdown_) {
+        if (!ready_.empty()) {
+          job = pop_best_locked();
+          if (job != nullptr) break;
+        }
+        if (shutdown_ && ready_.empty()) {
           --workers_alive_;
           workers_exit_cv_.notify_all();
           return;
         }
         // Sleep until work arrives — but never past the nearest running
-        // deadline, so an expired job's abort token fires promptly even
-        // when every other worker is busy inside a slice.
+        // deadline (so an expired job's abort token fires promptly even
+        // when every other worker is busy inside a slice) nor past the
+        // nearest retry-backoff expiry (so a recovered job is not stranded
+        // on an otherwise idle fleet).
         double margin_ms = std::numeric_limits<double>::infinity();
         for (const std::shared_ptr<Job>& running : running_) {
           margin_ms = std::min(margin_ms, running->deadline.remaining_ms());
+        }
+        for (const std::shared_ptr<Job>& queued : ready_) {
+          margin_ms = std::min(
+              margin_ms, queued->not_before_ms - queued->lifetime.milliseconds());
         }
         if (margin_ms > 1e17) {
           work_cv_.wait(mutex_);
@@ -277,13 +438,58 @@ void Server::worker_loop() {
           work_cv_.wait_for_ms(mutex_, margin_ms);
         }
       }
-      job = pop_best_locked();
       job->status.store(JobStatus::kRunning, std::memory_order_release);
       running_.push_back(job);
     }
 
+    // Containment boundary: nothing a slice throws may reach the scheduler
+    // loop.  Classify what escaped, attribute it to the seam the slice was
+    // inside, and either retry (bounded, backed off) or finalize kFailed —
+    // the worker and every other job continue either way.
     const double slice_begin_ms = job->lifetime.milliseconds();
-    const JobStatus outcome = run_slice(*job);
+    JobStatus outcome = JobStatus::kRunning;
+    ErrorInfo error;
+    try {
+      outcome = run_slice(*job);
+    } catch (const util::TransientFaultError& fault) {
+      error = {ErrorCategory::kTransient, fault.site(), fault.what()};
+    } catch (const util::FaultError& fault) {
+      error = {fault.site() == fault_sites::kCompile ? ErrorCategory::kCompile
+                                                     : ErrorCategory::kExecution,
+               fault.site(), fault.what()};
+    } catch (const std::bad_alloc& e) {
+      error = {ErrorCategory::kResource, job->fail_site, e.what()};
+    } catch (const std::exception& e) {
+      error = {job->fail_site == fault_sites::kCompile
+                   ? ErrorCategory::kCompile
+                   : ErrorCategory::kExecution,
+               job->fail_site, e.what()};
+    } catch (...) {
+      error = {ErrorCategory::kInternal, job->fail_site,
+               "non-standard exception"};
+    }
+
+    double backoff_ms = 0.0;
+    if (!error.ok()) {
+      const bool retryable = error.category == ErrorCategory::kTransient ||
+                             error.category == ErrorCategory::kResource;
+      if (retryable && job->retries < config_.max_retries &&
+          !job->abort.stop_requested() && !job->deadline.expired()) {
+        // Exponential backoff: base, 2x base, 4x base, ...  The job keeps
+        // its bank and built state, so the retried round re-runs with the
+        // same RNG stream and dedups into the same bank (exactly-once
+        // delivery; see rounds_started).
+        backoff_ms =
+            config_.retry_backoff_ms * static_cast<double>(1u << job->retries);
+        ++job->retries;
+        outcome = JobStatus::kRunning;  // re-enqueue below
+      } else {
+        outcome = JobStatus::kFailed;
+      }
+      util::LockGuard jlock(job->mutex);
+      job->stats.error = error;  // last trouble wins, kept even on recovery
+      job->stats.retries = job->retries;
+    }
     {
       util::LockGuard jlock(job->mutex);
       job->stats.exec_ms += job->lifetime.milliseconds() - slice_begin_ms;
@@ -295,6 +501,9 @@ void Server::worker_loop() {
       running_.erase(std::find(running_.begin(), running_.end(), job));
       if (outcome == JobStatus::kRunning) {
         job->enqueued_at_ms = job->lifetime.milliseconds();
+        job->not_before_ms =
+            backoff_ms > 0.0 ? job->enqueued_at_ms + backoff_ms : 0.0;
+        if (backoff_ms > 0.0) ++stats_.retried;
         job->status.store(JobStatus::kQueued, std::memory_order_release);
         ready_.push_back(job);
         requeued = true;
@@ -320,47 +529,64 @@ JobStatus Server::run_slice(Job& job) {
   if (job.deadline.expired()) return JobStatus::kDeadlineExpired;
   if (job.abort.stop_requested()) return JobStatus::kCancelled;
 
+  // The build phases below are individually guarded so a retried job
+  // resumes from exactly the phase that threw: whatever was already built
+  // (a compiled plan, a bank holding uniques from earlier rounds) survives
+  // the unwind and is not rebuilt.
   if (job.plan == nullptr) {
     // First slice: pull the compiled artifacts from the cache (or compile
-    // them, once per distinct formula/options) and build the job's private
-    // execution state around them.
+    // them, once per distinct formula/options).
+    job.fail_site = fault_sites::kCompile;
     PlanOptions plan_options;
     plan_options.cone_only = request.config.cone_only;
     plan_options.optimize_tape = request.config.optimize_tape;
     plan_options.transform = request.config.transform;
     const util::Timer compile_timer;
     bool hit = false;
-    job.plan = cache_.get_or_compile(request.formula, plan_options, &hit);
+    job.plan =
+        cache_.get_or_compile(request.formula, plan_options, &hit, &injector_);
     {
       util::LockGuard jlock(job.mutex);
-      job.stats.compile_ms = compile_timer.milliseconds();
+      job.stats.compile_ms += compile_timer.milliseconds();
       job.stats.plan_cache_hit = hit;
     }
     if (job.plan->transformed.proven_unsat) return JobStatus::kUnsat;
+  }
 
-    job.loop_config = sampler::make_gd_loop_config(request.config);
-    job.run_options.min_solutions = request.target_uniques;
-    job.run_options.budget_ms = request.deadline_ms;
-    job.run_options.seed = request.seed;
-    const bool deliver =
-        request.deliver_solutions || static_cast<bool>(request.on_solution);
-    job.run_options.store_limit =
-        deliver ? std::numeric_limits<std::size_t>::max() : 0;
-    job.run_options.stop = job.abort.token();
-    job.gd_problem.circuit = &job.plan->transformed.circuit;
-    job.gd_problem.var_signal = &job.plan->transformed.var_signal;
-    job.bank = std::make_unique<sampler::ShardedUniqueBank>(
-        job.gd_problem.circuit->n_inputs());
-    job.engine = std::make_unique<prob::Engine>(
-        *job.plan->compiled, sampler::engine_config_for(job.loop_config));
-    job.harvester =
-        std::make_unique<sampler::Harvester<sampler::ShardedUniqueBank>>(
-            job.gd_problem, request.formula, job.run_options, *job.bank,
-            job.result, &*job.plan->eval_plan, /*inline_eval=*/true);
+  if (job.runner == nullptr) {
+    // Build the job's private execution state around the shared plan.
+    job.fail_site = fault_sites::kEngineAlloc;
+    injector_.maybe_fault(fault_sites::kEngineAlloc);
+    if (job.bank == nullptr) {
+      job.loop_config = sampler::make_gd_loop_config(request.config);
+      job.run_options.min_solutions = request.target_uniques;
+      job.run_options.budget_ms = request.deadline_ms;
+      job.run_options.seed = request.seed;
+      const bool deliver =
+          request.deliver_solutions || static_cast<bool>(request.on_solution);
+      job.run_options.store_limit =
+          deliver ? std::numeric_limits<std::size_t>::max() : 0;
+      job.run_options.stop = job.abort.token();
+      job.gd_problem.circuit = &job.plan->transformed.circuit;
+      job.gd_problem.var_signal = &job.plan->transformed.var_signal;
+      job.bank = std::make_unique<sampler::ShardedUniqueBank>(
+          job.gd_problem.circuit->n_inputs());
+    }
+    if (job.engine == nullptr) {
+      job.engine = std::make_unique<prob::Engine>(
+          *job.plan->compiled, sampler::engine_config_for(job.loop_config));
+    }
+    if (job.harvester == nullptr) {
+      job.harvester =
+          std::make_unique<sampler::Harvester<sampler::ShardedUniqueBank>>(
+              job.gd_problem, request.formula, job.run_options, *job.bank,
+              job.result, &*job.plan->eval_plan, /*inline_eval=*/true);
+    }
     job.runner = std::make_unique<
         sampler::RoundRunner<sampler::ShardedUniqueBank>>(
         job.loop_config, *job.engine, *job.harvester);
   }
+  job.fail_site = fault_sites::kSlice;
 
   auto reached_target = [&] {
     return request.target_uniques > 0 &&
@@ -373,16 +599,34 @@ JobStatus Server::run_slice(Job& job) {
             job.bank->size_bytes() >= request.max_bank_bytes);
   };
   // New uniques land in job.result.solutions in harvest order; hand them to
-  // the sink and update the live counters after every harvest.
+  // the sink and update the live counters after every harvest.  On a throw
+  // mid-delivery, the already-pushed prefix is erased and the rest stays
+  // queued in job.result — a retry delivers exactly the missing suffix (the
+  // re-run round's harvest re-inserts into the bank, so nothing is appended
+  // twice).
   const util::StopToken abort_token = job.abort.token();
   auto checkpoint = [&](int) {
-    for (cnf::Assignment& assignment : job.result.solutions) {
-      if (!job.stream->push(std::move(assignment), abort_token,
-                            job.deadline)) {
-        break;  // dropped: consumer cancelled or the job is winding down
+    job.fail_site = fault_sites::kHarvest;
+    injector_.maybe_fault(fault_sites::kHarvest);
+    job.fail_site = fault_sites::kStreamPush;
+    std::size_t pushed = 0;
+    try {
+      for (cnf::Assignment& assignment : job.result.solutions) {
+        injector_.maybe_fault(fault_sites::kStreamPush);
+        if (!job.stream->push(std::move(assignment), abort_token,
+                              job.deadline)) {
+          break;  // dropped: consumer cancelled or the job is winding down
+        }
+        ++pushed;
       }
+    } catch (...) {
+      job.result.solutions.erase(
+          job.result.solutions.begin(),
+          job.result.solutions.begin() + static_cast<std::ptrdiff_t>(pushed));
+      throw;
     }
     job.result.solutions.clear();
+    job.fail_site = fault_sites::kSlice;
     util::LockGuard jlock(job.mutex);
     job.stats.n_unique = job.bank->size();
     job.stats.delivered = job.stream->delivered();
@@ -395,13 +639,35 @@ JobStatus Server::run_slice(Job& job) {
            job.abort.stop_requested();
   };
 
+  // Leftover deliveries from a faulted attempt (the aborted round banked
+  // them, but the throw cut the push loop short) are drained before any
+  // stop check — otherwise a retried job whose bank already meets the
+  // target would finalize kCompleted with solutions undelivered.
+  if (!job.result.solutions.empty()) checkpoint(0);
+
   for (std::size_t s = 0; s < config_.rounds_per_slice; ++s) {
-    if (stop_now()) break;
+    // A replayed round runs to its natural end even if the bank already
+    // meets the target: the golden (fault-free) run would have finished the
+    // round before stopping, and convergence to the golden stream is the
+    // retry contract.  (Aborts and deadlines still cut in: the early-retire
+    // checks above and run_round's own stop polls see them.)
+    if (!job.replay_round && stop_now()) break;
+    injector_.maybe_fault(fault_sites::kSlice);
     // Per-round RNG streams make the job's trajectory a pure function of
     // (seed, round index) — scheduling order and fleet size never reach it.
     util::Rng rng = util::Rng::stream(request.seed, job.rounds_started);
     ++job.rounds_started;
-    job.runner->run_round(rng, checkpoint, stop_now);
+    try {
+      job.runner->run_round(rng, checkpoint, stop_now);
+      job.replay_round = false;
+    } catch (...) {
+      // Un-claim the round: a retry re-runs it with the identical RNG
+      // stream, and the bank dedups whatever the aborted attempt already
+      // harvested.
+      --job.rounds_started;
+      job.replay_round = true;
+      throw;
+    }
   }
 
   if (reached_target()) return JobStatus::kCompleted;
@@ -415,6 +681,7 @@ JobStatus Server::run_slice(Job& job) {
 }
 
 void Server::finalize(const std::shared_ptr<Job>& job, JobStatus status) {
+  double exec_ms = 0.0;
   {
     util::LockGuard jlock(job->mutex);
     JobStats& stats = job->stats;
@@ -427,6 +694,7 @@ void Server::finalize(const std::shared_ptr<Job>& job, JobStatus status) {
     if (job->harvester) stats.rows_validated = job->harvester->rows_validated();
     if (job->runner) stats.gd_iterations = job->runner->gd_iterations();
     stats.delivered = job->stream->delivered();
+    exec_ms = stats.exec_ms;
   }
   // Release the execution state in dependency order (runner borrows
   // engine+harvester; harvester borrows bank/options/problem): a terminal
@@ -455,12 +723,33 @@ void Server::finalize(const std::shared_ptr<Job>& job, JobStatus status) {
         std::none_of(running_.begin(), running_.end(), has_same_client)) {
       client_last_pop_.erase(client);
     }
+    // Release the client's quota reservation (only if admission granted one
+    // — rejected and post-shutdown jobs were never accounted).
+    if (job->usage_accounted) {
+      const auto it = client_usage_.find(client);
+      if (it != client_usage_.end()) {
+        ClientUsage& usage = it->second;
+        --usage.live_jobs;
+        usage.reserved_bank_bytes -= job->request.max_bank_bytes;
+        if (usage.live_jobs == 0) client_usage_.erase(it);
+      }
+      job->usage_accounted = false;
+    }
+    // Feed the admission model: jobs that actually held a worker calibrate
+    // the per-job cost estimate (rejected/never-scheduled ones say nothing
+    // about execution cost).
+    if (exec_ms > 0.0) {
+      const double alpha = config_.admission.cost_ewma_alpha;
+      avg_job_cost_ms_ = (1.0 - alpha) * avg_job_cost_ms_ + alpha * exec_ms;
+    }
     switch (status) {
       case JobStatus::kCompleted: ++stats_.completed; break;
       case JobStatus::kDeadlineExpired: ++stats_.deadline_expired; break;
       case JobStatus::kCancelled: ++stats_.cancelled; break;
       case JobStatus::kCapped: ++stats_.capped; break;
       case JobStatus::kUnsat: ++stats_.unsat; break;
+      case JobStatus::kFailed: ++stats_.failed; break;
+      case JobStatus::kRejected: ++stats_.rejected; break;
       case JobStatus::kQueued:
       case JobStatus::kRunning: break;  // unreachable: finalize is terminal
     }

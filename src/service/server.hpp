@@ -26,15 +26,27 @@
 // rounds execute sequentially per job and round r draws from
 // util::Rng::stream(seed, r), so fleet size and scheduling interleave
 // change only timing, never results.
+//
+// Faults are contained per job: any exception escaping a slice (compile,
+// allocation, harvest, delivery) finalizes that job kFailed with an
+// ErrorInfo naming the seam — its stream closed, the fleet and every other
+// job untouched.  Retryable categories (kTransient/kResource) are
+// re-enqueued with exponential backoff up to ServerConfig::max_retries
+// first.  Admission control (AdmissionConfig) can reject or degrade
+// requests at submit(), before any compile, and a deterministic
+// fault injector (HTS_FAULT_SPEC) exercises every one of these paths
+// reproducibly.
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "service/plan_cache.hpp"
 #include "service/request.hpp"
 #include "service/solution_stream.hpp"
+#include "util/fault_injector.hpp"
 #include "util/mutex.hpp"
 #include "util/thread_annotations.hpp"
 #include "util/thread_pool.hpp"
@@ -45,6 +57,47 @@ namespace detail {
 struct Job;
 }
 
+/// Admission control: decide at submit() — before any compile or engine
+/// allocation — whether a request can plausibly be served, instead of
+/// letting it queue, burn a compile, and time out anyway.
+///
+/// The feasibility model is deliberately cheap: the server keeps an EWMA of
+/// finished jobs' execution cost (seeded with initial_job_cost_ms until the
+/// first job lands), projects this request's queue wait as
+///   est_wait = (running + earlier-deadline queued) * avg_cost / n_workers,
+/// and admits when  safety_factor * (est_wait + avg_cost) <= deadline_ms.
+/// An infeasible request is either *degraded* — its GD batch shrunk by the
+/// factor needed to fit (cost scales roughly with batch), bounded by
+/// max_degrade — or finalized kRejected with an ErrorInfo reason, without
+/// ever touching the plan cache.
+struct AdmissionConfig {
+  /// Master switch for the deadline-feasibility check.  Off by default: an
+  /// unconfigured server accepts everything, exactly as before.  Quotas
+  /// below are enforced whenever nonzero, independent of this switch.
+  bool enabled = false;
+  /// Per-job execution-cost prior (ms) used until the EWMA has data.
+  double initial_job_cost_ms = 5.0;
+  /// EWMA weight of the newest finished job's exec cost.
+  double cost_ewma_alpha = 0.2;
+  /// Head-room multiplier on the projected wait + cost; > 1 rejects
+  /// requests that would only fit if every estimate were exact.
+  double safety_factor = 1.5;
+  /// Largest batch-shrink factor admission may apply to fit a deadline
+  /// (1.0 = never degrade, reject instead).  A degraded job's stream is a
+  /// pure function of the *degraded* config; JobStats::degraded records it.
+  double max_degrade = 1.0;
+  /// Floor for a degraded GD batch — shrinking below this costs more in
+  /// per-round overhead than it saves.
+  std::size_t min_degraded_batch = 64;
+  /// Per-client cap on live (queued + running) jobs; 0 = unlimited.
+  std::size_t max_client_jobs = 0;
+  /// Per-client cap on summed bank-byte reservations (each request reserves
+  /// its max_bank_bytes); 0 = unlimited.  Under a nonzero cap, requests
+  /// with max_bank_bytes == 0 are rejected — an unbounded bank cannot be
+  /// reserved against a quota.
+  std::size_t max_client_bank_bytes = 0;
+};
+
 struct ServerConfig {
   /// Worker fleet size; 0 = hardware concurrency.  Each worker runs one
   /// job slice at a time, so this bounds concurrently resident engines.
@@ -54,6 +107,19 @@ struct ServerConfig {
   std::size_t rounds_per_slice = 1;
   /// Plan-cache capacity in entries (distinct formula/options pairs).
   std::size_t plan_cache_capacity = 32;
+  /// Admission control & per-client quotas (see AdmissionConfig).
+  AdmissionConfig admission = {};
+  /// Re-enqueues granted to a job whose slice throws a retryable error
+  /// (ErrorCategory kTransient/kResource) before it finalizes kFailed.
+  std::uint32_t max_retries = 2;
+  /// Base backoff before a retried job is eligible again; doubles per
+  /// retry (10ms, 20ms, 40ms, ...).
+  double retry_backoff_ms = 10.0;
+  /// Fault-injection spec (util::FaultInjector grammar).  Empty = inherit
+  /// the HTS_FAULT_SPEC environment variable; "none" = explicitly disarmed
+  /// regardless of the environment.  Malformed specs throw from the Server
+  /// constructor — a chaos run with a typo must not silently pass.
+  std::string fault_spec = {};
 };
 
 /// Fleet-level counters (monotone over the server's lifetime).
@@ -64,6 +130,15 @@ struct ServerStats {
   std::uint64_t cancelled = 0;
   std::uint64_t capped = 0;
   std::uint64_t unsat = 0;
+  /// Jobs finalized kFailed (an error escaped and retries were exhausted
+  /// or inapplicable).
+  std::uint64_t failed = 0;
+  /// Jobs refused at submit() by admission control or quotas.
+  std::uint64_t rejected = 0;
+  /// Jobs admitted with a shrunk batch (JobStats::degraded).
+  std::uint64_t degraded = 0;
+  /// Transient-retry re-enqueues across all jobs (not jobs retried).
+  std::uint64_t retried = 0;
   /// Scheduling slices executed (queue pops that ran work).
   std::uint64_t slices = 0;
 };
@@ -79,6 +154,10 @@ class JobHandle {
   [[nodiscard]] JobStatus status() const;
   /// Consistent snapshot; final once status() is terminal.
   [[nodiscard]] JobStats stats() const;
+  /// The job's error record (stats().error shortcut): the admission reason
+  /// for kRejected, the failing seam + message for kFailed, the last
+  /// retried trouble for jobs that recovered, ok() otherwise.
+  [[nodiscard]] ErrorInfo error() const;
   /// The job's delivery channel (see SolutionStream).  Valid for the
   /// handle's lifetime; closed when the job reaches a terminal status.
   [[nodiscard]] SolutionStream& stream() const;
@@ -119,11 +198,32 @@ class Server {
     return cache_.stats();
   }
   [[nodiscard]] std::size_t plan_cache_size() const { return cache_.size(); }
+  /// The server's fault injector (disarmed unless a spec was configured);
+  /// chaos tests read its hit/injection counters per seam.
+  [[nodiscard]] const util::FaultInjector& fault_injector() const {
+    return injector_;
+  }
 
  private:
+  /// Per-client live-resource accounting backing the admission quotas.
+  struct ClientUsage {
+    std::size_t live_jobs = 0;
+    std::size_t reserved_bank_bytes = 0;
+  };
+
   void worker_loop() HTS_EXCLUDES(mutex_);
-  /// Pops the scheduling-order minimum from the ready queue; updates the
-  /// client round-robin stamp and the job's queue-wait accounting.
+  /// Admission decision for a fresh submission: quotas first, then the
+  /// deadline-feasibility model (possibly degrading the job's batch in
+  /// place).  False = reject, with the reason written to *error.
+  [[nodiscard]] bool admit_locked(detail::Job& job, ErrorInfo* error)
+      HTS_REQUIRES(mutex_);
+  /// A queued job may run now: aborted/expired jobs always (they retire
+  /// cheaply); retried jobs only once their backoff window has passed.
+  [[nodiscard]] bool eligible_locked(const detail::Job& job) const
+      HTS_REQUIRES(mutex_);
+  /// Pops the scheduling-order minimum among *eligible* ready jobs
+  /// (nullptr when none is eligible yet); updates the client round-robin
+  /// stamp and the job's queue-wait accounting.
   [[nodiscard]] std::shared_ptr<detail::Job> pop_best_locked()
       HTS_REQUIRES(mutex_);
   [[nodiscard]] bool schedules_before_locked(const detail::Job& a,
@@ -141,6 +241,10 @@ class Server {
   ServerConfig config_;
   std::size_t n_workers_ = 0;
   PlanCache cache_;
+  /// Armed from ServerConfig::fault_spec / HTS_FAULT_SPEC before any worker
+  /// starts; immutable afterwards (its counters are atomic), so workers use
+  /// it lock-free.
+  util::FaultInjector injector_;
 
   // Lock order: mutex_ -> detail::Job::mutex, never the reverse (see
   // util/mutex.hpp for the repo-wide contract).
@@ -156,6 +260,12 @@ class Server {
   std::size_t workers_alive_ HTS_GUARDED_BY(mutex_) = 0;
   bool shutdown_ HTS_GUARDED_BY(mutex_) = false;
   ServerStats stats_ HTS_GUARDED_BY(mutex_);
+  /// EWMA of finished jobs' exec_ms — the admission model's cost estimate.
+  double avg_job_cost_ms_ HTS_GUARDED_BY(mutex_) = 0.0;
+  /// Live per-client usage for quota checks; entries erased when a
+  /// client's last job finalizes (no growth per client_id ever seen).
+  std::unordered_map<std::uint64_t, ClientUsage> client_usage_
+      HTS_GUARDED_BY(mutex_);
 
   /// Declared last so it is destroyed first; by then shutdown() has drained
   /// the worker loops, so the pool destructor joins idle threads.

@@ -17,6 +17,15 @@
 // fixed (formula, seed, config) the stream contents — including order —
 // are identical under any worker-fleet size.
 //
+// Shutdown semantics: whatever ends a job — completion, deadline, cancel,
+// cap, UNSAT, failure (kFailed), admission rejection (kRejected), or server
+// shutdown/destruction — its finalize path closes the stream, and close()
+// wakes every blocked consumer AND producer.  A consumer blocked in next()
+// therefore always returns (draining the buffer first, then end-of-stream);
+// it can never hang on a job that will produce nothing more.  Push after
+// close is dropped (returns false), so a late producer cannot resurrect a
+// stream its consumers already saw end.
+//
 // Lock discipline (machine-checked under Clang -Wthread-safety): mutex_
 // guards the buffer and every flag; it is a leaf lock — the callback runs
 // outside it, and nothing else is acquired under it.
@@ -63,26 +72,30 @@ class SolutionStream {
       return true;
     }
     util::LockGuard lock(mutex_);
-    while (capacity_ != 0 && queue_.size() >= capacity_ && !cancelled_) {
+    while (capacity_ != 0 && queue_.size() >= capacity_ && !cancelled_ &&
+           !closed_) {
       if (abort.stop_requested() || deadline.expired()) return false;
       // Bounded wait so an abort/deadline raised while we sleep is noticed
       // promptly even if no consumer ever wakes us.
       space_cv_.wait_for_ms(mutex_, 10.0);
     }
-    if (cancelled_) return false;
+    if (cancelled_ || closed_) return false;
     queue_.push_back(std::move(assignment));
     ++delivered_;
     item_cv_.notify_one();
     return true;
   }
 
-  /// No more items will be pushed (job terminal).  Wakes blocked consumers.
+  /// No more items will be pushed (job terminal).  Wakes blocked consumers
+  /// (who drain the buffer and then see end-of-stream) and any producer
+  /// still blocked on backpressure (whose pushes now drop).
   void close() HTS_EXCLUDES(mutex_) {
     {
       util::LockGuard lock(mutex_);
       closed_ = true;
     }
     item_cv_.notify_all();
+    space_cv_.notify_all();
   }
 
   // ---- consumer side (the client) ------------------------------------------

@@ -1,0 +1,139 @@
+#pragma once
+
+// Deterministic fault injection for chaos testing the service layer.
+//
+// A FaultInjector is a set of per-site rules parsed from a spec string
+// (conventionally the HTS_FAULT_SPEC environment variable).  Components
+// place named seams on their failure-prone paths — `injector.maybe_fault
+// ("compile")` — and the injector throws at exactly the hits the spec
+// selects.  The decision for a given hit is a pure function of
+// (spec seed, site name, hit index): two runs with the same spec inject at
+// the same (site, index) pairs, so a chaos run that found a bug is exactly
+// reproducible, and a test can assert which seams fired.  (Which *job* a
+// given hit lands on still depends on scheduling — determinism is per
+// seam-hit, not per victim.)
+//
+// Spec grammar (';'-separated rules, one rule per site):
+//
+//   spec    := "none" | [ "seed=" <u64> ";" ] rule { ";" rule }
+//   rule    := <site> ":" trigger { ":" option }
+//   trigger := "every=" <N>            every Nth hit (indices N-1, 2N-1, ...)
+//            | "at=" <i> { "," <i> }   exactly these hit indices
+//            | "prob=" <p>             each hit independently with
+//                                      probability p, decided by
+//                                      hash(seed, site, index)
+//   option  := "kind=" ( "fail" | "bad_alloc" | "transient" )
+//            | "max=" <M>              at most M injections (every/at only —
+//                                      a prob rule's Mth match is not a pure
+//                                      function of one hit index)
+//
+// Example:
+//   HTS_FAULT_SPEC="seed=7;compile:at=0;engine_alloc:every=40:kind=bad_alloc"
+//   (add e.g. "...;harvest:prob=0.02:kind=transient" for a probabilistic
+//   transient at the harvest seam)
+//
+// Kinds: "fail" throws FaultError (a permanent error), "bad_alloc" throws
+// std::bad_alloc (exercising the same catch path a real allocation failure
+// takes), "transient" throws TransientFaultError (the service retries these
+// with backoff).  An empty spec or "none" leaves the injector disarmed:
+// maybe_fault is then a single well-predicted branch, which is all the hot
+// path ever pays in production.
+//
+// Thread-safety: rules are immutable after parse; per-site hit counters are
+// atomics, so seams may be evaluated from any number of threads.  Each
+// injector owns its counters — two Servers with the same spec inject
+// independently and identically.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace hts::util {
+
+/// Thrown by an armed injector at a matching hit.  Carries the seam name so
+/// catch sites can attribute the failure without guessing.
+class FaultError : public std::runtime_error {
+ public:
+  FaultError(std::string site, const std::string& what)
+      : std::runtime_error(what), site_(std::move(site)) {}
+
+  [[nodiscard]] const std::string& site() const { return site_; }
+
+ private:
+  std::string site_;
+};
+
+/// A fault the thrower expects to succeed on retry (the injected analogue
+/// of momentary resource pressure); the service re-enqueues these with
+/// bounded exponential backoff instead of failing the job.
+class TransientFaultError : public FaultError {
+ public:
+  using FaultError::FaultError;
+};
+
+class FaultInjector {
+ public:
+  enum class Kind : std::uint8_t { kFail, kBadAlloc, kTransient };
+
+  /// Disarmed: every maybe_fault is a no-op.
+  FaultInjector() = default;
+
+  FaultInjector(FaultInjector&&) = default;
+  FaultInjector& operator=(FaultInjector&&) = default;
+
+  /// Parses a spec (see grammar above).  Empty or "none" yields a disarmed
+  /// injector; malformed specs throw std::invalid_argument with the
+  /// offending fragment — a chaos run with a typo'd spec must fail loudly,
+  /// not silently run fault-free.
+  [[nodiscard]] static FaultInjector from_spec(const std::string& spec);
+
+  /// The conventional environment spec (HTS_FAULT_SPEC; empty when unset).
+  [[nodiscard]] static std::string env_spec();
+
+  [[nodiscard]] bool armed() const { return armed_; }
+
+  /// Evaluates `site`'s rule at the site's next hit index; throws the
+  /// configured exception when the rule matches.  Sites without a rule (and
+  /// disarmed injectors) never throw.
+  void maybe_fault(const char* site) {
+    if (!armed_) return;
+    fault_slow(site);
+  }
+
+  /// Hits observed at `site` so far (0 for unknown sites).
+  [[nodiscard]] std::uint64_t hits(const std::string& site) const;
+  /// Faults injected at `site` so far.
+  [[nodiscard]] std::uint64_t injected(const std::string& site) const;
+
+ private:
+  struct Rule {
+    enum class Trigger : std::uint8_t { kEvery, kAt, kProb };
+    Trigger trigger = Trigger::kEvery;
+    std::uint64_t every = 0;
+    std::vector<std::uint64_t> at;  // sorted
+    double prob = 0.0;
+    Kind kind = Kind::kFail;
+    std::uint64_t max = 0;  // 0 = unlimited
+  };
+  struct Site {
+    Rule rule;
+    std::atomic<std::uint64_t> hits{0};
+    std::atomic<std::uint64_t> injected{0};
+  };
+
+  void fault_slow(const char* site);
+  [[nodiscard]] bool matches(const Rule& rule, const std::string& site,
+                             std::uint64_t index) const;
+
+  std::uint64_t seed_ = 0;
+  bool armed_ = false;
+  // unique_ptr keeps Site's atomics at a stable address and the map movable.
+  std::unordered_map<std::string, std::unique_ptr<Site>> sites_;
+};
+
+}  // namespace hts::util

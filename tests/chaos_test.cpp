@@ -1,0 +1,237 @@
+// Chaos suite for the fault-tolerant service layer: a multi-client fleet is
+// stressed under a deterministic fault spec that fires at every registered
+// seam, and the run must be *survivable* (no crash, no deadlock, every job
+// terminal) and *attributable* (failed jobs name the seam that killed them).
+// The determinism contract does the heavy lifting for correctness: a job's
+// stream is a pure function of (formula, seed, config), so any job the
+// faults did not touch must deliver a stream bit-identical to the fault-free
+// golden run.  Recovered jobs converge to the same stream: a retry flushes
+// whatever the aborted attempt banked but had not yet delivered, then
+// replays the interrupted round with the identical per-round RNG stream to
+// its natural end (even past the unique target, exactly as the golden run
+// would have) — the bank dedups the replayed prefix, so delivery stays
+// exactly-once and in golden order.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <memory>
+#include <set>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "cnf/dimacs.hpp"
+#include "service/server.hpp"
+
+namespace hts::service {
+namespace {
+
+/// Distinct-by-construction formula family: the clause core of the service
+/// tests' fixture plus `extra` free variables, so each variant fingerprints
+/// to its own plan-cache key (n_vars differs) and the compile seam is hit
+/// once per variant instead of once per run.
+cnf::Formula formula_variant(std::size_t extra) {
+  const std::size_t n_vars = 7 + extra;
+  return cnf::parse_dimacs_string("p cnf " + std::to_string(n_vars) +
+                                  " 3\n1 2 0\n3 4 0\n-1 -3 0\n");
+}
+
+constexpr std::size_t kClients = 6;
+constexpr std::size_t kJobsPerClient = 35;  // 210 jobs >= the 200-job bar
+constexpr std::size_t kVariants = 24;
+
+struct JobOutcome {
+  JobStatus status = JobStatus::kQueued;
+  JobStats stats;
+  std::vector<cnf::Assignment> stream;
+};
+
+SamplingRequest chaos_request(std::size_t index) {
+  SamplingRequest request;
+  request.formula = formula_variant(index % kVariants);
+  request.client_id = index % kClients;
+  request.seed = 1000 + index;
+  request.target_uniques = 8;
+  request.config.batch = 128;
+  request.config.iterations = 2;
+  return request;
+}
+
+/// Runs the full fleet under `fault_spec` on `server` and collects every
+/// job's terminal status, stats, and complete stream.  The function
+/// returning at all is the no-deadlock assertion; wait() covers every job,
+/// so nothing is left mid-flight.
+std::vector<JobOutcome> run_fleet(Server& server) {
+  std::vector<JobHandle> handles;
+  handles.reserve(kClients * kJobsPerClient);
+  for (std::size_t i = 0; i < kClients * kJobsPerClient; ++i) {
+    handles.push_back(server.submit(chaos_request(i)));
+  }
+  std::vector<JobOutcome> outcomes(handles.size());
+  for (std::size_t i = 0; i < handles.size(); ++i) {
+    outcomes[i].status = handles[i].wait();
+    outcomes[i].stats = handles[i].stats();
+    cnf::Assignment assignment;
+    while (handles[i].stream().next(assignment)) {
+      outcomes[i].stream.push_back(assignment);
+    }
+  }
+  return outcomes;
+}
+
+std::vector<JobOutcome> run_fleet(const std::string& fault_spec) {
+  ServerConfig config{.n_workers = 4};
+  config.fault_spec = fault_spec;
+  config.max_retries = 2;
+  config.retry_backoff_ms = 1.0;
+  Server server(std::move(config));
+  return run_fleet(server);
+}
+
+/// kind-per-seam of the chaos spec below; a job failed at a seam must carry
+/// the category that kind classifies to.
+ErrorCategory expected_category(const std::string& site) {
+  if (site == fault_sites::kCompile) return ErrorCategory::kCompile;
+  if (site == fault_sites::kEngineAlloc) return ErrorCategory::kResource;
+  if (site == fault_sites::kHarvest) return ErrorCategory::kTransient;
+  if (site == fault_sites::kStreamPush) return ErrorCategory::kTransient;
+  if (site == fault_sites::kSlice) return ErrorCategory::kExecution;
+  return ErrorCategory::kInternal;
+}
+
+/// Every seam armed, every kind exercised: permanent fails at compile and
+/// slice, allocation failures at engine build, transients (retried) at
+/// harvest and delivery.
+const char* kChaosSpec =
+    "seed=3;"
+    "compile:every=7;"
+    "engine_alloc:every=9:kind=bad_alloc;"
+    "harvest:every=23:kind=transient;"
+    "stream_push:every=41:kind=transient;"
+    "slice:every=31";
+
+TEST(ServiceChaos, FleetSurvivesFaultsAtEverySeamWithGoldenFidelity) {
+  // Golden first: explicitly disarmed ("none" overrides any ambient
+  // HTS_FAULT_SPEC), every job must complete.
+  const std::vector<JobOutcome> golden = run_fleet("none");
+  for (const JobOutcome& outcome : golden) {
+    ASSERT_EQ(outcome.status, JobStatus::kCompleted);
+    ASSERT_TRUE(outcome.stats.error.ok());
+  }
+
+  ServerConfig chaos_config{.n_workers = 4};
+  chaos_config.fault_spec = kChaosSpec;
+  chaos_config.max_retries = 2;
+  chaos_config.retry_backoff_ms = 1.0;
+  Server server(std::move(chaos_config));
+  const std::vector<JobOutcome> chaos = run_fleet(server);
+
+  // Every registered seam was actually exercised and actually injected —
+  // a chaos run that silently skipped a seam proves nothing.
+  for (const char* site :
+       {fault_sites::kCompile, fault_sites::kEngineAlloc, fault_sites::kHarvest,
+        fault_sites::kStreamPush, fault_sites::kSlice}) {
+    EXPECT_GT(server.fault_injector().hits(site), 0u) << site;
+    EXPECT_GT(server.fault_injector().injected(site), 0u) << site;
+  }
+
+  std::size_t failed = 0;
+  std::size_t recovered = 0;
+  std::size_t untouched = 0;
+  for (std::size_t i = 0; i < chaos.size(); ++i) {
+    const JobOutcome& outcome = chaos[i];
+    ASSERT_TRUE(job_status_terminal(outcome.status));  // nothing in flight
+    if (outcome.status == JobStatus::kFailed) {
+      // Correct attribution: the recorded seam is one of ours and carries
+      // the category its configured kind maps to.
+      ++failed;
+      const ErrorInfo& error = outcome.stats.error;
+      EXPECT_EQ(error.category, expected_category(error.site))
+          << error.site << ": " << error.message;
+      EXPECT_FALSE(error.message.empty());
+      continue;
+    }
+    ASSERT_EQ(outcome.status, JobStatus::kCompleted);
+    if (outcome.stats.retries > 0) {
+      // Recovered through retry: flush-then-replay converges the stream to
+      // the golden trajectory, so even a job that faulted mid-delivery ends
+      // bit-identical — same solutions, same order, exactly once.
+      ++recovered;
+      const std::set<cnf::Assignment> chaos_set(outcome.stream.begin(),
+                                                outcome.stream.end());
+      EXPECT_EQ(chaos_set.size(), outcome.stream.size());  // no duplicates
+      EXPECT_EQ(outcome.stream, golden[i].stream) << "job " << i;
+    } else {
+      // Untouched by any fault: bit-identical stream, order included.
+      ++untouched;
+      EXPECT_EQ(outcome.stream, golden[i].stream) << "job " << i;
+    }
+  }
+  // The spec is aggressive enough that all three populations exist; if one
+  // is empty the chaos run is not exercising what it claims to.
+  EXPECT_GT(failed, 0u);
+  EXPECT_GT(recovered, 0u);
+  EXPECT_GT(untouched, 0u);
+  EXPECT_EQ(failed + recovered + untouched, chaos.size());
+  EXPECT_EQ(server.stats().failed, failed);
+}
+
+TEST(ServiceChaos, ShutdownMidChaosDrainsCleanly) {
+  ServerConfig config{.n_workers = 4};
+  config.fault_spec = kChaosSpec;
+  config.retry_backoff_ms = 5.0;
+  Server server(config);
+  std::vector<JobHandle> handles;
+  for (std::size_t i = 0; i < 80; ++i) {
+    SamplingRequest request = chaos_request(i);
+    request.target_uniques = 1000000;  // endless: shutdown must cut them off
+    handles.push_back(server.submit(std::move(request)));
+  }
+  // Let the fleet get properly into flight (some rounds, some faults).
+  while (server.stats().slices < 20) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  server.shutdown();
+  for (const JobHandle& handle : handles) {
+    const JobStatus status = handle.status();  // terminal without waiting
+    EXPECT_TRUE(job_status_terminal(status));
+    // Endless jobs end cancelled (shutdown) or failed (a fault got there
+    // first); either way their streams are closed.
+    EXPECT_TRUE(status == JobStatus::kCancelled ||
+                status == JobStatus::kFailed)
+        << job_status_name(status);
+    EXPECT_TRUE(handle.stream().closed());
+  }
+}
+
+TEST(ServiceChaos, EnvSpecArmsTheServerAndNoneOverridesIt) {
+  ASSERT_EQ(setenv("HTS_FAULT_SPEC", "compile:at=0", /*overwrite=*/1), 0);
+  {
+    Server server(ServerConfig{.n_workers = 1});  // empty config spec: env
+    EXPECT_TRUE(server.fault_injector().armed());
+    JobHandle handle = server.submit(chaos_request(0));
+    EXPECT_EQ(handle.wait(), JobStatus::kFailed);
+    EXPECT_EQ(handle.error().site, fault_sites::kCompile);
+  }
+  {
+    ServerConfig config{.n_workers = 1};
+    config.fault_spec = "none";  // explicit sentinel beats the environment
+    Server server(config);
+    EXPECT_FALSE(server.fault_injector().armed());
+    JobHandle handle = server.submit(chaos_request(0));
+    EXPECT_EQ(handle.wait(), JobStatus::kCompleted);
+  }
+  ASSERT_EQ(unsetenv("HTS_FAULT_SPEC"), 0);
+}
+
+TEST(ServiceChaos, MalformedSpecFailsServerConstructionLoudly) {
+  ServerConfig config{.n_workers = 1};
+  config.fault_spec = "compile:whenever";
+  EXPECT_THROW((void)Server(std::move(config)), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hts::service

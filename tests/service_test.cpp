@@ -10,7 +10,9 @@
 #include <atomic>
 #include <chrono>
 #include <set>
+#include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "benchgen/families.hpp"
@@ -470,6 +472,248 @@ TEST(ServiceServer, ShortDeadlineJobIsNotBlockedBehindALongJob) {
   EXPECT_FALSE(job_status_terminal(long_handle.status()));
   long_handle.cancel();
   EXPECT_EQ(long_handle.wait(), JobStatus::kCancelled);
+}
+
+// --- admission control -------------------------------------------------------
+
+TEST(ServiceAdmission, InfeasibleDeadlineIsRejectedAtSubmitWithoutCompiling) {
+  ServerConfig config{.n_workers = 1};
+  config.admission.enabled = true;
+  config.admission.initial_job_cost_ms = 50.0;
+  Server server(config);
+  // Deadline far below the cost prior: infeasible before any compile.
+  SamplingRequest request = small_request(formula_a());
+  request.deadline_ms = 1.0;
+  const JobHandle handle = server.submit(std::move(request));
+  EXPECT_EQ(handle.status(), JobStatus::kRejected);  // terminal within submit()
+  EXPECT_EQ(handle.wait(), JobStatus::kRejected);
+  const ErrorInfo error = handle.error();
+  EXPECT_EQ(error.category, ErrorCategory::kAdmission);
+  EXPECT_EQ(error.site, "submit");
+  EXPECT_NE(error.message.find("deadline infeasible"), std::string::npos);
+  // No compile happened and the stream ends immediately.
+  EXPECT_EQ(server.plan_cache_size(), 0u);
+  EXPECT_EQ(handle.stats().compile_ms, 0.0);
+  EXPECT_EQ(collect_stream(handle).size(), 0u);
+  EXPECT_EQ(server.stats().rejected, 1u);
+}
+
+TEST(ServiceAdmission, FeasibleDeadlineIsAcceptedAndServed) {
+  ServerConfig config{.n_workers = 2};
+  config.admission.enabled = true;
+  config.admission.initial_job_cost_ms = 5.0;
+  Server server(config);
+  SamplingRequest request = small_request(formula_a(), 15);
+  request.deadline_ms = 60000.0;
+  const JobHandle handle = server.submit(std::move(request));
+  EXPECT_EQ(handle.wait(), JobStatus::kCompleted);
+  EXPECT_TRUE(handle.error().ok());
+  EXPECT_FALSE(handle.stats().degraded);
+}
+
+TEST(ServiceAdmission, DegradeModeShrinksTheBatchInsteadOfRejecting) {
+  ServerConfig config{.n_workers = 1};
+  config.admission.enabled = true;
+  config.admission.initial_job_cost_ms = 50.0;
+  config.admission.safety_factor = 1.0;
+  config.admission.max_degrade = 64.0;
+  Server server(config);
+  // Infeasible as submitted (cost prior 50ms vs 10ms deadline), but a ~5x
+  // batch shrink fits; admission accepts it degraded instead of rejecting.
+  SamplingRequest request = small_request(formula_a(), 5);
+  request.config.batch = 4096;
+  request.deadline_ms = 10.0;
+  const JobHandle handle = server.submit(std::move(request));
+  const JobStatus status = handle.wait();
+  EXPECT_NE(status, JobStatus::kRejected);
+  EXPECT_TRUE(handle.stats().degraded);
+  EXPECT_EQ(server.stats().degraded, 1u);
+  EXPECT_TRUE(handle.error().ok());  // degraded is not an error
+}
+
+TEST(ServiceAdmission, PerClientJobQuotaRejectsTheOverflow) {
+  ServerConfig config{.n_workers = 1};
+  config.admission.max_client_jobs = 2;
+  Server server(config);
+  const JobHandle first = server.submit(endless_request(1));
+  const JobHandle second = server.submit(endless_request(2));
+  const JobHandle third = server.submit(endless_request(3));
+  EXPECT_EQ(third.wait(), JobStatus::kRejected);
+  EXPECT_EQ(third.error().category, ErrorCategory::kAdmission);
+  EXPECT_NE(third.error().message.find("job quota"), std::string::npos);
+  // Another client is unaffected by the first client's quota.
+  SamplingRequest other = endless_request(4);
+  other.client_id = 9;
+  const JobHandle other_handle = server.submit(std::move(other));
+  EXPECT_NE(other_handle.status(), JobStatus::kRejected);
+  // Quota is released when a job finalizes: cancel one, resubmit.
+  first.cancel();
+  EXPECT_EQ(first.wait(), JobStatus::kCancelled);
+  const JobHandle fourth = server.submit(endless_request(5));
+  EXPECT_NE(fourth.status(), JobStatus::kRejected);
+  server.shutdown();
+}
+
+TEST(ServiceAdmission, PerClientBankByteQuotaEnforcesReservations) {
+  ServerConfig config{.n_workers = 1};
+  config.admission.max_client_bank_bytes = 1 << 20;
+  Server server(config);
+  // Under a bank quota, an unbounded-bank request cannot be reserved.
+  const JobHandle unbounded = server.submit(endless_request(1));
+  EXPECT_EQ(unbounded.wait(), JobStatus::kRejected);
+  EXPECT_NE(unbounded.error().message.find("max_bank_bytes"),
+            std::string::npos);
+  // Two half-quota reservations fit; a third does not.
+  auto capped_request = [](std::uint64_t seed) {
+    SamplingRequest request = endless_request(seed);
+    request.max_bank_bytes = 1 << 19;
+    return request;
+  };
+  const JobHandle a = server.submit(capped_request(2));
+  const JobHandle b = server.submit(capped_request(3));
+  EXPECT_NE(a.status(), JobStatus::kRejected);
+  EXPECT_NE(b.status(), JobStatus::kRejected);
+  const JobHandle c = server.submit(capped_request(4));
+  EXPECT_EQ(c.wait(), JobStatus::kRejected);
+  EXPECT_NE(c.error().message.find("bank-byte quota"), std::string::npos);
+  server.shutdown();
+}
+
+TEST(ServiceAdmission, AcceptedStreamsAreIdenticalUnderRejectionChurn) {
+  // An accepted job's stream is a pure function of (formula, seed, config);
+  // admission rejecting other traffic around it must not perturb it.
+  auto run_once = [](bool with_churn) {
+    ServerConfig config{.n_workers = 2};
+    config.admission.enabled = true;
+    config.admission.initial_job_cost_ms = 50.0;
+    Server server(config);
+    SamplingRequest request = small_request(formula_a(), 20, 77);
+    request.deadline_ms = 60000.0;
+    const JobHandle handle = server.submit(std::move(request));
+    std::vector<JobHandle> rejected;
+    if (with_churn) {
+      for (int i = 0; i < 16; ++i) {
+        SamplingRequest doomed = small_request(formula_b(), 10, 100 + i);
+        doomed.client_id = 5;
+        doomed.deadline_ms = 0.5;  // infeasible against the 50ms prior
+        rejected.push_back(server.submit(std::move(doomed)));
+      }
+    }
+    EXPECT_EQ(handle.wait(), JobStatus::kCompleted);
+    for (const JobHandle& r : rejected) {
+      EXPECT_EQ(r.wait(), JobStatus::kRejected);
+    }
+    return collect_stream(handle);
+  };
+  const std::vector<cnf::Assignment> calm = run_once(false);
+  const std::vector<cnf::Assignment> churned = run_once(true);
+  EXPECT_EQ(calm, churned);  // bit-identical, order included
+}
+
+// --- error containment -------------------------------------------------------
+
+TEST(ServiceFaults, CompileFaultFailsTheJobWithSiteAttribution) {
+  ServerConfig config{.n_workers = 2};
+  config.fault_spec = "compile:at=0";
+  Server server(config);
+  const JobHandle doomed = server.submit(small_request(formula_a(), 10, 1));
+  EXPECT_EQ(doomed.wait(), JobStatus::kFailed);
+  const ErrorInfo error = doomed.error();
+  EXPECT_EQ(error.category, ErrorCategory::kCompile);
+  EXPECT_EQ(error.site, fault_sites::kCompile);
+  EXPECT_NE(error.message.find("injected fault"), std::string::npos);
+  EXPECT_EQ(collect_stream(doomed).size(), 0u);  // closed, empty, no hang
+  // The fleet survived: the next job (same formula — the failed compile
+  // left no poisoned cache entry) completes normally.
+  const JobHandle next_job = server.submit(small_request(formula_a(), 10, 2));
+  EXPECT_EQ(next_job.wait(), JobStatus::kCompleted);
+  EXPECT_EQ(server.stats().failed, 1u);
+  EXPECT_EQ(server.stats().completed, 1u);
+}
+
+TEST(ServiceFaults, TransientFaultIsRetriedAndTheStreamIsBitIdentical) {
+  auto run_once = [](const std::string& spec) {
+    ServerConfig config{.n_workers = 1};
+    config.fault_spec = spec;
+    config.retry_backoff_ms = 1.0;
+    Server server(config);
+    const JobHandle handle = server.submit(small_request(formula_a(), 20, 9));
+    EXPECT_EQ(handle.wait(), JobStatus::kCompleted);
+    return std::make_pair(collect_stream(handle), handle.stats());
+  };
+  const auto [calm_stream, calm_stats] = run_once("none");
+  // One transient at the slice seam: before any round ran, so the retried
+  // trajectory replays from the start and delivery matches exactly.
+  const auto [faulted_stream, faulted_stats] =
+      run_once("slice:at=0:kind=transient");
+  EXPECT_EQ(faulted_stats.retries, 1u);
+  EXPECT_FALSE(faulted_stats.error.ok());  // last trouble is kept
+  EXPECT_EQ(faulted_stats.error.category, ErrorCategory::kTransient);
+  EXPECT_EQ(calm_stream, faulted_stream);
+  EXPECT_EQ(calm_stats.n_unique, faulted_stats.n_unique);
+}
+
+TEST(ServiceFaults, BadAllocAtEngineBuildIsRetriedThenFailsWhenPersistent) {
+  // Retryable category, but the fault fires on every attempt: retries are
+  // exhausted and the job fails with the resource category.
+  ServerConfig config{.n_workers = 1};
+  config.fault_spec = "engine_alloc:every=1:kind=bad_alloc";
+  config.max_retries = 2;
+  config.retry_backoff_ms = 1.0;
+  Server server(config);
+  const JobHandle handle = server.submit(small_request(formula_a(), 10));
+  EXPECT_EQ(handle.wait(), JobStatus::kFailed);
+  const JobStats stats = handle.stats();
+  EXPECT_EQ(stats.retries, 2u);
+  EXPECT_EQ(stats.error.category, ErrorCategory::kResource);
+  EXPECT_EQ(stats.error.site, fault_sites::kEngineAlloc);
+  EXPECT_EQ(server.stats().retried, 2u);
+}
+
+TEST(ServiceFaults, BlockedNextWakesToEndOfStreamWhenTheJobFails) {
+  ServerConfig config{.n_workers = 1};
+  config.fault_spec = "slice:at=0";  // permanent fail before the first round
+  Server server(config);
+  SamplingRequest request = small_request(formula_a(), 10);
+  std::atomic<bool> consumer_woke{false};
+  const JobHandle handle = server.submit(std::move(request));
+  // Consumer blocks in next() on another thread before the job fails.
+  std::thread consumer([&] {
+    cnf::Assignment assignment;
+    const bool got = handle.stream().next(assignment);
+    EXPECT_FALSE(got);  // woke to end-of-stream, not a value and not a hang
+    consumer_woke.store(true);
+  });
+  EXPECT_EQ(handle.wait(), JobStatus::kFailed);
+  consumer.join();
+  EXPECT_TRUE(consumer_woke.load());
+  EXPECT_EQ(handle.error().site, fault_sites::kSlice);
+}
+
+TEST(ServiceFaults, FaultedJobDoesNotDisturbItsNeighbors) {
+  // Two jobs, distinct formulas (distinct compiles); a permanent fault at
+  // the second compile hit kills exactly one, and the survivor's stream is
+  // bit-identical to a fault-free run.
+  auto run_survivor = [](const std::string& spec) {
+    ServerConfig config{.n_workers = 1};  // shared worker: containment, not
+    config.fault_spec = spec;             // isolation, keeps them apart
+    Server server(config);
+    const JobHandle survivor =
+        server.submit(small_request(formula_a(), 20, 11));
+    EXPECT_EQ(survivor.wait(), JobStatus::kCompleted);
+    return collect_stream(survivor);
+  };
+  const std::vector<cnf::Assignment> calm = run_survivor("none");
+
+  ServerConfig config{.n_workers = 1};
+  config.fault_spec = "compile:at=1";
+  Server server(config);
+  const JobHandle survivor = server.submit(small_request(formula_a(), 20, 11));
+  EXPECT_EQ(survivor.wait(), JobStatus::kCompleted);  // compile hit 0
+  const JobHandle doomed = server.submit(small_request(formula_b(), 20, 12));
+  EXPECT_EQ(doomed.wait(), JobStatus::kFailed);  // compile hit 1
+  EXPECT_EQ(doomed.error().site, fault_sites::kCompile);
+  EXPECT_EQ(collect_stream(survivor), calm);
 }
 
 }  // namespace

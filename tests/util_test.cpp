@@ -3,14 +3,17 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cstdlib>
 #include <numeric>
+#include <string>
 #include <set>
 #include <thread>
 #include <vector>
 
 #include "util/env.hpp"
+#include "util/fault_injector.hpp"
 #include "util/rng.hpp"
 #include "util/stop_token.hpp"
 #include "util/table.hpp"
@@ -384,6 +387,104 @@ TEST(ThreadPool, SubmitInterleavesWithParallelFor) {
   });
   EXPECT_EQ(covered.load(), 1000u);
   release.store(true);
+}
+
+// --- fault injector ----------------------------------------------------------
+
+TEST(FaultInjector, EmptyAndNoneSpecsAreDisarmedNoOps) {
+  for (const char* spec : {"", "none"}) {
+    FaultInjector injector = FaultInjector::from_spec(spec);
+    EXPECT_FALSE(injector.armed());
+    for (int i = 0; i < 100; ++i) {
+      EXPECT_NO_THROW(injector.maybe_fault("compile"));
+    }
+    EXPECT_EQ(injector.hits("compile"), 0u);  // disarmed: not even counted
+  }
+}
+
+TEST(FaultInjector, EveryTriggerFiresAtExactIndices) {
+  FaultInjector injector = FaultInjector::from_spec("slice:every=3");
+  std::vector<std::uint64_t> fired;
+  for (std::uint64_t i = 0; i < 9; ++i) {
+    try {
+      injector.maybe_fault("slice");
+    } catch (const FaultError& fault) {
+      EXPECT_EQ(fault.site(), "slice");
+      fired.push_back(i);
+    }
+  }
+  EXPECT_EQ(fired, (std::vector<std::uint64_t>{2, 5, 8}));
+  EXPECT_EQ(injector.hits("slice"), 9u);
+  EXPECT_EQ(injector.injected("slice"), 3u);
+}
+
+TEST(FaultInjector, AtTriggerWithMaxAndKinds) {
+  FaultInjector injector = FaultInjector::from_spec(
+      "compile:at=0,2:kind=bad_alloc;harvest:every=1:max=2:kind=transient");
+  EXPECT_THROW(injector.maybe_fault("compile"), std::bad_alloc);   // hit 0
+  EXPECT_NO_THROW(injector.maybe_fault("compile"));                // hit 1
+  EXPECT_THROW(injector.maybe_fault("compile"), std::bad_alloc);   // hit 2
+  EXPECT_NO_THROW(injector.maybe_fault("compile"));                // hit 3
+  // every=1 with max=2: first two hits only, and the transient type.
+  EXPECT_THROW(injector.maybe_fault("harvest"), TransientFaultError);
+  EXPECT_THROW(injector.maybe_fault("harvest"), FaultError);  // base class too
+  EXPECT_NO_THROW(injector.maybe_fault("harvest"));
+  // A site no rule names never throws but is not tracked either.
+  EXPECT_NO_THROW(injector.maybe_fault("stream_push"));
+  EXPECT_EQ(injector.hits("stream_push"), 0u);
+}
+
+TEST(FaultInjector, ProbTriggerIsDeterministicInSeedSiteAndIndex) {
+  const std::string spec = "seed=99;slice:prob=0.3";
+  auto run = [&](const char* site, int n) {
+    FaultInjector injector = FaultInjector::from_spec(spec);
+    std::vector<bool> pattern;
+    for (int i = 0; i < n; ++i) {
+      bool threw = false;
+      try {
+        injector.maybe_fault(site);
+      } catch (const FaultError&) {
+        threw = true;
+      }
+      pattern.push_back(threw);
+    }
+    return pattern;
+  };
+  const std::vector<bool> first = run("slice", 200);
+  EXPECT_EQ(first, run("slice", 200));  // same spec -> identical injections
+  const auto fires = static_cast<double>(
+      std::count(first.begin(), first.end(), true));
+  EXPECT_GT(fires / 200.0, 0.15);  // loose band around p=0.3
+  EXPECT_LT(fires / 200.0, 0.45);
+  // A different seed draws a different pattern.
+  FaultInjector other = FaultInjector::from_spec("seed=100;slice:prob=0.3");
+  std::vector<bool> other_pattern;
+  for (int i = 0; i < 200; ++i) {
+    bool threw = false;
+    try {
+      other.maybe_fault("slice");
+    } catch (const FaultError&) {
+      threw = true;
+    }
+    other_pattern.push_back(threw);
+  }
+  EXPECT_NE(first, other_pattern);
+}
+
+TEST(FaultInjector, MalformedSpecsThrowLoudly) {
+  for (const char* spec :
+       {"compile",                        // no trigger
+        "compile:sometimes",              // unknown trigger
+        "compile:every=0",                // zero period
+        "compile:prob=1.5",               // out of range
+        "compile:prob=0.5:max=3",         // max with prob
+        "compile:at=1:kind=explode",      // unknown kind
+        "compile:at=x",                   // malformed number
+        ":at=1",                          // empty site
+        "compile:at=1;compile:at=2"}) {   // duplicate site
+    EXPECT_THROW((void)FaultInjector::from_spec(spec), std::invalid_argument)
+        << spec;
+  }
 }
 
 }  // namespace
