@@ -53,7 +53,8 @@ struct WorkerRun {
 
 WorkerRun run_with_workers(const cnf::Formula& formula,
                            const bench::BenchEnv& env, std::size_t n_vars,
-                           std::size_t n_workers, tensor::Policy policy) {
+                           std::size_t n_workers, tensor::Policy policy,
+                           bool amplify = false) {
   sampler::GradientConfig config;
   config.batch = bench::pick_batch(env, n_vars);
   config.n_workers = n_workers;
@@ -62,6 +63,7 @@ WorkerRun run_with_workers(const cnf::Formula& formula,
   // on top would blur whose speedup is measured.  HTS_BENCH_POLICY overrides
   // to measure the composition deliberately.
   config.policy = policy;
+  config.amplify.enabled = amplify;
   sampler::GradientSampler sampler(config);
   WorkerRun run;
   run.result = sampler.run(formula, bench::run_options(env));
@@ -90,6 +92,8 @@ int main(int argc, char** argv) {
                                               "s15850a_3_2", "Prod-8"};
   util::Table table({"Instance", "Workers", "Unique", "Latency(ms)", "Sol/s",
                      "Speedup"});
+  util::Table amp_table({"Instance", "Unique", "Amplified", "Sol/s",
+                         "vs serial"});
 
   for (const std::string& name : instances) {
     std::fprintf(stderr, "[round_parallel] %s ...\n", name.c_str());
@@ -145,9 +149,41 @@ int main(int argc, char** argv) {
           .field("harvest_rows_per_worker_sec", harvest_rows_per_worker_sec);
       json.add(record);
     }
+
+    // Flip-amplification rider: one serial run with the word-parallel
+    // amplifier on, against the serial baseline above.  Records carry the
+    // amplified counters so the perf trajectory can segment harvested vs
+    // amplified uniques per family.
+    const WorkerRun amp = run_with_workers(formula, env, formula.n_vars(), 1,
+                                           policy, /*amplify=*/true);
+    const double amp_throughput = amp.result.throughput();
+    const double amp_vs_serial =
+        serial_throughput > 0.0 ? amp_throughput / serial_throughput : 0.0;
+    amp_table.add_row({name, std::to_string(amp.result.n_unique),
+                       std::to_string(amp.extras.amplified_uniques),
+                       util::format_grouped(amp_throughput, 1),
+                       serial_throughput > 0.0
+                           ? util::format_speedup(amp_vs_serial)
+                           : "n/a"});
+    bench::JsonRecord amp_record;
+    amp_record.field("instance", name)
+        .field("workers", std::size_t{1})
+        .field("policy", tensor::policy_name(policy))
+        .field("amplify", true)
+        .field("unique", amp.result.n_unique)
+        .field("elapsed_ms", amp.result.elapsed_ms)
+        .field("sol_per_sec", amp_throughput)
+        .field("amplified_candidates", amp.extras.amplified_candidates)
+        .field("amplified_uniques", amp.extras.amplified_uniques)
+        .field("amplify_ms", amp.extras.amplify_ms)
+        .field("speedup_vs_serial", amp_vs_serial)
+        .field("timed_out", amp.result.timed_out);
+    json.add(amp_record);
   }
 
   std::printf("%s\n", table.to_string().c_str());
+  std::printf("flip amplification (serial round loop, amplifier on):\n%s\n",
+              amp_table.to_string().c_str());
   std::printf("CSV:\n%s", table.to_csv().c_str());
   std::printf("\nReading: speedup ~W on a W-core machine means round-parallel\n"
               "sampling is compute-bound and scaling cleanly; a flat line on a\n"

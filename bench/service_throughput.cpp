@@ -32,6 +32,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <iterator>
 #include <string>
 #include <thread>
 #include <vector>
@@ -420,6 +421,70 @@ int main(int argc, char** argv) {
       ok = false;
     }
     if (!ok) return 1;
+  }
+
+  // --- scenario 5: flip amplification at equal wall budget ------------------
+  // Same formula, same seed, same wall budget; the only difference is
+  // config.amplify.  The plan cache is pre-warmed per family so neither
+  // timed run pays the compile, making the comparison pure sampling
+  // throughput.  Acceptance bar (asserted, so perf-smoke CI gates on it):
+  // >= 3x uniques on at least 2 of the 3 families.
+  {
+    const double amp_budget_ms = std::max(env.budget_ms, 10.0);
+    constexpr const char* kAmpFamilies[] = {"or-50-10-7-UC-10", "75-10-1-q",
+                                            "Prod-8"};
+    std::size_t families_over_bar = 0;
+    service::Server amp_server({.n_workers = 2});
+    util::Table amp_table(
+        {"Instance", "Off uniq", "On uniq", "Amplified", "Multiplier"});
+    for (const char* family : kAmpFamilies) {
+      const benchgen::Instance amp_instance =
+          bench::make_scaled_instance(family, env);
+      {
+        service::SamplingRequest warm =
+            make_request(amp_instance.formula, 1, env.seed, 2048);
+        (void)amp_server.submit(std::move(warm)).wait();
+      }
+      auto timed_uniques = [&](bool amplify, std::uint64_t* amplified) {
+        service::SamplingRequest request =
+            make_request(amp_instance.formula, 0, env.seed + 9, 2048);
+        request.deadline_ms = amp_budget_ms;  // the budget is the only stop
+        request.config.amplify.enabled = amplify;
+        const service::JobHandle handle = amp_server.submit(std::move(request));
+        (void)handle.wait();
+        if (amplified != nullptr) *amplified = handle.stats().amplified_uniques;
+        return handle.stats().n_unique;
+      };
+      const std::size_t off_uniques = timed_uniques(false, nullptr);
+      std::uint64_t amplified = 0;
+      const std::size_t on_uniques = timed_uniques(true, &amplified);
+      const double multiplier = static_cast<double>(on_uniques) /
+                                std::max<double>(1.0, static_cast<double>(off_uniques));
+      if (multiplier >= 3.0) ++families_over_bar;
+      amp_table.add_row({amp_instance.name, std::to_string(off_uniques),
+                         std::to_string(on_uniques), std::to_string(amplified),
+                         util::format_fixed(multiplier, 2)});
+      bench::JsonRecord record;
+      record.field("mode", "flip-amplification")
+          .field("instance", amp_instance.name)
+          .field("budget_ms", amp_budget_ms)
+          .field("off_uniques", off_uniques)
+          .field("on_uniques", on_uniques)
+          .field("amplified_uniques", amplified)
+          .field("multiplier", multiplier);
+      json.add(record);
+    }
+    std::printf("\nflip amplification (equal %.0f ms budget per job):\n%s\n"
+                "%zu of %zu families at >= 3x (bar: 2)\n",
+                amp_budget_ms, amp_table.to_string().c_str(),
+                families_over_bar, std::size(kAmpFamilies));
+    if (families_over_bar < 2) {
+      std::fprintf(stderr, "[service_throughput] FAIL: flip amplification hit "
+                           ">= 3x uniques on only %zu of %zu families "
+                           "(bar: 2)\n",
+                   families_over_bar, std::size(kAmpFamilies));
+      return 1;
+    }
   }
 
   std::printf("\nReading: the throughput speedup is compile-amortization plus\n"

@@ -1,12 +1,15 @@
 // serve_cli: drive the in-process sampling service with a batch of jobs.
 //
-//   ./serve_cli [--workers N] [--admission] [--fault SPEC] [jobspec-file]
+//   ./serve_cli [--workers N] [--admission] [--amplify] [--fault SPEC]
+//               [jobspec-file]
 //
 // --admission turns on deadline-aware admission control (infeasible requests
-// come back `rejected` at submit, before any compile); --fault arms the
-// deterministic fault injector with SPEC (same grammar as HTS_FAULT_SPEC,
-// e.g. 'compile:every=3;slice:every=5:kind=transient') so the failure paths
-// in the table below can be exercised from the command line.
+// come back `rejected` at submit, before any compile); --amplify turns on
+// word-parallel flip amplification for every job (the Amp column then counts
+// the uniques the amplifier contributed); --fault arms the deterministic
+// fault injector with SPEC (same grammar as HTS_FAULT_SPEC, e.g.
+// 'compile:every=3;slice:every=5:kind=transient') so the failure paths in
+// the table below can be exercised from the command line.
 //
 // Each non-comment line of the jobspec file is one request:
 //
@@ -97,6 +100,7 @@ int main(int argc, char** argv) {
   std::string spec_path;
   std::string fault_spec;
   bool admission = false;
+  bool amplify = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--workers" && i + 1 < argc) {
@@ -105,6 +109,8 @@ int main(int argc, char** argv) {
       fault_spec = argv[++i];
     } else if (arg == "--admission") {
       admission = true;
+    } else if (arg == "--amplify") {
+      amplify = true;
     } else {
       spec_path = arg;
     }
@@ -132,8 +138,9 @@ int main(int argc, char** argv) {
   server_config.fault_spec = fault_spec;
   server_config.admission.enabled = admission;
   service::Server server(std::move(server_config));
-  std::printf("service up: %zu workers, %zu jobs%s%s\n\n", server.n_workers(),
+  std::printf("service up: %zu workers, %zu jobs%s%s%s\n\n", server.n_workers(),
               specs.size(), admission ? ", admission control on" : "",
+              amplify ? ", flip amplification on" : "",
               server.fault_injector().armed() ? ", fault injector armed" : "");
 
   struct Submitted {
@@ -156,13 +163,14 @@ int main(int argc, char** argv) {
     request.target_uniques = spec.target;
     request.deadline_ms = spec.deadline_ms;
     request.config.batch = 2048;
+    request.config.amplify.enabled = amplify;
     jobs.push_back(Submitted{spec, server.submit(std::move(request))});
   }
 
   // Wait in submission order; print as each job lands.  (Completions happen
   // in scheduler order, not submission order — the table below is the
   // consolidated view.)
-  util::Table table({"Job", "Client", "Instance", "Status", "Unique",
+  util::Table table({"Job", "Client", "Instance", "Status", "Unique", "Amp",
                      "Wait(ms)", "Wall(ms)", "Cache", "Error"});
   for (const Submitted& job : jobs) {
     const service::JobStatus status = job.handle.wait();
@@ -175,6 +183,7 @@ int main(int argc, char** argv) {
                    std::to_string(job.spec.client), job.spec.instance,
                    service::job_status_name(status),
                    std::to_string(stats.n_unique),
+                   std::to_string(stats.amplified_uniques),
                    util::format_fixed(stats.queue_wait_ms, 1),
                    util::format_fixed(stats.wall_ms, 1),
                    stats.plan_cache_hit ? "hit" : "miss",

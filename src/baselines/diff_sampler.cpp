@@ -45,6 +45,11 @@ sampler::RunResult DiffSampler::run(const cnf::Formula& formula,
   sampler::GdProblem gd_problem;
   gd_problem.circuit = &problem.circuit;
   gd_problem.var_signal = &problem.var_signal;
+  // Flat problem: input i IS variable i, so the identity default of
+  // GdProblem::input_vars applies.
+  if (formula.has_sampling_set()) {
+    gd_problem.sampling_set = &formula.sampling_set();
+  }
 
   sampler::GdLoopConfig loop_config;
   loop_config.batch = config_.batch;
@@ -56,6 +61,7 @@ sampler::RunResult DiffSampler::run(const cnf::Formula& formula,
   loop_config.restart_solved = config_.restart_solved;
   loop_config.restart_plateau = config_.restart_plateau;
   loop_config.fast_sigmoid = config_.fast_sigmoid;
+  loop_config.amplify = config_.amplify;
 
   sampler::RunResult result =
       run_gd_loop(gd_problem, formula, options, loop_config, nullptr);

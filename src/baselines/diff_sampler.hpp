@@ -33,6 +33,9 @@ struct DiffSamplerConfig {
   std::size_t restart_plateau = 0;
   /// Vectorized fast sigmoid for the embed step (see Engine::Config).
   bool fast_sigmoid = true;
+  /// Flip-amplify freshly banked solutions after every harvest (see
+  /// sampler::AmplifyConfig; the formula's 'c ind' set scopes the flips).
+  sampler::AmplifyConfig amplify;
 };
 
 /// Builds the flat problem: inputs = original variables, one OR gate per

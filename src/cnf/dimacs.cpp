@@ -1,5 +1,6 @@
 #include "cnf/dimacs.hpp"
 
+#include <algorithm>
 #include <fstream>
 #include <istream>
 #include <ostream>
@@ -9,17 +10,35 @@ namespace hts::cnf {
 
 namespace {
 
+[[nodiscard]] long long parse_int(const std::string& token, std::size_t line) {
+  std::size_t pos = 0;
+  long long value = 0;
+  try {
+    value = std::stoll(token, &pos);
+  } catch (const std::exception&) {
+    throw DimacsError("expected integer, got '" + token + "'", line);
+  }
+  if (pos != token.size()) {
+    throw DimacsError("trailing junk in integer '" + token + "'", line);
+  }
+  return value;
+}
+
 struct Cursor {
-  std::istream* in;
+  std::istream* in = nullptr;
   std::size_t line = 1;
   bool at_line_start = true;
   /// Whether the most recent token was the first on its line (distinguishes
   /// a SATLIB '%' footer line from a stray '%' inside a clause line).
   bool token_started_line = false;
+  /// 1-based variables accumulated from 'c ind' declarations, with the line
+  /// each appeared on (range validation happens once the header is known).
+  std::vector<std::pair<long long, std::size_t>> ind;
 
   /// Reads the next whitespace-delimited token, tracking line numbers and
-  /// skipping comment lines (a 'c' in the first column).  Returns false at
-  /// end of input.
+  /// consuming comment lines (a 'c' in the first column).  'c ind'
+  /// declarations are collected; other comments are discarded.  Returns
+  /// false at end of input.
   bool next_token(std::string& token) {
     token.clear();
     int ch = in->get();
@@ -32,8 +51,17 @@ struct Cursor {
         ch = in->get();
       }
       if (ch == 'c' && at_line_start) {
-        // Comment: swallow the rest of the line.
-        while (ch != EOF && ch != '\n') ch = in->get();
+        // Comment: capture the rest of the line (the '\n' stays unconsumed
+        // for the whitespace loop's line accounting) and inspect it for a
+        // sampling-set declaration.
+        const std::size_t comment_line = line;
+        std::string rest;
+        ch = in->get();
+        while (ch != EOF && ch != '\n') {
+          rest.push_back(static_cast<char>(ch));
+          ch = in->get();
+        }
+        note_comment(rest, comment_line);
         continue;
       }
       break;
@@ -51,26 +79,34 @@ struct Cursor {
     }
     return true;
   }
-};
 
-[[nodiscard]] long long parse_int(const std::string& token, std::size_t line) {
-  std::size_t pos = 0;
-  long long value = 0;
-  try {
-    value = std::stoll(token, &pos);
-  } catch (const std::exception&) {
-    throw DimacsError("expected integer, got '" + token + "'", line);
+  /// QuickSampler/UniGen sampling-set declaration: "c ind v1 v2 ... 0".  The
+  /// first word must be exactly "ind" (prose like "c independent study" is
+  /// an ordinary comment); after that every word must be a positive integer,
+  /// up to an optional conventional "0" terminator.  Declarations may span
+  /// multiple 'c ind' lines; variables accumulate.
+  void note_comment(const std::string& rest, std::size_t comment_line) {
+    std::istringstream words(rest);
+    std::string word;
+    if (!(words >> word) || word != "ind") return;
+    while (words >> word) {
+      if (word == "0") return;  // terminator; anything after it is junk we skip
+      const long long value = parse_int(word, comment_line);
+      if (value <= 0) {
+        throw DimacsError(
+            "'c ind' variable must be positive, got '" + word + "'",
+            comment_line);
+      }
+      ind.emplace_back(value, comment_line);
+    }
   }
-  if (pos != token.size()) {
-    throw DimacsError("trailing junk in integer '" + token + "'", line);
-  }
-  return value;
-}
+};
 
 }  // namespace
 
 Formula parse_dimacs(std::istream& in) {
-  Cursor cursor{&in};
+  Cursor cursor;
+  cursor.in = &in;
   std::string token;
 
   // Header: "p cnf <vars> <clauses>".
@@ -96,6 +132,24 @@ Formula parse_dimacs(std::istream& in) {
   }
 
   Formula formula(static_cast<Var>(declared_vars));
+  // 'c ind' ranges are checked against the header once the clause section
+  // ends (declarations legally precede the header, and more may follow
+  // between clauses).
+  auto apply_sampling_set = [&] {
+    if (cursor.ind.empty()) return;
+    std::vector<Var> vars;
+    vars.reserve(cursor.ind.size());
+    for (const auto& [value, ind_line] : cursor.ind) {
+      if (value > declared_vars) {
+        throw DimacsError("'c ind' variable " + std::to_string(value) +
+                              " exceeds declared variable count " +
+                              std::to_string(declared_vars),
+                          ind_line);
+      }
+      vars.push_back(static_cast<Var>(value - 1));
+    }
+    formula.set_sampling_set(std::move(vars));
+  };
   Clause current;
   bool clause_open = false;
   while (cursor.next_token(token)) {
@@ -118,6 +172,7 @@ Formula parse_dimacs(std::istream& in) {
                               " declared clauses",
                           cursor.line);
       }
+      apply_sampling_set();
       return formula;
     }
     const long long value = parse_int(token, cursor.line);
@@ -139,6 +194,7 @@ Formula parse_dimacs(std::istream& in) {
   if (clause_open) {
     throw DimacsError("last clause missing terminating 0", cursor.line);
   }
+  apply_sampling_set();
   return formula;
 }
 
@@ -161,6 +217,18 @@ void write_dimacs(const Formula& formula, std::ostream& out,
     while (std::getline(lines, line)) out << "c " << line << '\n';
   }
   out << "p cnf " << formula.n_vars() << ' ' << formula.n_clauses() << '\n';
+  if (formula.has_sampling_set()) {
+    // QuickSampler-style declaration, chunked so lines stay readable; each
+    // chunk is a complete "c ind ... 0" directive and parsing accumulates.
+    constexpr std::size_t kPerLine = 10;
+    const std::vector<Var>& set = formula.sampling_set();
+    for (std::size_t begin = 0; begin < set.size(); begin += kPerLine) {
+      out << "c ind";
+      const std::size_t end = std::min(begin + kPerLine, set.size());
+      for (std::size_t i = begin; i < end; ++i) out << ' ' << set[i] + 1;
+      out << " 0\n";
+    }
+  }
   for (const Clause& clause : formula.clauses()) {
     for (const Lit lit : clause) out << lit.to_dimacs() << ' ';
     out << "0\n";

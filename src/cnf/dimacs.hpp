@@ -3,7 +3,11 @@
 // DIMACS CNF reader/writer.  Tolerant of comments, blank lines, and clause
 // counts that disagree with the header (both occur in public benchmark
 // suites); strict about structural errors (literals past the declared
-// variable count, missing terminating 0).
+// variable count, missing terminating 0).  'c ind v1 v2 ... 0' comment
+// lines (the QuickSampler/UniGen sampling-set convention) are parsed into
+// Formula::sampling_set() and round-tripped by the writer; multiple lines
+// accumulate, the trailing 0 is optional, and out-of-range or non-numeric
+// entries are DimacsErrors.
 
 #include <iosfwd>
 #include <stdexcept>

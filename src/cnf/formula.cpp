@@ -1,6 +1,7 @@
 #include "cnf/formula.hpp"
 
 #include <algorithm>
+#include <stdexcept>
 
 namespace hts::cnf {
 
@@ -91,8 +92,28 @@ std::vector<Var> Formula::compact() {
   for (Clause& clause : clauses_) {
     for (Lit& lit : clause) lit = Lit(remap[lit.var()], lit.negated());
   }
+  if (!sampling_set_.empty()) {
+    std::vector<Var> remapped;
+    remapped.reserve(sampling_set_.size());
+    for (const Var v : sampling_set_) {
+      if (remap[v] != kInvalidVar) remapped.push_back(remap[v]);
+    }
+    sampling_set_ = std::move(remapped);  // remap preserves order/uniqueness
+  }
   n_vars_ = next;
   return remap;
+}
+
+void Formula::set_sampling_set(std::vector<Var> vars) {
+  std::sort(vars.begin(), vars.end());
+  vars.erase(std::unique(vars.begin(), vars.end()), vars.end());
+  for (const Var v : vars) {
+    if (v >= n_vars_) {
+      throw std::invalid_argument(
+          "sampling set references variable beyond n_vars");
+    }
+  }
+  sampling_set_ = std::move(vars);
 }
 
 }  // namespace hts::cnf

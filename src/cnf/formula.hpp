@@ -68,12 +68,27 @@ class Formula {
 
   /// Renumbers variables so that the used ones are contiguous; returns the
   /// old->new map (kInvalidVar for unused).  Unused variables commonly appear
-  /// after benchmark preprocessing.
+  /// after benchmark preprocessing.  A sampling set is remapped through the
+  /// same table, dropping members that became unused.
   std::vector<Var> compact();
+
+  /// Sampling (projection) set — the variables a DIMACS 'c ind' declaration
+  /// marks as the ones whose assignments matter (QuickSampler / UniGen
+  /// convention).  Empty = no declaration = every variable.  Today it scopes
+  /// the amplifier's flip support; solutions still assign every variable.
+  [[nodiscard]] bool has_sampling_set() const { return !sampling_set_.empty(); }
+  [[nodiscard]] const std::vector<Var>& sampling_set() const {
+    return sampling_set_;
+  }
+  /// Replaces the sampling set.  Variables are deduplicated and sorted; each
+  /// must be < n_vars() (throws std::invalid_argument otherwise).  An empty
+  /// vector clears the declaration.
+  void set_sampling_set(std::vector<Var> vars);
 
  private:
   Var n_vars_ = 0;
   std::vector<Clause> clauses_;
+  std::vector<Var> sampling_set_;
 };
 
 }  // namespace hts::cnf

@@ -28,6 +28,7 @@ RunResult CircuitSampler::run(const RunOptions& options) {
   loop_config.restart_solved = config_.restart_solved;
   loop_config.restart_plateau = config_.restart_plateau;
   loop_config.fast_sigmoid = config_.fast_sigmoid;
+  loop_config.amplify = config_.amplify;
 
   // verify_against_cnf is meaningless here (there is no CNF); the loop
   // already verifies every row against the circuit's output constraints.

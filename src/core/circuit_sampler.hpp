@@ -33,6 +33,10 @@ struct CircuitSamplerConfig {
   std::size_t restart_plateau = 0;
   /// Vectorized fast sigmoid for the embed step (see Engine::Config).
   bool fast_sigmoid = true;
+  /// Flip-amplify freshly banked solutions after every harvest (see
+  /// AmplifyConfig; flip support is every circuit input — there is no CNF
+  /// sampling set here).
+  AmplifyConfig amplify;
 };
 
 class CircuitSampler {

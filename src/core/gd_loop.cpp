@@ -86,6 +86,9 @@ RunResult run_serial(const GdProblem& problem, const cnf::Formula& formula,
     extras->gd_iterations = runner.gd_iterations();
     extras->rows_validated = harvester.rows_validated();
     extras->harvest_ms = harvester.harvest_ms();
+    extras->amplified_candidates = runner.amplified_candidates();
+    extras->amplified_uniques = runner.amplified_uniques();
+    extras->amplify_ms = runner.amplify_ms();
   }
   return result;
 }
@@ -111,6 +114,9 @@ RunResult run_parallel(const GdProblem& problem, const cnf::Formula& formula,
     std::uint64_t gd_iterations = 0;
     std::uint64_t rows_validated = 0;
     double harvest_ms = 0.0;
+    std::uint64_t amplified_candidates = 0;
+    std::uint64_t amplified_uniques = 0;
+    double amplify_ms = 0.0;
   };
 
   const std::size_t n_slots = static_cast<std::size_t>(config.iterations) + 1;
@@ -185,6 +191,9 @@ RunResult run_parallel(const GdProblem& problem, const cnf::Formula& formula,
     out.gd_iterations = runner.gd_iterations();
     out.rows_validated = harvester.rows_validated();
     out.harvest_ms = harvester.harvest_ms();
+    out.amplified_candidates = runner.amplified_candidates();
+    out.amplified_uniques = runner.amplified_uniques();
+    out.amplify_ms = runner.amplify_ms();
   };
 
   std::vector<std::thread> threads;
@@ -202,6 +211,9 @@ RunResult run_parallel(const GdProblem& problem, const cnf::Formula& formula,
   std::uint64_t gd_iterations = 0;
   std::uint64_t rows_validated = 0;
   double harvest_ms = 0.0;
+  std::uint64_t amplified_candidates = 0;
+  std::uint64_t amplified_uniques = 0;
+  double amplify_ms = 0.0;
   std::size_t engine_bytes = 0;
   for (WorkerOutput& out : outputs) {
     result.n_valid += out.result.n_valid;
@@ -222,6 +234,9 @@ RunResult run_parallel(const GdProblem& problem, const cnf::Formula& formula,
     gd_iterations += out.gd_iterations;
     rows_validated += out.rows_validated;
     harvest_ms += out.harvest_ms;
+    amplified_candidates += out.amplified_candidates;
+    amplified_uniques += out.amplified_uniques;
+    amplify_ms += out.amplify_ms;
     engine_bytes += out.engine_bytes;
   }
   // Each worker's checkpoints are individually chronological; interleave
@@ -255,6 +270,9 @@ RunResult run_parallel(const GdProblem& problem, const cnf::Formula& formula,
     extras->gd_iterations = gd_iterations;
     extras->rows_validated = rows_validated;
     extras->harvest_ms = harvest_ms;
+    extras->amplified_candidates = amplified_candidates;
+    extras->amplified_uniques = amplified_uniques;
+    extras->amplify_ms = amplify_ms;
   }
   return result;
 }

@@ -18,6 +18,35 @@ struct GdProblem {
   const circuit::Circuit* circuit = nullptr;
   /// Original CNF variable -> circuit signal (for projecting solutions).
   const std::vector<circuit::SignalId>* var_signal = nullptr;
+  /// Circuit input i -> original CNF variable (cnf::kInvalidVar for
+  /// auxiliary inputs).  Null means the identity mapping, which holds for
+  /// the flat-CNF and direct-circuit samplers; the paper's transform fills
+  /// it from transform::Result::input_vars.
+  const std::vector<cnf::Var>* input_vars = nullptr;
+  /// Sampling/projection set over original variables (a DIMACS 'c ind'
+  /// declaration or a per-request override).  Null or empty means every
+  /// variable.  Today it scopes the amplifier's flip support; bank
+  /// uniqueness stays over full input assignments.
+  const std::vector<cnf::Var>* sampling_set = nullptr;
+};
+
+/// Flip amplification of harvested solutions — QuickSampler's idea run in
+/// the word domain.  Every solution freshly banked by a GD harvest becomes
+/// a base: its single-bit flips over the sampling-set inputs, plus pairs of
+/// the single flips that stayed satisfying, are packed 64 mutants per word
+/// into EvalPlan blocks and validated at harvest speed, with survivors fed
+/// to the unique bank in a deterministic order (bases in bank-insertion
+/// order, singles in input order, pairs lexicographic).  Amplification
+/// never consumes RNG draws, so `enabled = false` (the default) is
+/// bit-identical to the pre-amplifier loop.
+struct AmplifyConfig {
+  bool enabled = false;
+  /// Cap on double-flip mutants per base (combinations of its *successful*
+  /// single flips, in lexicographic order).  0 skips the double wave.
+  std::size_t max_pairs_per_base = 256;
+  /// Cap on bases amplified per harvest, taking the first N freshly banked
+  /// solutions in bank-insertion order (0 = all of them).
+  std::size_t max_bases_per_collect = 0;
 };
 
 struct GdLoopConfig {
@@ -57,6 +86,10 @@ struct GdLoopConfig {
   /// Off keeps the raw gate-per-gate tape — note its DCE prunes the same
   /// unconstrained logic cone_only skips, so cone ablations must disable it.
   bool optimize_tape = true;
+  /// Flip-amplify freshly banked solutions after every harvest (see
+  /// AmplifyConfig; off by default, and off is bit-identical to the
+  /// pre-amplifier loop).
+  AmplifyConfig amplify;
 };
 
 struct GdLoopExtras {
@@ -78,6 +111,13 @@ struct GdLoopExtras {
   /// aggregate fleet rate.
   std::uint64_t rows_validated = 0;
   double harvest_ms = 0.0;
+  /// Flip-mutant rows the amplifier generated and validated, the unique
+  /// solutions among them, and the wall-clock spent doing it (all zero when
+  /// AmplifyConfig::enabled is off).  Candidates are billed separately from
+  /// rows_validated so harvest rows/sec keeps measuring the GD pipeline.
+  std::uint64_t amplified_candidates = 0;
+  std::uint64_t amplified_uniques = 0;
+  double amplify_ms = 0.0;
 };
 
 /// Runs rounds of randomize -> iterate -> harden -> verify -> bank until

@@ -20,6 +20,7 @@ GdLoopConfig make_gd_loop_config(const GradientConfig& config) {
   loop_config.restart_plateau = config.restart_plateau;
   loop_config.fast_sigmoid = config.fast_sigmoid;
   loop_config.optimize_tape = config.optimize_tape;
+  loop_config.amplify = config.amplify;
   return loop_config;
 }
 
@@ -41,6 +42,10 @@ RunResult GradientSampler::run(const cnf::Formula& formula,
   GdProblem gd_problem;
   gd_problem.circuit = &problem.circuit;
   gd_problem.var_signal = &problem.var_signal;
+  gd_problem.input_vars = &problem.input_vars;
+  if (formula.has_sampling_set()) {
+    gd_problem.sampling_set = &formula.sampling_set();
+  }
 
   const GdLoopConfig loop_config = make_gd_loop_config(config_);
 

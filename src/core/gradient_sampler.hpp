@@ -48,6 +48,10 @@ struct GradientConfig {
   bool fast_sigmoid = true;
   /// Tape optimizer (see GdLoopConfig::optimize_tape).
   bool optimize_tape = true;
+  /// Flip-amplify freshly banked solutions after every harvest (see
+  /// AmplifyConfig; off = bit-identical legacy stream).  The flip support is
+  /// the formula's sampling set ('c ind') when one is declared.
+  AmplifyConfig amplify;
   transform::Config transform;
 };
 

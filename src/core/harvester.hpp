@@ -39,6 +39,16 @@
 
 namespace hts::sampler {
 
+/// Caller-owned scratch for Harvester::collect_candidates.  The amplifier
+/// keeps one per instance so repeated amplified collects perform no heap
+/// allocation once the buffers are warm — the same bar collect() meets with
+/// its member scratch.
+struct CollectScratch {
+  std::vector<std::uint64_t> solved_mask;
+  std::vector<std::uint64_t> proj;
+  std::vector<std::uint64_t> slots;
+};
+
 template <typename Bank>
 class Harvester {
  public:
@@ -112,26 +122,8 @@ class Harvester {
       }
       const std::size_t block_begin = n_blocks * part / n_parts;
       const std::size_t block_end = n_blocks * (part + 1) / n_parts;
-      for (std::size_t block = block_begin; block < block_end; ++block) {
-        if (options_.stop.stop_requested()) return;
-        const std::size_t w0 = block * kB;
-        const std::size_t count = std::min(kB, n_words - w0);
-        plan.eval_block(packed.data(), n_words, w0, count, slots.data());
-        for (std::size_t lane = 0; lane < count; ++lane) {
-          const std::size_t w = w0 + lane;
-          std::uint64_t ok = plan.satisfied(slots.data(), lane);
-          // Mask off lanes past the batch in the final partial word.
-          const std::size_t rows_here = std::min<std::size_t>(64, batch - w * 64);
-          if (rows_here < 64) ok &= (1ULL << rows_here) - 1;
-          solved_mask_[w] = ok;
-          if (ok == 0 || !need_proj_) continue;
-          std::uint64_t* stash = proj_.data() + w * n_proj;
-          for (std::size_t v = 0; v < n_proj; ++v) {
-            stash[v] = circuit::EvalPlan::signal_word(slots.data(),
-                                                      var_signal[v], lane);
-          }
-        }
-      }
+      eval_blocks(packed, n_words, batch, block_begin, block_end, slots.data(),
+                  solved_mask_.data(), proj_.data());
     };
     if (n_parts <= 1) {
       // Inline: one scratch, no dispatch (also the no-allocation fast path
@@ -145,17 +137,63 @@ class Harvester {
 
     // Phase 2 — accept, serially and in word order: bank insertion order and
     // stored-solution order match the historical single-thread walk exactly.
-    for (std::size_t w = 0; w < n_words; ++w) {
-      std::uint64_t ok = solved_mask_[w];
-      while (ok != 0) {
-        const int r = std::countr_zero(ok);
-        ok &= ok - 1;
-        accept_row(packed, n_words, n_proj, w, static_cast<std::size_t>(r));
-      }
-    }
+    accept_words(packed, n_words, n_proj, solved_mask_.data(), proj_.data(),
+                 /*record_fresh=*/true);
     if (!options_.stop.stop_requested()) rows_validated_ += batch;
     harvest_ms_ += harvest_timer.milliseconds();
   }
+
+  /// Validates an externally packed candidate batch (the amplifier's flip
+  /// mutants) through the identical evaluate -> mask -> accept pipeline and
+  /// banks the survivors; returns how many were genuinely new to the bank.
+  /// Differences from collect(): evaluation always runs inline on the
+  /// calling thread with the caller's scratch (deterministic and
+  /// allocation-free under any pool size), last_solved() / rows_validated()
+  /// / harvest_ms() are untouched (they describe GD batches — solved-row
+  /// restarts and the rows/sec metric must not see mutants), and newly
+  /// banked keys are not reported to the fresh sink (mutants never
+  /// recursively become amplification bases).  scratch.solved_mask holds
+  /// the per-row satisfied mask afterwards, so the caller can read which
+  /// candidates survived.
+  std::size_t collect_candidates(const std::vector<std::uint64_t>& packed,
+                                 std::size_t n_words, std::size_t batch,
+                                 CollectScratch& scratch) {
+    if (options_.stop.stop_requested()) return 0;
+    const circuit::EvalPlan& plan = *plan_;
+    const std::size_t n_proj = problem_.var_signal->size();
+    const std::size_t n_blocks =
+        (n_words + circuit::EvalPlan::kBlockWords - 1) /
+        circuit::EvalPlan::kBlockWords;
+    scratch.solved_mask.assign(n_words, 0);
+    if (need_proj_ && scratch.proj.size() < n_words * n_proj) {
+      scratch.proj.resize(n_words * n_proj);
+    }
+    if (scratch.slots.size() < plan.scratch_words()) {
+      scratch.slots.resize(plan.scratch_words());
+    }
+    eval_blocks(packed, n_words, batch, 0, n_blocks, scratch.slots.data(),
+                scratch.solved_mask.data(), scratch.proj.data());
+    return accept_words(packed, n_words, n_proj, scratch.solved_mask.data(),
+                        scratch.proj.data(), /*record_fresh=*/false);
+  }
+
+  /// Registers a buffer that receives a copy of every newly banked key
+  /// (bank n_words() words per solution, appended in insertion order)
+  /// during collect().  The amplifier points this at its base buffer; null
+  /// (the default) disables the copy entirely, so the legacy accept path is
+  /// untouched when amplification is off.
+  void set_fresh_sink(std::vector<std::uint64_t>* sink) { fresh_sink_ = sink; }
+
+  /// The projection mapping (original variable -> circuit signal) the
+  /// accept phase projects solutions through.  The amplifier reads this —
+  /// and problem() below — instead of duplicating the projection wiring.
+  [[nodiscard]] const std::vector<circuit::SignalId>& var_signal() const {
+    return *problem_.var_signal;
+  }
+
+  [[nodiscard]] const GdProblem& problem() const { return problem_; }
+
+  [[nodiscard]] const RunOptions& options() const { return options_; }
 
   /// Per-row satisfied mask of the most recent collect() (same word layout
   /// as the packed input; padding rows are always clear).  The GD loop feeds
@@ -172,8 +210,65 @@ class Harvester {
   [[nodiscard]] double harvest_ms() const { return harvest_ms_; }
 
  private:
-  void accept_row(const std::vector<std::uint64_t>& packed, std::size_t n_words,
-                  std::size_t n_proj, std::size_t w, std::size_t r) {
+  /// Phase-1 core shared by collect() and collect_candidates(): evaluates
+  /// blocks [block_begin, block_end) of the packed batch into `slots`,
+  /// writing per-word solved masks and (when projections are needed) the
+  /// projection stash.  Writes are per-word disjoint, so collect() may run
+  /// several ranges concurrently over distinct slot buffers.
+  void eval_blocks(const std::vector<std::uint64_t>& packed,
+                   std::size_t n_words, std::size_t batch,
+                   std::size_t block_begin, std::size_t block_end,
+                   std::uint64_t* slots, std::uint64_t* solved_mask,
+                   std::uint64_t* proj) const {
+    constexpr std::size_t kB = circuit::EvalPlan::kBlockWords;
+    const circuit::EvalPlan& plan = *plan_;
+    const std::vector<circuit::SignalId>& var_signal = *problem_.var_signal;
+    const std::size_t n_proj = var_signal.size();
+    for (std::size_t block = block_begin; block < block_end; ++block) {
+      if (options_.stop.stop_requested()) return;
+      const std::size_t w0 = block * kB;
+      const std::size_t count = std::min(kB, n_words - w0);
+      plan.eval_block(packed.data(), n_words, w0, count, slots);
+      for (std::size_t lane = 0; lane < count; ++lane) {
+        const std::size_t w = w0 + lane;
+        std::uint64_t ok = plan.satisfied(slots, lane);
+        // Mask off lanes past the batch in the final partial word.
+        const std::size_t rows_here = std::min<std::size_t>(64, batch - w * 64);
+        if (rows_here < 64) ok &= (1ULL << rows_here) - 1;
+        solved_mask[w] = ok;
+        if (ok == 0 || !need_proj_) continue;
+        std::uint64_t* stash = proj + w * n_proj;
+        for (std::size_t v = 0; v < n_proj; ++v) {
+          stash[v] = circuit::EvalPlan::signal_word(slots, var_signal[v], lane);
+        }
+      }
+    }
+  }
+
+  /// Phase-2 core: accepts the solved rows serially in word order; returns
+  /// how many were new to the bank.
+  std::size_t accept_words(const std::vector<std::uint64_t>& packed,
+                           std::size_t n_words, std::size_t n_proj,
+                           const std::uint64_t* solved_mask,
+                           const std::uint64_t* proj, bool record_fresh) {
+    std::size_t fresh = 0;
+    for (std::size_t w = 0; w < n_words; ++w) {
+      std::uint64_t ok = solved_mask[w];
+      while (ok != 0) {
+        const int r = std::countr_zero(ok);
+        ok &= ok - 1;
+        fresh += accept_row(packed, n_words, n_proj, w,
+                            static_cast<std::size_t>(r), proj, record_fresh)
+                     ? 1
+                     : 0;
+      }
+    }
+    return fresh;
+  }
+
+  bool accept_row(const std::vector<std::uint64_t>& packed, std::size_t n_words,
+                  std::size_t n_proj, std::size_t w, std::size_t r,
+                  const std::uint64_t* proj, bool record_fresh) {
     const circuit::Circuit& circuit = *problem_.circuit;
     const std::size_t n_inputs = circuit.n_inputs();
     std::fill(key_.begin(), key_.end(), 0);
@@ -184,12 +279,15 @@ class Harvester {
     }
     ++result_.n_valid;
     const bool is_new = bank_.insert(key_);
-    if (!is_new && !options_.store_all_draws) return;
+    if (is_new && record_fresh && fresh_sink_ != nullptr) {
+      fresh_sink_->insert(fresh_sink_->end(), key_.begin(), key_.end());
+    }
+    if (!is_new && !options_.store_all_draws) return is_new;
 
     const bool want_assignment = result_.solutions.size() < options_.store_limit ||
                                  (is_new && options_.verify_against_cnf);
-    if (!want_assignment) return;
-    const std::uint64_t* stash = proj_.data() + w * n_proj;
+    if (!want_assignment) return is_new;
+    const std::uint64_t* stash = proj + w * n_proj;
     cnf::Assignment assignment(n_proj, 0);
     for (cnf::Var v = 0; v < n_proj; ++v) {
       assignment[v] = static_cast<std::uint8_t>((stash[v] >> r) & 1ULL);
@@ -200,6 +298,7 @@ class Harvester {
     if (result_.solutions.size() < options_.store_limit) {
       result_.solutions.push_back(std::move(assignment));
     }
+    return is_new;
   }
 
   const GdProblem& problem_;
@@ -211,6 +310,9 @@ class Harvester {
   std::unique_ptr<circuit::EvalPlan> owned_plan_;
   bool inline_eval_;
   bool need_proj_;
+  /// Amplifier base buffer (see set_fresh_sink); null when amplification is
+  /// off, and then never touched on the accept path.
+  std::vector<std::uint64_t>* fresh_sink_ = nullptr;
   std::vector<std::uint64_t> key_;
   std::vector<std::uint64_t> solved_mask_;
   /// Projection stash: var_signal words of every solved word of the current

@@ -24,6 +24,7 @@
 #include <optional>
 #include <vector>
 
+#include "core/amplifier.hpp"
 #include "core/gd_loop.hpp"
 #include "core/harvester.hpp"
 #include "prob/engine.hpp"
@@ -119,6 +120,7 @@ class RoundRunner {
     if (config.restart_plateau > 0) {
       plateau_.emplace(config.batch, engine.n_words(), config.restart_plateau);
     }
+    if (config.amplify.enabled) amplifier_.emplace(config, harvester);
   }
 
   /// Runs one randomize -> iterate -> harden -> harvest round.
@@ -157,6 +159,10 @@ class RoundRunner {
     if (config_.collect_each_iteration) {
       engine_.harden(packed_);
       harvester_.collect(packed_, engine_.n_words(), config_.batch);
+      // Amplify before the checkpoint so a service slice streams the
+      // amplified uniques with the harvest that seeded them, and the
+      // round's wall-clock (EDF slice accounting) includes the work.
+      if (amplifier_) amplifier_->amplify();
       checkpoint(0);
       restart_solved_rows();
     }
@@ -166,6 +172,7 @@ class RoundRunner {
       if (config_.collect_each_iteration || iter == config_.iterations) {
         engine_.harden(packed_);
         harvester_.collect(packed_, engine_.n_words(), config_.batch);
+        if (amplifier_) amplifier_->amplify();
         checkpoint(iter);
         if (iter != config_.iterations) {
           restart_solved_rows();
@@ -186,10 +193,23 @@ class RoundRunner {
   /// gauge for the service).
   [[nodiscard]] std::uint64_t gd_iterations() const { return gd_iterations_; }
 
+  /// Amplifier billing over the runner's lifetime; all zero when
+  /// GdLoopConfig::amplify is off.
+  [[nodiscard]] std::uint64_t amplified_candidates() const {
+    return amplifier_ ? amplifier_->amplified_candidates() : 0;
+  }
+  [[nodiscard]] std::uint64_t amplified_uniques() const {
+    return amplifier_ ? amplifier_->amplified_uniques() : 0;
+  }
+  [[nodiscard]] double amplify_ms() const {
+    return amplifier_ ? amplifier_->amplify_ms() : 0.0;
+  }
+
  private:
   const GdLoopConfig& config_;
   prob::Engine& engine_;
   Harvester<Bank>& harvester_;
+  std::optional<Amplifier<Bank>> amplifier_;
   std::optional<detail::PlateauTracker> plateau_;
   std::vector<std::uint64_t> packed_;
   std::uint64_t restarted_rows_ = 0;

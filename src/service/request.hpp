@@ -98,10 +98,18 @@ struct SamplingRequest {
   /// stalled while it runs.
   std::function<void(const cnf::Assignment&)> on_solution;
 
+  /// Per-request sampling (projection) set over 0-based variables.  Empty
+  /// defers to the formula's own 'c ind' declaration (if any).  Scopes the
+  /// amplifier's flip support; intentionally not part of the plan-cache key
+  /// (it never changes the compiled circuit).
+  std::vector<cnf::Var> sampling_set;
+
   /// Engine/loop tuning.  n_workers and max_rounds are ignored (the service
   /// owns scheduling); transform/cone_only/optimize_tape participate in the
   /// plan-cache key, so two requests differing only in those compile
-  /// separate plans.
+  /// separate plans.  config.amplify is the per-job flip-amplification knob
+  /// (see sampler::AmplifyConfig) — amplified uniques stream like any other
+  /// and are additionally billed in JobStats.
   sampler::GradientConfig config = default_job_config();
 };
 
@@ -184,6 +192,10 @@ struct JobStats {
   std::uint64_t rounds = 0;        // GD rounds fully or partially executed
   std::uint64_t gd_iterations = 0; // engine sweeps across all rounds
   std::uint64_t rows_validated = 0;
+  /// Flip-mutant rows validated by the amplifier and the unique solutions
+  /// among them (zero unless config.amplify.enabled).
+  std::uint64_t amplified_candidates = 0;
+  std::uint64_t amplified_uniques = 0;
   double queue_wait_ms = 0.0;      // total time spent waiting for a worker
   double exec_ms = 0.0;            // total time holding a worker
   double compile_ms = 0.0;         // this job's wait on plan compilation

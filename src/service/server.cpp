@@ -569,6 +569,16 @@ JobStatus Server::run_slice(Job& job) {
       job.run_options.stop = job.abort.token();
       job.gd_problem.circuit = &job.plan->transformed.circuit;
       job.gd_problem.var_signal = &job.plan->transformed.var_signal;
+      job.gd_problem.input_vars = &job.plan->transformed.input_vars;
+      // Flip support for the amplifier: an explicit per-request set wins,
+      // else the formula's own 'c ind' declaration.  Both live in the job
+      // (request/formula are copied in at submit), so the pointers are
+      // stable across slices.
+      if (!request.sampling_set.empty()) {
+        job.gd_problem.sampling_set = &request.sampling_set;
+      } else if (request.formula.has_sampling_set()) {
+        job.gd_problem.sampling_set = &request.formula.sampling_set();
+      }
       job.bank = std::make_unique<sampler::ShardedUniqueBank>(
           job.gd_problem.circuit->n_inputs());
     }
@@ -633,6 +643,8 @@ JobStatus Server::run_slice(Job& job) {
     job.stats.rounds = job.rounds_started;
     job.stats.gd_iterations = job.runner->gd_iterations();
     job.stats.rows_validated = job.harvester->rows_validated();
+    job.stats.amplified_candidates = job.runner->amplified_candidates();
+    job.stats.amplified_uniques = job.runner->amplified_uniques();
   };
   auto stop_now = [&] {
     return reached_target() || capped() || job.deadline.expired() ||
@@ -692,7 +704,11 @@ void Server::finalize(const std::shared_ptr<Job>& job, JobStatus status) {
       stats.bank_bytes = job->bank->size_bytes();
     }
     if (job->harvester) stats.rows_validated = job->harvester->rows_validated();
-    if (job->runner) stats.gd_iterations = job->runner->gd_iterations();
+    if (job->runner) {
+      stats.gd_iterations = job->runner->gd_iterations();
+      stats.amplified_candidates = job->runner->amplified_candidates();
+      stats.amplified_uniques = job->runner->amplified_uniques();
+    }
     stats.delivered = job->stream->delivered();
     exec_ms = stats.exec_ms;
   }

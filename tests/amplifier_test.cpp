@@ -1,0 +1,368 @@
+// Differential and determinism tests for flip amplification
+// (core/amplifier.hpp).
+//
+// - Every solution an amplified run accepts is re-checked against the
+//   scalar evaluators (Circuit::eval / eval64) and against the CNF.
+// - amplify.enabled = false is bit-identical to the legacy stream, whatever
+//   the other amplify knobs say.
+// - A fixed-seed amplified stream is a pure function of (formula, seed,
+//   config): identical across kernel scheduling policies, across repeated
+//   runs, and across service fleet sizes.
+// - Repeated amplified collects allocate nothing (operator-new hook), the
+//   same bar Harvester::collect meets.
+// - The sampling set ('c ind' / per-request) scopes the flip support.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+#include "benchgen/families.hpp"
+#include "circuit/circuit.hpp"
+#include "cnf/dimacs.hpp"
+#include "core/amplifier.hpp"
+#include "core/gradient_sampler.hpp"
+#include "core/harvester.hpp"
+#include "core/unique_bank.hpp"
+#include "service/server.hpp"
+#include "util/rng.hpp"
+
+// --- global allocation counting hook (see harvest_diff_test.cpp) ------------
+
+namespace {
+std::atomic<std::uint64_t> g_alloc_count{0};
+}  // namespace
+
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+#endif
+
+void* operator new(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size == 0 ? 1 : size)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size == 0 ? 1 : size);
+}
+void* operator new[](std::size_t size, const std::nothrow_t& tag) noexcept {
+  return ::operator new(size, tag);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+
+namespace hts {
+namespace {
+
+/// OR of all n inputs constrained true: every assignment except all-zero
+/// satisfies, so flips almost always succeed and amplification yields are
+/// large and predictable.
+circuit::Circuit wide_or_circuit(std::size_t n_inputs) {
+  circuit::Circuit c;
+  std::vector<circuit::SignalId> inputs;
+  inputs.reserve(n_inputs);
+  for (std::size_t i = 0; i < n_inputs; ++i) inputs.push_back(c.add_input());
+  c.add_output(c.add_gate(circuit::GateType::kOr, std::move(inputs)), true);
+  return c;
+}
+
+/// Amplification harness over an identity-projected circuit problem: the
+/// harvester's projected assignments are exactly the circuit input bits, so
+/// every accepted solution can be re-evaluated scalar.
+struct IdentityHarness {
+  explicit IdentityHarness(const circuit::Circuit& c,
+                           sampler::AmplifyConfig amplify = {.enabled = true})
+      : circuit(&c), var_signal(c.inputs()), bank(c.n_inputs()) {
+    problem.circuit = &c;
+    problem.var_signal = &var_signal;
+    options.store_limit = 1 << 20;
+    config.amplify = amplify;
+    harvester.emplace(problem, formula, options, bank, result);
+    amplifier.emplace(config, *harvester);
+  }
+
+  const circuit::Circuit* circuit;
+  std::vector<circuit::SignalId> var_signal;
+  sampler::GdProblem problem;
+  cnf::Formula formula;  // never consulted: verify_against_cnf defaults off
+  sampler::RunOptions options;
+  sampler::GdLoopConfig config;
+  sampler::RunResult result;
+  sampler::UniqueBank bank;
+  std::optional<sampler::Harvester<sampler::UniqueBank>> harvester;
+  std::optional<sampler::Amplifier<sampler::UniqueBank>> amplifier;
+};
+
+std::vector<std::uint64_t> random_words(util::Rng& rng, std::size_t n) {
+  std::vector<std::uint64_t> words(n);
+  for (std::uint64_t& w : words) w = rng.next_u64();
+  return words;
+}
+
+// --- every amplified acceptance satisfies the circuit, scalar-checked -------
+
+TEST(Amplifier, AmplifiedSolutionsSatisfyScalarEval) {
+  const circuit::Circuit c = wide_or_circuit(20);
+  IdentityHarness h(c);
+
+  // One harvested batch seeds the bases; amplify() then runs both waves.
+  util::Rng rng(42);
+  const std::vector<std::uint64_t> packed = random_words(rng, c.n_inputs());
+  h.harvester->collect(packed, 1, 64);
+  const std::size_t before_amplify = h.bank.size();
+  ASSERT_GT(before_amplify, 0u);
+  h.amplifier->amplify();
+
+  EXPECT_GT(h.amplifier->amplified_uniques(), 0u);
+  EXPECT_EQ(h.bank.size(), before_amplify + h.amplifier->amplified_uniques());
+  // Candidate billing: per base, one single-flip wave over the full support
+  // plus a capped pair wave.
+  EXPECT_GE(h.amplifier->amplified_candidates(),
+            before_amplify * c.n_inputs());
+
+  // Scalar re-check of the *entire* accepted stream (harvested + amplified):
+  // both the per-assignment interpreter and the word evaluator must agree
+  // that every stored solution satisfies the output constraints.
+  ASSERT_EQ(h.result.solutions.size(), h.bank.size());
+  for (const cnf::Assignment& solution : h.result.solutions) {
+    ASSERT_EQ(solution.size(), c.n_inputs());
+    EXPECT_TRUE(c.outputs_satisfied(c.eval(solution)));
+    std::vector<std::uint64_t> input_words(c.n_inputs());
+    for (std::size_t i = 0; i < solution.size(); ++i) {
+      input_words[i] = solution[i] != 0 ? ~0ULL : 0ULL;
+    }
+    EXPECT_EQ(c.outputs_satisfied64(c.eval64(input_words)), ~0ULL);
+  }
+}
+
+TEST(Amplifier, PairWaveRespectsCapAndZeroCapSkipsIt) {
+  const circuit::Circuit c = wide_or_circuit(16);
+  // A base with several set bits keeps nearly every single flip satisfying,
+  // so the uncapped pair count would be ~C(16,2) = 120.
+  std::vector<std::uint64_t> base = {0xffffULL};
+
+  IdentityHarness capped(c, {.enabled = true, .max_pairs_per_base = 5});
+  capped.amplifier->amplify_key(base.data());
+  EXPECT_EQ(capped.amplifier->amplified_candidates(), c.n_inputs() + 5);
+
+  IdentityHarness no_pairs(c, {.enabled = true, .max_pairs_per_base = 0});
+  no_pairs.amplifier->amplify_key(base.data());
+  EXPECT_EQ(no_pairs.amplifier->amplified_candidates(), c.n_inputs());
+}
+
+// --- zero allocations on repeated amplified collects ------------------------
+
+TEST(Amplifier, RepeatedAmplifiedCollectsDoNotAllocate) {
+  const circuit::Circuit c = wide_or_circuit(24);
+  IdentityHarness h(c);
+  h.options.store_limit = 0;  // storing solutions may allocate by design
+
+  // Warm: harvest one 64-row batch, amplify its fresh bases (both waves run;
+  // all scratch reaches steady-state capacity), then re-amplify one known
+  // base so the duplicate path is warm too.
+  util::Rng rng(7);
+  const std::vector<std::uint64_t> packed = random_words(rng, c.n_inputs());
+  h.harvester->collect(packed, 1, 64);
+  ASSERT_GT(h.bank.size(), 0u);
+  h.amplifier->amplify();
+  ASSERT_GT(h.amplifier->amplified_uniques(), 0u);
+  const std::vector<std::uint64_t> base = {0x00fff7ULL};
+  h.amplifier->amplify_key(base.data());
+
+  // Measured: a full collect + amplify of the same batch (all duplicates)
+  // and a re-amplification of the same base must not touch the heap.
+  const std::size_t uniques = h.bank.size();
+  const std::uint64_t before = g_alloc_count.load(std::memory_order_relaxed);
+  h.harvester->collect(packed, 1, 64);
+  h.amplifier->amplify();
+  h.amplifier->amplify_key(base.data());
+  const std::uint64_t after = g_alloc_count.load(std::memory_order_relaxed);
+  EXPECT_EQ(after - before, 0u)
+      << "repeated amplified collect performed heap allocations";
+  EXPECT_EQ(h.bank.size(), uniques);
+}
+
+// --- sampling set scopes the flip support -----------------------------------
+
+TEST(Amplifier, SupportIsAllInputsWithoutSamplingSet) {
+  const circuit::Circuit c = wide_or_circuit(6);
+  IdentityHarness h(c);
+  const std::vector<std::size_t> expect = {0, 1, 2, 3, 4, 5};
+  EXPECT_EQ(h.amplifier->support(), expect);
+}
+
+TEST(Amplifier, SamplingSetAndInputVarsScopeSupport) {
+  const circuit::Circuit c = wide_or_circuit(5);
+  IdentityHarness h(c);
+  // Input i carries original variable 10+i, except input 3 which is
+  // auxiliary; the sampling set picks variables 10 and 14 plus an absent 99.
+  const std::vector<cnf::Var> input_vars = {10, 11, 12, cnf::kInvalidVar, 14};
+  const std::vector<cnf::Var> sampling_set = {10, 14, 99};
+  sampler::GdProblem scoped = h.problem;
+  scoped.input_vars = &input_vars;
+  scoped.sampling_set = &sampling_set;
+  sampler::RunResult result;
+  sampler::UniqueBank bank(c.n_inputs());
+  sampler::Harvester<sampler::UniqueBank> harvester(scoped, h.formula,
+                                                    h.options, bank, result);
+  sampler::Amplifier<sampler::UniqueBank> amplifier(h.config, harvester);
+  const std::vector<std::size_t> expect = {0, 4};
+  EXPECT_EQ(amplifier.support(), expect);
+}
+
+TEST(Amplifier, DimacsIndScopesGradientSamplerAmplification) {
+  // 6 free variables under one clause; 'c ind' restricts flips to 1..3.
+  const cnf::Formula formula = cnf::parse_dimacs_string(
+      "c ind 1 2 3 0\np cnf 6 1\n1 2 3 4 5 6 0\n");
+  ASSERT_TRUE(formula.has_sampling_set());
+
+  sampler::GradientConfig config;
+  config.batch = 64;
+  config.max_rounds = 1;
+  config.amplify.enabled = true;
+  config.amplify.max_pairs_per_base = 0;
+  sampler::RunOptions options;
+  options.min_solutions = 0;
+  options.budget_ms = -1.0;
+  options.seed = 5;
+
+  sampler::GradientSampler sampler(config);
+  const sampler::RunResult result = sampler.run(formula, options);
+  EXPECT_EQ(result.n_invalid, 0u);
+  const sampler::GdLoopExtras& extras = sampler.extras();
+  ASSERT_GT(extras.amplified_candidates, 0u);
+  // Single-flip waves only, over a 3-variable support: candidates must be a
+  // multiple of 3 and far below what the full input set would produce.
+  EXPECT_EQ(extras.amplified_candidates % 3, 0u);
+}
+
+// --- off is bit-identical, on is deterministic ------------------------------
+
+TEST(Amplifier, DisabledIsBitIdenticalWhateverTheOtherKnobsSay) {
+  benchgen::GenOptions gen;
+  gen.scale = 0.05;
+  const auto instance = benchgen::make_instance("75-10-1-q", gen);
+
+  sampler::RunOptions options;
+  options.min_solutions = 0;
+  options.budget_ms = -1.0;
+  options.store_limit = 1 << 20;
+  options.seed = 0x90dd;
+
+  sampler::GradientConfig legacy;
+  legacy.batch = 256;
+  legacy.max_rounds = 2;
+
+  sampler::GradientConfig disabled = legacy;
+  disabled.amplify.enabled = false;  // explicit: the off path under test
+  disabled.amplify.max_pairs_per_base = 7;
+  disabled.amplify.max_bases_per_collect = 3;
+
+  sampler::GradientSampler a(legacy);
+  sampler::GradientSampler b(disabled);
+  const sampler::RunResult ra = a.run(instance.formula, options);
+  const sampler::RunResult rb = b.run(instance.formula, options);
+  EXPECT_EQ(ra.n_unique, rb.n_unique);
+  EXPECT_EQ(ra.n_valid, rb.n_valid);
+  ASSERT_EQ(ra.solutions, rb.solutions);
+  EXPECT_EQ(b.extras().amplified_candidates, 0u);
+  EXPECT_EQ(b.extras().amplified_uniques, 0u);
+}
+
+TEST(Amplifier, AmplifiedStreamIsDeterministicAcrossPoliciesAndReruns) {
+  benchgen::GenOptions gen;
+  gen.scale = 0.05;
+  for (const auto& name : {"or-50-10-7-UC-10", "75-10-1-q"}) {
+    const auto instance = benchgen::make_instance(name, gen);
+    constexpr tensor::Policy kPolicies[] = {tensor::Policy::kSerial,
+                                            tensor::Policy::kDataParallel,
+                                            tensor::Policy::kLevelParallel};
+    bool have_reference = false;
+    sampler::RunResult reference;
+    std::uint64_t reference_uniques = 0;
+    for (const tensor::Policy policy : kPolicies) {
+      for (int rerun = 0; rerun < 2; ++rerun) {
+        sampler::GradientConfig config;
+        config.batch = 256;
+        config.policy = policy;
+        config.max_rounds = 2;
+        config.amplify.enabled = true;
+        config.amplify.max_pairs_per_base = 64;
+        sampler::GradientSampler sampler(config);
+        sampler::RunOptions options;
+        options.min_solutions = 0;
+        options.budget_ms = -1.0;
+        options.store_limit = 1 << 20;
+        options.verify_against_cnf = true;
+        options.seed = 0x90dd;
+        const sampler::RunResult result =
+            sampler.run(instance.formula, options);
+        EXPECT_EQ(result.n_invalid, 0u) << name;
+        if (!have_reference) {
+          have_reference = true;
+          reference = result;
+          reference_uniques = sampler.extras().amplified_uniques;
+          EXPECT_GT(reference_uniques, 0u) << name;
+          continue;
+        }
+        EXPECT_EQ(result.n_unique, reference.n_unique)
+            << name << " policy " << tensor::policy_name(policy);
+        ASSERT_EQ(result.solutions, reference.solutions)
+            << name << " policy " << tensor::policy_name(policy);
+        EXPECT_EQ(sampler.extras().amplified_uniques, reference_uniques)
+            << name << " policy " << tensor::policy_name(policy);
+      }
+    }
+  }
+}
+
+// --- service: per-job amplification, deterministic under any fleet size -----
+
+TEST(Amplifier, ServiceStreamsAreFleetSizeInvariantWithAmplification) {
+  // (x1|x2) & (x3|x4) & (~x1|~x3) over 7 vars: 40 solutions.
+  const std::string dimacs = "p cnf 7 3\n1 2 0\n3 4 0\n-1 -3 0\n";
+  bool have_reference = false;
+  std::vector<cnf::Assignment> reference;
+  std::uint64_t reference_amplified = 0;
+  for (const std::size_t n_workers : {1u, 2u, 4u}) {
+    service::Server server({.n_workers = n_workers});
+    service::SamplingRequest request;
+    request.formula = cnf::parse_dimacs_string(dimacs);
+    request.seed = 321;
+    request.target_uniques = 35;
+    request.config.batch = 128;
+    request.config.iterations = 3;
+    request.config.amplify.enabled = true;
+    request.sampling_set = {0, 1, 2, 3};  // per-request projection override
+    service::JobHandle handle = server.submit(std::move(request));
+    ASSERT_EQ(handle.wait(), service::JobStatus::kCompleted);
+    std::vector<cnf::Assignment> solutions;
+    cnf::Assignment assignment;
+    while (handle.stream().next(assignment)) solutions.push_back(assignment);
+    const service::JobStats stats = handle.stats();
+    EXPECT_GT(stats.amplified_candidates, 0u) << n_workers << " workers";
+    if (!have_reference) {
+      have_reference = true;
+      reference = solutions;
+      reference_amplified = stats.amplified_uniques;
+      ASSERT_GE(reference.size(), 35u);
+      continue;
+    }
+    ASSERT_EQ(solutions, reference) << n_workers << " workers";
+    EXPECT_EQ(stats.amplified_uniques, reference_amplified)
+        << n_workers << " workers";
+  }
+}
+
+}  // namespace
+}  // namespace hts

@@ -3,6 +3,9 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+#include <vector>
+
 #include "cnf/dimacs.hpp"
 #include "cnf/formula.hpp"
 #include "util/rng.hpp"
@@ -215,6 +218,92 @@ TEST(Dimacs, EmptyClauseListOk) {
   const Formula f = parse_dimacs_string("p cnf 4 0\n");
   EXPECT_EQ(f.n_vars(), 4u);
   EXPECT_EQ(f.n_clauses(), 0u);
+}
+
+// --- 'c ind' sampling-set declarations (QuickSampler/UniGen convention) -----
+
+TEST(Dimacs, ParsesIndSamplingSet) {
+  const Formula f = parse_dimacs_string(
+      "c ind 1 3 5 0\np cnf 6 1\n1 2 3 4 5 6 0\n");
+  ASSERT_TRUE(f.has_sampling_set());
+  const std::vector<Var> expect = {0, 2, 4};  // 0-based
+  EXPECT_EQ(f.sampling_set(), expect);
+}
+
+TEST(Dimacs, IndAccumulatesAcrossLinesAndPositions) {
+  // Multiple 'c ind' lines (before the header, between clauses) accumulate;
+  // duplicates collapse; the set comes out sorted.
+  const Formula f = parse_dimacs_string(
+      "c ind 4 2 0\np cnf 5 2\n1 2 0\nc ind 2 5 0\n3 4 0\n");
+  ASSERT_TRUE(f.has_sampling_set());
+  const std::vector<Var> expect = {1, 3, 4};
+  EXPECT_EQ(f.sampling_set(), expect);
+}
+
+TEST(Dimacs, IndTrailingZeroOptional) {
+  const Formula f = parse_dimacs_string("c ind 1 2\np cnf 3 1\n1 2 3 0\n");
+  const std::vector<Var> expect = {0, 1};
+  EXPECT_EQ(f.sampling_set(), expect);
+}
+
+TEST(Dimacs, IndSurvivesSatlibFooter) {
+  const Formula f =
+      parse_dimacs_string("c ind 2 0\np cnf 3 1\n1 2 3 0\n%\n0\n");
+  ASSERT_TRUE(f.has_sampling_set());
+  EXPECT_EQ(f.sampling_set(), std::vector<Var>{1});
+}
+
+TEST(Dimacs, ProseCommentStartingWithIndLikeWordIsNotADirective) {
+  // Only a first token exactly "ind" declares a set; prose passes through.
+  const Formula f = parse_dimacs_string(
+      "c independent study notes\nc indeed\nc in d 1 2\np cnf 2 1\n1 2 0\n");
+  EXPECT_FALSE(f.has_sampling_set());
+}
+
+TEST(Dimacs, ErrorOnMalformedIndEntry) {
+  EXPECT_THROW((void)parse_dimacs_string("c ind 1 x 0\np cnf 2 1\n1 2 0\n"),
+               DimacsError);
+  EXPECT_THROW((void)parse_dimacs_string("c ind -3 0\np cnf 3 1\n1 2 3 0\n"),
+               DimacsError);
+}
+
+TEST(Dimacs, ErrorOnIndVariableBeyondHeader) {
+  EXPECT_THROW((void)parse_dimacs_string("c ind 7 0\np cnf 3 1\n1 2 3 0\n"),
+               DimacsError);
+}
+
+TEST(Dimacs, IndWriteParseRoundTrip) {
+  Formula original(30);
+  original.add_clause({Lit(0, false), Lit(29, true)});
+  std::vector<Var> set;
+  for (Var v = 0; v < 30; v += 2) set.push_back(v);  // 15 vars: spans 2 lines
+  original.set_sampling_set(set);
+  const Formula parsed = parse_dimacs_string(to_dimacs_string(original));
+  ASSERT_TRUE(parsed.has_sampling_set());
+  EXPECT_EQ(parsed.sampling_set(), original.sampling_set());
+}
+
+TEST(Formula, SamplingSetValidatesSortsAndDedups) {
+  Formula f(5);
+  f.set_sampling_set({4, 1, 4, 2});
+  const std::vector<Var> expect = {1, 2, 4};
+  EXPECT_EQ(f.sampling_set(), expect);
+  EXPECT_THROW(f.set_sampling_set({5}), std::invalid_argument);
+  f.set_sampling_set({});
+  EXPECT_FALSE(f.has_sampling_set());
+}
+
+TEST(Formula, CompactRemapsSamplingSet) {
+  // Variables 0 and 3 are unused; the set {0, 1, 3, 4} must shrink to the
+  // surviving members under their new numbering.
+  Formula f(5);
+  f.add_clause({Lit(1, false), Lit(2, true)});
+  f.add_clause({Lit(4, false)});
+  f.set_sampling_set({0, 1, 3, 4});
+  (void)f.compact();
+  EXPECT_EQ(f.n_vars(), 3u);
+  const std::vector<Var> expect = {0, 2};  // old 1 -> 0, old 4 -> 2
+  EXPECT_EQ(f.sampling_set(), expect);
 }
 
 TEST(Dimacs, WriteParseRoundTrip) {
