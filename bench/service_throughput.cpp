@@ -24,6 +24,14 @@
 //                         the server *did* accept must meet their deadline.
 //                         This scenario asserts (exit nonzero on violation),
 //                         so the perf-smoke CTest run gates on it.
+//   flip-amplification    equal wall budget, amplifier off vs on; asserts
+//                         >= 3x uniques on >= 2 of 3 families.
+//   projected-sampling    equal wall budget with a sampling set over a
+//                         slice of the primary inputs; full-dedup baseline
+//                         vs projected dedup + diversity objective.
+//                         Asserts: no duplicate projections delivered, and
+//                         >= 1.5x distinct projected uniques on >= 2 of 3
+//                         families.
 //
 // Extra knobs on top of bench_common's:
 //   HTS_BENCH_SERVICE_REQUESTS  concurrent requests in the throughput
@@ -35,6 +43,8 @@
 #include <iterator>
 #include <string>
 #include <thread>
+#include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "bench_common.hpp"
@@ -483,6 +493,145 @@ int main(int argc, char** argv) {
                            ">= 3x uniques on only %zu of %zu families "
                            "(bar: 2)\n",
                    families_over_bar, std::size(kAmpFamilies));
+      return 1;
+    }
+  }
+
+  // --- scenario 6: projected sampling at equal wall budget ------------------
+  // Same formula, same seed, same wall budget; the request carries a
+  // sampling set over a slice of the circuit's primary inputs.  The
+  // baseline keeps full-assignment dedup (projected_dedup off) and its
+  // distinct projections are counted externally from the delivered stream;
+  // the projected run keys the bank on the projection and turns the
+  // diversity objective on.  Two asserted bars (perf-smoke CI gates here):
+  // the projected stream must never deliver the same projection twice, and
+  // projected+diversity must find >= 1.5x the distinct projected uniques
+  // on at least 2 of the 3 families.
+  {
+    // Twice the smoke budget: the off-run's duplicate waste compounds with
+    // coverage, so the gap the diversity objective closes needs enough wall
+    // time to open up (both runs always get the identical budget).
+    const double proj_budget_ms = std::max(2.0 * env.budget_ms, 20.0);
+    struct ProjFamily {
+      const char* name;
+      std::size_t set_bits;  // leading primary inputs projected onto
+      std::size_t batch;     // GD batch (a round checkpoint must fit the
+                             // deadline, so big circuits take a small batch)
+    };
+    // set_bits targets a projected space comparable to what one budget's
+    // worth of valid draws can cover: small enough that an unguided run
+    // wastes draws on already-seen classes, large enough that neither run
+    // saturates instantly.  The two or-* entries are free-input-rich — the
+    // regime projection diversity is built for: valid throughput is huge
+    // relative to the projected space, so the guided neighbor walk converts
+    // nearly every draw into a fresh class (~1.7x measured) while the
+    // unguided run pays the coupon-collector tax.  s15850a projects onto
+    // constrained gate-cone inputs of a 10k-var circuit: there the batch
+    // must shrink so the first round checkpoint lands inside the deadline
+    // at all, and the walk's cheap re-convergence near known solutions is
+    // worth ~1.9-2.5x over re-paying full descent per class.
+    constexpr ProjFamily kProjFamilies[] = {{"or-60-20-9-UC-20", 16, 2048},
+                                            {"or-75-10-7-UC-15", 16, 2048},
+                                            {"s15850a_3_2", 12, 512}};
+    struct PackedHash {
+      std::size_t operator()(const std::vector<std::uint64_t>& key) const noexcept {
+        std::uint64_t h = 0xcbf29ce484222325ULL;
+        for (const std::uint64_t w : key) {
+          h ^= w;
+          h *= 0x100000001b3ULL;
+        }
+        return static_cast<std::size_t>(h);
+      }
+    };
+    std::size_t families_over_bar = 0;
+    std::size_t duplicate_projections = 0;
+    service::Server proj_server({.n_workers = 2});
+    util::Table proj_table({"Instance", "SetBits", "Off proj", "On proj",
+                            "Div rows", "Multiplier"});
+    for (const ProjFamily& family : kProjFamilies) {
+      const benchgen::Instance proj_instance =
+          bench::make_scaled_instance(family.name, env);
+      // Project onto the formula variables of the first set_bits primary
+      // inputs (every generator registers inputs before gates).
+      std::vector<cnf::Var> sampling_set;
+      const std::vector<circuit::SignalId>& inputs = proj_instance.circuit.inputs();
+      for (std::size_t i = 0; i < inputs.size() && i < family.set_bits; ++i) {
+        sampling_set.push_back(proj_instance.signal_var[inputs[i]]);
+      }
+      {
+        service::SamplingRequest warm =
+            make_request(proj_instance.formula, 1, env.seed, family.batch);
+        (void)proj_server.submit(std::move(warm)).wait();
+      }
+      // Runs one job to the wall budget, streaming every delivered witness
+      // through a projection counter.  Returns (distinct, duplicates).
+      auto timed_projections = [&](bool projected, std::uint64_t* div_rows) {
+        std::unordered_set<std::vector<std::uint64_t>, PackedHash> seen;
+        std::size_t duplicates = 0;
+        const std::size_t n_words = (sampling_set.size() + 63) / 64;
+        service::SamplingRequest request =
+            make_request(proj_instance.formula, 0, env.seed + 11, family.batch);
+        request.deadline_ms = proj_budget_ms;  // the budget is the only stop
+        request.sampling_set = sampling_set;
+        request.config.projected_dedup = projected;
+        request.config.diversity_restart = projected;
+        request.deliver_solutions = true;
+        request.on_solution = [&](const cnf::Assignment& draw) {
+          std::vector<std::uint64_t> key(n_words, 0);
+          for (std::size_t j = 0; j < sampling_set.size(); ++j) {
+            if (draw[sampling_set[j]] != 0) key[j >> 6] |= (1ULL << (j & 63));
+          }
+          if (!seen.insert(std::move(key)).second) ++duplicates;
+        };
+        const service::JobHandle handle = proj_server.submit(std::move(request));
+        (void)handle.wait();
+        if (div_rows != nullptr) *div_rows = handle.stats().diversity_restarted_rows;
+        return std::make_pair(seen.size(), duplicates);
+      };
+      const auto [off_distinct, off_dups] = timed_projections(false, nullptr);
+      std::uint64_t div_rows = 0;
+      const auto [on_distinct, on_dups] = timed_projections(true, &div_rows);
+      duplicate_projections += on_dups;
+      const double multiplier =
+          static_cast<double>(on_distinct) /
+          std::max<double>(1.0, static_cast<double>(off_distinct));
+      if (multiplier >= 1.5) ++families_over_bar;
+      proj_table.add_row({proj_instance.name, std::to_string(sampling_set.size()),
+                          std::to_string(off_distinct), std::to_string(on_distinct),
+                          std::to_string(div_rows),
+                          util::format_fixed(multiplier, 2)});
+      bench::JsonRecord record;
+      record.field("mode", "projected-sampling")
+          .field("instance", proj_instance.name)
+          .field("budget_ms", proj_budget_ms)
+          .field("set_bits", sampling_set.size())
+          .field("off_distinct_projections", off_distinct)
+          .field("on_distinct_projections", on_distinct)
+          .field("on_distinct_per_sec",
+                 1000.0 * static_cast<double>(on_distinct) / proj_budget_ms)
+          .field("duplicate_projections_delivered", on_dups)
+          .field("diversity_restarted_rows", div_rows)
+          .field("multiplier", multiplier);
+      json.add(record);
+      (void)off_dups;  // full-dedup baseline may legitimately repeat projections
+    }
+    std::printf("\nprojected sampling (equal %.0f ms budget per job):\n%s\n"
+                "%zu of %zu families at >= 1.5x (bar: 2); duplicate projections "
+                "delivered: %zu (bar: 0)\n",
+                proj_budget_ms, proj_table.to_string().c_str(),
+                families_over_bar, std::size(kProjFamilies),
+                duplicate_projections);
+    if (duplicate_projections != 0) {
+      std::fprintf(stderr, "[service_throughput] FAIL: projected streams "
+                           "delivered %zu duplicate projections (bar: 0)\n",
+                   duplicate_projections);
+      return 1;
+    }
+    if (families_over_bar < 2) {
+      std::fprintf(stderr, "[service_throughput] FAIL: projected+diversity hit "
+                           ">= 1.5x distinct projections on only %zu of %zu "
+                           "families (bar: 2)\n",
+                   families_over_bar, std::size(kProjFamilies));
       return 1;
     }
   }

@@ -1,13 +1,17 @@
 // serve_cli: drive the in-process sampling service with a batch of jobs.
 //
-//   ./serve_cli [--workers N] [--admission] [--amplify] [--fault SPEC]
-//               [jobspec-file]
+//   ./serve_cli [--workers N] [--admission] [--amplify] [--project]
+//               [--fault SPEC] [jobspec-file]
 //
 // --admission turns on deadline-aware admission control (infeasible requests
 // come back `rejected` at submit, before any compile); --amplify turns on
 // word-parallel flip amplification for every job (the Amp column then counts
-// the uniques the amplifier contributed); --fault arms the deterministic
-// fault injector with SPEC (same grammar as HTS_FAULT_SPEC, e.g.
+// the uniques the amplifier contributed); --project turns on projected
+// dedup + the diversity restart objective for every job — jobs whose DIMACS
+// carries a `c ind` sampling set then dedup on the projection and the Div
+// column counts diversity-restarted rows (jobs without a set are
+// unaffected); --fault arms the deterministic fault injector with SPEC
+// (same grammar as HTS_FAULT_SPEC, e.g.
 // 'compile:every=3;slice:every=5:kind=transient') so the failure paths in
 // the table below can be exercised from the command line.
 //
@@ -101,6 +105,7 @@ int main(int argc, char** argv) {
   std::string fault_spec;
   bool admission = false;
   bool amplify = false;
+  bool project = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--workers" && i + 1 < argc) {
@@ -111,6 +116,8 @@ int main(int argc, char** argv) {
       admission = true;
     } else if (arg == "--amplify") {
       amplify = true;
+    } else if (arg == "--project") {
+      project = true;
     } else {
       spec_path = arg;
     }
@@ -138,9 +145,11 @@ int main(int argc, char** argv) {
   server_config.fault_spec = fault_spec;
   server_config.admission.enabled = admission;
   service::Server server(std::move(server_config));
-  std::printf("service up: %zu workers, %zu jobs%s%s%s\n\n", server.n_workers(),
-              specs.size(), admission ? ", admission control on" : "",
+  std::printf("service up: %zu workers, %zu jobs%s%s%s%s\n\n",
+              server.n_workers(), specs.size(),
+              admission ? ", admission control on" : "",
               amplify ? ", flip amplification on" : "",
+              project ? ", projected sampling on" : "",
               server.fault_injector().armed() ? ", fault injector armed" : "");
 
   struct Submitted {
@@ -164,6 +173,12 @@ int main(int argc, char** argv) {
     request.deadline_ms = spec.deadline_ms;
     request.config.batch = 2048;
     request.config.amplify.enabled = amplify;
+    if (project) {
+      // Dedup on the formula's own `c ind` set (no-op without one) and
+      // re-seed rows whose projection is already banked at each restart.
+      request.config.projected_dedup = true;
+      request.config.diversity_restart = true;
+    }
     jobs.push_back(Submitted{spec, server.submit(std::move(request))});
   }
 
@@ -171,7 +186,7 @@ int main(int argc, char** argv) {
   // in scheduler order, not submission order — the table below is the
   // consolidated view.)
   util::Table table({"Job", "Client", "Instance", "Status", "Unique", "Amp",
-                     "Wait(ms)", "Wall(ms)", "Cache", "Error"});
+                     "Div", "Wait(ms)", "Wall(ms)", "Cache", "Error"});
   for (const Submitted& job : jobs) {
     const service::JobStatus status = job.handle.wait();
     const service::JobStats stats = job.handle.stats();
@@ -184,6 +199,7 @@ int main(int argc, char** argv) {
                    service::job_status_name(status),
                    std::to_string(stats.n_unique),
                    std::to_string(stats.amplified_uniques),
+                   std::to_string(stats.diversity_restarted_rows),
                    util::format_fixed(stats.queue_wait_ms, 1),
                    util::format_fixed(stats.wall_ms, 1),
                    stats.plan_cache_hit ? "hit" : "miss",

@@ -1,5 +1,6 @@
 #include "analysis/uniformity.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <unordered_map>
 
@@ -12,15 +13,59 @@ namespace hts::analysis {
 UniformityReport analyze_uniformity(const cnf::Formula& formula,
                                     const std::vector<cnf::Assignment>& draws,
                                     std::size_t bdd_node_limit) {
+  return analyze_projected_uniformity(formula, {}, draws, bdd_node_limit);
+}
+
+UniformityReport analyze_projected_uniformity(
+    const cnf::Formula& formula, std::vector<cnf::Var> sampling_set,
+    const std::vector<cnf::Assignment>& draws, std::size_t bdd_node_limit) {
   UniformityReport report;
 
+  // Normalize the set the same way the sampler does (sorted, deduped,
+  // out-of-range dropped); empty means "all variables" — the identity
+  // projection, bit-identical to the original full-space analysis.
+  std::sort(sampling_set.begin(), sampling_set.end());
+  sampling_set.erase(std::unique(sampling_set.begin(), sampling_set.end()),
+                     sampling_set.end());
+  sampling_set.erase(
+      std::remove_if(sampling_set.begin(), sampling_set.end(),
+                     [&](cnf::Var v) {
+                       return v == cnf::kInvalidVar ||
+                              static_cast<std::size_t>(v) >=
+                                  static_cast<std::size_t>(formula.n_vars());
+                     }),
+      sampling_set.end());
+  if (sampling_set.empty()) {
+    sampling_set.resize(formula.n_vars());
+    for (cnf::Var v = 0; v < formula.n_vars(); ++v) sampling_set[v] = v;
+  }
+
   bdd::Manager mgr(formula.n_vars(), bdd_node_limit);
-  const bdd::NodeId space = bdd::build_from_cnf(mgr, formula);
-  const double count = mgr.satcount(space);
+  bdd::NodeId space = bdd::build_from_cnf(mgr, formula);
+
+  // Quantify the non-set variables out.  satcount still ranges over all
+  // n_vars assignments, so after quantification every projected class is
+  // counted once per assignment of the (now don't-care) quantified
+  // variables — divide by 2^quantified to get the class count.  Both
+  // operands are exact powers-of-two scaled doubles, so the division is
+  // exact whenever the class count fits the checked 9e15 budget.
+  std::size_t n_quantified = 0;
+  if (sampling_set.size() < static_cast<std::size_t>(formula.n_vars())) {
+    std::vector<bool> in_set(formula.n_vars(), false);
+    for (const cnf::Var v : sampling_set) in_set[v] = true;
+    for (cnf::Var v = 0; v < formula.n_vars(); ++v) {
+      if (!in_set[v]) {
+        space = mgr.exists(space, v);
+        ++n_quantified;
+      }
+    }
+  }
+  const double count =
+      mgr.satcount(space) / std::pow(2.0, static_cast<double>(n_quantified));
   HTS_CHECK_MSG(count < 9e15, "solution space too large for exact analysis");
   report.n_models = static_cast<std::uint64_t>(count);
 
-  // Histogram over packed assignments.
+  // Histogram over packed *projected* assignments (bit j = sampling_set[j]).
   struct VecHash {
     std::size_t operator()(const std::vector<std::uint64_t>& key) const noexcept {
       std::uint64_t h = 0xcbf29ce484222325ULL;
@@ -32,15 +77,15 @@ UniformityReport analyze_uniformity(const cnf::Formula& formula,
     }
   };
   std::unordered_map<std::vector<std::uint64_t>, std::size_t, VecHash> histogram;
-  const std::size_t n_words = (formula.n_vars() + 63) / 64;
+  const std::size_t n_words = (sampling_set.size() + 63) / 64;
   for (const cnf::Assignment& draw : draws) {
     if (!formula.satisfied_by(draw)) {
       ++report.n_invalid;
       continue;
     }
     std::vector<std::uint64_t> key(n_words, 0);
-    for (cnf::Var v = 0; v < formula.n_vars(); ++v) {
-      if (draw[v] != 0) key[v >> 6] |= (1ULL << (v & 63));
+    for (std::size_t j = 0; j < sampling_set.size(); ++j) {
+      if (draw[sampling_set[j]] != 0) key[j >> 6] |= (1ULL << (j & 63));
     }
     ++histogram[key];
     ++report.n_draws;

@@ -47,4 +47,18 @@ struct UniformityReport {
     const cnf::Formula& formula, const std::vector<cnf::Assignment>& draws,
     std::size_t bdd_node_limit = 1u << 20);
 
+/// Scores a draw stream against the formula's solution space *projected*
+/// onto `sampling_set` (0-based variables; empty means all variables, which
+/// is exactly analyze_uniformity).  Draws are full assignments: validity is
+/// still checked against the whole formula, then the histogram keys on the
+/// projection only, and n_models counts distinct projected classes —
+/// computed by existentially quantifying the non-set variables out of the
+/// formula's BDD.  This is the quality metric for projected sampling: a
+/// stream with perfect full-space uniformity can still be badly skewed over
+/// the projection when class sizes differ.
+[[nodiscard]] UniformityReport analyze_projected_uniformity(
+    const cnf::Formula& formula, std::vector<cnf::Var> sampling_set,
+    const std::vector<cnf::Assignment>& draws,
+    std::size_t bdd_node_limit = 1u << 20);
+
 }  // namespace hts::analysis

@@ -48,7 +48,9 @@ sampler::RunResult DiffSampler::run(const cnf::Formula& formula,
   // Flat problem: input i IS variable i, so the identity default of
   // GdProblem::input_vars applies.
   if (formula.has_sampling_set()) {
-    gd_problem.sampling_set = &formula.sampling_set();
+    // Copied by value (the problem owns its set); already normalized by
+    // Formula::set_sampling_set.
+    gd_problem.sampling_set = formula.sampling_set();
   }
 
   sampler::GdLoopConfig loop_config;
@@ -62,6 +64,9 @@ sampler::RunResult DiffSampler::run(const cnf::Formula& formula,
   loop_config.restart_plateau = config_.restart_plateau;
   loop_config.fast_sigmoid = config_.fast_sigmoid;
   loop_config.amplify = config_.amplify;
+  loop_config.projected_dedup = config_.projected_dedup;
+  loop_config.diversity_restart = config_.diversity_restart;
+  loop_config.lit_weights = config_.lit_weights;
 
   sampler::RunResult result =
       run_gd_loop(gd_problem, formula, options, loop_config, nullptr);

@@ -36,6 +36,14 @@ struct DiffSamplerConfig {
   /// Flip-amplify freshly banked solutions after every harvest (see
   /// sampler::AmplifyConfig; the formula's 'c ind' set scopes the flips).
   sampler::AmplifyConfig amplify;
+  /// Key unique solutions on the sampling-set projection when the formula
+  /// declares a 'c ind' set (see GdLoopConfig::projected_dedup).
+  bool projected_dedup = true;
+  /// Re-seed rows descending into already-banked projected classes (see
+  /// GdLoopConfig::diversity_restart).
+  bool diversity_restart = false;
+  /// Per-literal loss weights (see sampler::LitWeight).
+  std::vector<sampler::LitWeight> lit_weights;
 };
 
 /// Builds the flat problem: inputs = original variables, one OR gate per

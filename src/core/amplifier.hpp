@@ -63,13 +63,11 @@ class Amplifier {
     // sampling set, in input order.  No (or an empty) set means every
     // input; auxiliary inputs (no original variable) are only flipped in
     // that unrestricted case.
-    const bool restricted =
-        problem.sampling_set != nullptr && !problem.sampling_set->empty();
+    const bool restricted = !problem.sampling_set.empty();
     if (restricted) {
       // The membership bitmap is bounded by the largest variable an input
-      // actually maps to, so an out-of-range set entry (request sets are
-      // caller-supplied and unvalidated) costs nothing — it can never match
-      // an input anyway.
+      // actually maps to, so an out-of-range set entry costs nothing — it
+      // can never match an input anyway.
       cnf::Var max_var = 0;
       for (std::size_t i = 0; i < n_inputs; ++i) {
         const cnf::Var var = problem.input_vars != nullptr
@@ -78,7 +76,7 @@ class Amplifier {
         if (var != cnf::kInvalidVar && var > max_var) max_var = var;
       }
       std::vector<std::uint8_t> in_set;
-      for (const cnf::Var v : *problem.sampling_set) {
+      for (const cnf::Var v : problem.sampling_set) {
         if (v == cnf::kInvalidVar || v > max_var) continue;
         if (v >= in_set.size()) in_set.resize(v + 1, 0);
         in_set[v] = 1;

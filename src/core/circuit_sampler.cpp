@@ -15,6 +15,11 @@ RunResult CircuitSampler::run(const RunOptions& options) {
   GdProblem problem;
   problem.circuit = circuit_;
   problem.var_signal = &input_signals_;
+  // Wire the configured sampling set (input positions = pseudo-variables)
+  // into the problem so the amplifier's flip support and projected dedup
+  // see it — historically this path dropped the set on the floor.
+  problem.sampling_set =
+      normalize_sampling_set(config_.sampling_set, input_signals_.size());
 
   GdLoopConfig loop_config;
   loop_config.batch = config_.batch;
@@ -29,6 +34,9 @@ RunResult CircuitSampler::run(const RunOptions& options) {
   loop_config.restart_plateau = config_.restart_plateau;
   loop_config.fast_sigmoid = config_.fast_sigmoid;
   loop_config.amplify = config_.amplify;
+  loop_config.projected_dedup = config_.projected_dedup;
+  loop_config.diversity_restart = config_.diversity_restart;
+  loop_config.lit_weights = config_.lit_weights;
 
   // verify_against_cnf is meaningless here (there is no CNF); the loop
   // already verifies every row against the circuit's output constraints.

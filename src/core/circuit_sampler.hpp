@@ -34,9 +34,23 @@ struct CircuitSamplerConfig {
   /// Vectorized fast sigmoid for the embed step (see Engine::Config).
   bool fast_sigmoid = true;
   /// Flip-amplify freshly banked solutions after every harvest (see
-  /// AmplifyConfig; flip support is every circuit input — there is no CNF
-  /// sampling set here).
+  /// AmplifyConfig; the flip support is sampling_set when one is given,
+  /// every circuit input otherwise).
   AmplifyConfig amplify;
+  /// Sampling/projection set over circuit input *positions* (the circuit
+  /// path's counterpart of a CNF 'c ind' set; input i is pseudo-variable
+  /// i).  Empty means every input.  Scopes the amplifier's flip support
+  /// and, with projected_dedup, keys unique solutions on the projection.
+  /// Unsorted/duplicate/out-of-range entries are normalized away.
+  std::vector<cnf::Var> sampling_set;
+  /// Key unique solutions on the sampling-set projection when
+  /// sampling_set is non-empty (see GdLoopConfig::projected_dedup).
+  bool projected_dedup = true;
+  /// Re-seed rows descending into already-banked projected classes (see
+  /// GdLoopConfig::diversity_restart).
+  bool diversity_restart = false;
+  /// Per-literal loss weights over input positions (see LitWeight).
+  std::vector<LitWeight> lit_weights;
 };
 
 class CircuitSampler {

@@ -28,14 +28,15 @@ RunResult run_serial(const GdProblem& problem, const cnf::Formula& formula,
                      const prob::CompiledCircuit& compiled,
                      const circuit::EvalPlan& eval_plan, GdLoopExtras* extras) {
   RunResult result;
-  prob::Engine engine(compiled, engine_config_for(config));
+  prob::Engine engine(compiled, engine_config_for(config, problem));
 
   util::Rng rng(options.seed);
   util::Deadline deadline(options.budget_ms);
   util::Timer timer;
-  UniqueBank bank(problem.circuit->n_inputs());
+  UniqueBank bank(bank_key_bits(problem, config));
   Harvester<UniqueBank> harvester(problem, formula, options, bank, result,
-                                  &eval_plan);
+                                  &eval_plan, /*inline_eval=*/false,
+                                  harvest_mode_for(problem, config));
   RoundRunner<UniqueBank> runner(config, engine, harvester);
 
   std::vector<std::size_t> uniques_per_iteration(
@@ -89,6 +90,8 @@ RunResult run_serial(const GdProblem& problem, const cnf::Formula& formula,
     extras->amplified_candidates = runner.amplified_candidates();
     extras->amplified_uniques = runner.amplified_uniques();
     extras->amplify_ms = runner.amplify_ms();
+    extras->diversity_restarted_rows = runner.diversity_restarted_rows();
+    extras->weighted_inputs = engine.n_weighted_inputs();
   }
   return result;
 }
@@ -117,6 +120,7 @@ RunResult run_parallel(const GdProblem& problem, const cnf::Formula& formula,
     std::uint64_t amplified_candidates = 0;
     std::uint64_t amplified_uniques = 0;
     double amplify_ms = 0.0;
+    std::uint64_t diversity_restarted_rows = 0;
   };
 
   const std::size_t n_slots = static_cast<std::size_t>(config.iterations) + 1;
@@ -130,7 +134,7 @@ RunResult run_parallel(const GdProblem& problem, const cnf::Formula& formula,
   // the happens-before edge.  The bank serializes internally per shard,
   // `stop`/`next_round` are atomics, and everything else the workers touch
   // (compiled plans, options, deadline) is read-only for the whole run.
-  ShardedUniqueBank bank(problem.circuit->n_inputs());
+  ShardedUniqueBank bank(bank_key_bits(problem, config));
   std::atomic<bool> stop{false};
   std::atomic<std::uint64_t> next_round{0};
 
@@ -141,8 +145,8 @@ RunResult run_parallel(const GdProblem& problem, const cnf::Formula& formula,
   std::vector<std::unique_ptr<prob::Engine>> engines;
   engines.reserve(n_workers);
   for (std::size_t w = 0; w < n_workers; ++w) {
-    engines.push_back(
-        std::make_unique<prob::Engine>(compiled, engine_config_for(config)));
+    engines.push_back(std::make_unique<prob::Engine>(
+        compiled, engine_config_for(config, problem)));
   }
 
   util::Deadline deadline(options.budget_ms);
@@ -156,8 +160,9 @@ RunResult run_parallel(const GdProblem& problem, const cnf::Formula& formula,
     WorkerOutput& out = outputs[w];
     prob::Engine& engine = *engines[w];
     util::Rng rng = util::Rng::stream(options.seed, w);
-    Harvester<ShardedUniqueBank> harvester(problem, formula, options, bank,
-                                           out.result, &eval_plan);
+    Harvester<ShardedUniqueBank> harvester(
+        problem, formula, options, bank, out.result, &eval_plan,
+        /*inline_eval=*/false, harvest_mode_for(problem, config));
     RoundRunner<ShardedUniqueBank> runner(config, engine, harvester);
 
     auto checkpoint = [&](int iter) {
@@ -194,6 +199,7 @@ RunResult run_parallel(const GdProblem& problem, const cnf::Formula& formula,
     out.amplified_candidates = runner.amplified_candidates();
     out.amplified_uniques = runner.amplified_uniques();
     out.amplify_ms = runner.amplify_ms();
+    out.diversity_restarted_rows = runner.diversity_restarted_rows();
   };
 
   std::vector<std::thread> threads;
@@ -214,6 +220,7 @@ RunResult run_parallel(const GdProblem& problem, const cnf::Formula& formula,
   std::uint64_t amplified_candidates = 0;
   std::uint64_t amplified_uniques = 0;
   double amplify_ms = 0.0;
+  std::uint64_t diversity_restarted_rows = 0;
   std::size_t engine_bytes = 0;
   for (WorkerOutput& out : outputs) {
     result.n_valid += out.result.n_valid;
@@ -237,6 +244,7 @@ RunResult run_parallel(const GdProblem& problem, const cnf::Formula& formula,
     amplified_candidates += out.amplified_candidates;
     amplified_uniques += out.amplified_uniques;
     amplify_ms += out.amplify_ms;
+    diversity_restarted_rows += out.diversity_restarted_rows;
     engine_bytes += out.engine_bytes;
   }
   // Each worker's checkpoints are individually chronological; interleave
@@ -273,11 +281,26 @@ RunResult run_parallel(const GdProblem& problem, const cnf::Formula& formula,
     extras->amplified_candidates = amplified_candidates;
     extras->amplified_uniques = amplified_uniques;
     extras->amplify_ms = amplify_ms;
+    extras->diversity_restarted_rows = diversity_restarted_rows;
+    extras->weighted_inputs = engines[0]->n_weighted_inputs();
   }
   return result;
 }
 
 }  // namespace
+
+std::vector<cnf::Var> normalize_sampling_set(std::vector<cnf::Var> set,
+                                             std::size_t n_vars) {
+  std::sort(set.begin(), set.end());
+  set.erase(std::unique(set.begin(), set.end()), set.end());
+  set.erase(std::remove_if(set.begin(), set.end(),
+                           [n_vars](cnf::Var v) {
+                             return v == cnf::kInvalidVar ||
+                                    static_cast<std::size_t>(v) >= n_vars;
+                           }),
+            set.end());
+  return set;
+}
 
 RunResult run_gd_loop(const GdProblem& problem, const cnf::Formula& formula,
                       const RunOptions& options, const GdLoopConfig& config,

@@ -24,10 +24,33 @@ struct GdProblem {
   /// it from transform::Result::input_vars.
   const std::vector<cnf::Var>* input_vars = nullptr;
   /// Sampling/projection set over original variables (a DIMACS 'c ind'
-  /// declaration or a per-request override).  Null or empty means every
-  /// variable.  Today it scopes the amplifier's flip support; bank
-  /// uniqueness stays over full input assignments.
-  const std::vector<cnf::Var>* sampling_set = nullptr;
+  /// declaration or a per-request override).  Owned by value — the problem
+  /// outlives any request buffer it was copied from, so retry replay and
+  /// job moves can never dangle.  Empty means every variable.  It scopes
+  /// the amplifier's flip support and, when GdLoopConfig::projected_dedup
+  /// is on, keys the unique bank on the projection.  Invariant: sorted,
+  /// deduplicated, every entry < var_signal->size(); run unvalidated
+  /// caller input through normalize_sampling_set() first.
+  std::vector<cnf::Var> sampling_set;
+};
+
+/// Sorts, deduplicates, and drops out-of-range entries from a
+/// caller-supplied sampling set, establishing GdProblem::sampling_set's
+/// invariant.  Formula::set_sampling_set already enforces the same shape,
+/// so formula-borne sets can be copied verbatim.
+[[nodiscard]] std::vector<cnf::Var> normalize_sampling_set(
+    std::vector<cnf::Var> set, std::size_t n_vars);
+
+/// A literal-weight request: an extra loss term weight * (p_var - target)^2
+/// per batch row, where target is 0 for a negated literal and 1 otherwise.
+/// The GD descent then steers variable `var` toward the literal's phase
+/// with strength `weight` — including variables outside every constraint
+/// (free variables), which plain descent never moves.  Weights on
+/// variables that never became circuit inputs are ignored.
+struct LitWeight {
+  cnf::Var var = 0;
+  bool negated = false;
+  float weight = 1.0f;
 };
 
 /// Flip amplification of harvested solutions — QuickSampler's idea run in
@@ -90,6 +113,24 @@ struct GdLoopConfig {
   /// AmplifyConfig; off by default, and off is bit-identical to the
   /// pre-amplifier loop).
   AmplifyConfig amplify;
+  /// When a sampling set is active, key the unique bank on the projection
+  /// onto that set: two solutions identical over the set count as one
+  /// unique, and exactly one full witness per projection is stored and
+  /// delivered.  With no sampling set (or with this off) dedup stays over
+  /// full input assignments, bit-identical to the pre-projection loop.
+  bool projected_dedup = true;
+  /// Diversity objective: at the existing restart points, also re-seed rows
+  /// whose hardened projection is already banked — they are descending into
+  /// an already-collected projected class and would only produce duplicate
+  /// projections.  Requires an active sampling set and projected_dedup
+  /// (no-op otherwise).  Off (default) consumes no extra RNG draws and is
+  /// bit-identical to the pre-diversity loop.
+  bool diversity_restart = false;
+  /// Per-literal loss weights (see LitWeight).  Empty (default) adds zero
+  /// float ops — bit-identical to the unweighted loop; so are entries with
+  /// weight 0.  Applied per tile inside the engine, so all scheduling
+  /// policies remain bit-identical to each other.
+  std::vector<LitWeight> lit_weights;
 };
 
 struct GdLoopExtras {
@@ -118,7 +159,30 @@ struct GdLoopExtras {
   std::uint64_t amplified_candidates = 0;
   std::uint64_t amplified_uniques = 0;
   double amplify_ms = 0.0;
+  /// Rows re-seeded by the diversity objective (0 when diversity_restart is
+  /// off or no sampling set is active).
+  std::uint64_t diversity_restarted_rows = 0;
+  /// Engine inputs carrying a literal-weight bias (0 when lit_weights is
+  /// empty or nothing resolved onto a circuit input).
+  std::size_t weighted_inputs = 0;
 };
+
+/// True when the bank keys on the sampling-set projection: a set is active
+/// and projected_dedup is on.
+[[nodiscard]] inline bool projection_active(const GdProblem& problem,
+                                            const GdLoopConfig& config) {
+  return config.projected_dedup && !problem.sampling_set.empty();
+}
+
+/// Bits per unique-bank key for this (problem, config): the sampling-set
+/// size under projected dedup, the full circuit input count otherwise.
+/// Every bank construction site must agree with the harvester through this
+/// one function.
+[[nodiscard]] inline std::size_t bank_key_bits(const GdProblem& problem,
+                                               const GdLoopConfig& config) {
+  return projection_active(problem, config) ? problem.sampling_set.size()
+                                            : problem.circuit->n_inputs();
+}
 
 /// Runs rounds of randomize -> iterate -> harden -> verify -> bank until
 /// options.min_solutions unique solutions are collected, the deadline

@@ -21,6 +21,9 @@ GdLoopConfig make_gd_loop_config(const GradientConfig& config) {
   loop_config.fast_sigmoid = config.fast_sigmoid;
   loop_config.optimize_tape = config.optimize_tape;
   loop_config.amplify = config.amplify;
+  loop_config.projected_dedup = config.projected_dedup;
+  loop_config.diversity_restart = config.diversity_restart;
+  loop_config.lit_weights = config.lit_weights;
   return loop_config;
 }
 
@@ -44,7 +47,9 @@ RunResult GradientSampler::run(const cnf::Formula& formula,
   gd_problem.var_signal = &problem.var_signal;
   gd_problem.input_vars = &problem.input_vars;
   if (formula.has_sampling_set()) {
-    gd_problem.sampling_set = &formula.sampling_set();
+    // Copied by value (the problem owns its set); already normalized by
+    // Formula::set_sampling_set.
+    gd_problem.sampling_set = formula.sampling_set();
   }
 
   const GdLoopConfig loop_config = make_gd_loop_config(config_);

@@ -52,6 +52,16 @@ struct GradientConfig {
   /// AmplifyConfig; off = bit-identical legacy stream).  The flip support is
   /// the formula's sampling set ('c ind') when one is declared.
   AmplifyConfig amplify;
+  /// Key unique solutions on the sampling-set projection when a set is
+  /// active (see GdLoopConfig::projected_dedup).
+  bool projected_dedup = true;
+  /// Re-seed rows descending into already-banked projected classes (see
+  /// GdLoopConfig::diversity_restart; needs a sampling set + projected
+  /// dedup, off by default).
+  bool diversity_restart = false;
+  /// Per-literal loss weights (see LitWeight; empty = unweighted,
+  /// bit-identical stream).
+  std::vector<LitWeight> lit_weights;
   transform::Config transform;
 };
 

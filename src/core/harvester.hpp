@@ -6,9 +6,15 @@
 // UniqueBank) and the round-parallel path (one Harvester per worker, all
 // merging into a shared ShardedUniqueBank) run the identical
 // unpack -> evaluate -> mask -> project pipeline.  `Bank` only needs
-// insert(key), size() and n_words(); uniqueness is decided wherever the bank
-// lives, so a worker's duplicate of another worker's solution is rejected at
-// the merge point, not after.
+// insert(key), contains(key), size() and n_words(); uniqueness is decided
+// wherever the bank lives, so a worker's duplicate of another worker's
+// solution is rejected at the merge point, not after.
+//
+// When a sampling set is active and HarvestMode::projected is set, the bank
+// key is the row's projection onto the set (bit k = set variable k) rather
+// than the full input assignment: two solutions identical over the set
+// count as one unique, and the first full witness per projection is what
+// gets stored.  Amplifier bases stay full input keys either way.
 //
 // Validation runs on the circuit's compiled word-parallel plan
 // (circuit::EvalPlan): blocks of EvalPlan::kBlockWords words (4 x 64 = 256
@@ -34,6 +40,7 @@
 #include "circuit/eval_plan.hpp"
 #include "core/gd_loop.hpp"
 #include "core/unique_bank.hpp"
+#include "util/rng.hpp"
 #include "util/thread_pool.hpp"
 #include "util/timer.hpp"
 
@@ -48,6 +55,31 @@ struct CollectScratch {
   std::vector<std::uint64_t> proj;
   std::vector<std::uint64_t> slots;
 };
+
+/// How the accept phase keys the bank and what phase 1 must stash for it.
+/// Derive from the loop config with harvest_mode_for() so every bank
+/// construction site (sized by bank_key_bits) agrees with the harvester.
+struct HarvestMode {
+  /// Key the bank on the sampling-set projection.  The bank must then be
+  /// bank_key_bits(problem, config) bits wide.  Off keys on the full input
+  /// assignment, bit-identical to the pre-projection accept path.
+  bool projected = false;
+  /// Also stash sampling-set bits for *unsolved* rows so
+  /// banked_projection_mask() can answer "is this row descending into an
+  /// already-banked projected class?" — the diversity objective's probe.
+  bool probe_projections = false;
+};
+
+/// The harvest mode a (problem, config) pair implies: projected keying when
+/// projection_active(), plus the diversity probe when diversity_restart
+/// asks for it.
+[[nodiscard]] inline HarvestMode harvest_mode_for(const GdProblem& problem,
+                                                  const GdLoopConfig& config) {
+  HarvestMode mode;
+  mode.projected = projection_active(problem, config);
+  mode.probe_projections = mode.projected && config.diversity_restart;
+  return mode;
+}
 
 template <typename Bank>
 class Harvester {
@@ -65,7 +97,8 @@ class Harvester {
   /// shared pool only adds queue contention and oversubscription.
   Harvester(const GdProblem& problem, const cnf::Formula& formula,
             const RunOptions& options, Bank& bank, RunResult& result,
-            const circuit::EvalPlan* plan = nullptr, bool inline_eval = false)
+            const circuit::EvalPlan* plan = nullptr, bool inline_eval = false,
+            HarvestMode mode = {})
       : problem_(problem),
         formula_(formula),
         options_(options),
@@ -73,11 +106,22 @@ class Harvester {
         bank_(bank),
         plan_(plan),
         inline_eval_(inline_eval),
-        // accept_row wants a projected assignment only to store or verify
-        // it; a keys-only configuration never reads the stash, so phase 1
-        // can skip writing (and allocating) it entirely.
-        need_proj_(options.store_limit > 0 || options.verify_against_cnf),
-        key_(bank.n_words(), 0) {
+        mode_(mode),
+        // accept_row wants a full projected assignment only to store or
+        // verify it; projected keying and the diversity probe additionally
+        // need the sampling-set bits.  A keys-only full-assignment
+        // configuration never reads the stash, so phase 1 can skip writing
+        // (and allocating) it entirely.
+        stash_all_(options.store_limit > 0 || options.verify_against_cnf),
+        key_((problem.circuit->n_inputs() + 63) / 64, 0) {
+    // Projected keying without a set would collapse every solution onto one
+    // empty key; treat it as full-assignment mode (harvest_mode_for never
+    // produces this, but direct constructions might).
+    if (problem_.sampling_set.empty()) {
+      mode_.projected = false;
+      mode_.probe_projections = false;
+    }
+    if (mode_.projected) proj_key_.assign(bank.n_words(), 0);
     if (plan_ == nullptr) {
       owned_plan_ = std::make_unique<circuit::EvalPlan>(*problem.circuit);
       plan_ = owned_plan_.get();
@@ -104,7 +148,9 @@ class Harvester {
     const std::size_t n_blocks = (n_words + kB - 1) / kB;
 
     solved_mask_.assign(n_words, 0);
-    if (need_proj_ && proj_.size() < n_words * n_proj) {
+    last_n_words_ = n_words;
+    last_batch_ = batch;
+    if (need_stash() && proj_.size() < n_words * n_proj) {
       proj_.resize(n_words * n_proj);
     }
 
@@ -123,7 +169,8 @@ class Harvester {
       const std::size_t block_begin = n_blocks * part / n_parts;
       const std::size_t block_end = n_blocks * (part + 1) / n_parts;
       eval_blocks(packed, n_words, batch, block_begin, block_end, slots.data(),
-                  solved_mask_.data(), proj_.data());
+                  solved_mask_.data(), proj_.data(),
+                  /*probe=*/mode_.probe_projections);
     };
     if (n_parts <= 1) {
       // Inline: one scratch, no dispatch (also the no-allocation fast path
@@ -165,14 +212,17 @@ class Harvester {
         (n_words + circuit::EvalPlan::kBlockWords - 1) /
         circuit::EvalPlan::kBlockWords;
     scratch.solved_mask.assign(n_words, 0);
-    if (need_proj_ && scratch.proj.size() < n_words * n_proj) {
+    if (need_stash() && scratch.proj.size() < n_words * n_proj) {
       scratch.proj.resize(n_words * n_proj);
     }
     if (scratch.slots.size() < plan.scratch_words()) {
       scratch.slots.resize(plan.scratch_words());
     }
+    // Candidate batches never feed the diversity probe (the mask describes
+    // GD rows), so unsolved candidate words skip the stash.
     eval_blocks(packed, n_words, batch, 0, n_blocks, scratch.slots.data(),
-                scratch.solved_mask.data(), scratch.proj.data());
+                scratch.solved_mask.data(), scratch.proj.data(),
+                /*probe=*/false);
     return accept_words(packed, n_words, n_proj, scratch.solved_mask.data(),
                         scratch.proj.data(), /*record_fresh=*/false);
   }
@@ -194,6 +244,104 @@ class Harvester {
   [[nodiscard]] const GdProblem& problem() const { return problem_; }
 
   [[nodiscard]] const RunOptions& options() const { return options_; }
+
+  /// The mode this harvester accepts under (after the empty-set downgrade).
+  [[nodiscard]] const HarvestMode& mode() const { return mode_; }
+
+  /// Per-row mask (same word layout as the packed batch) over the most
+  /// recent collect(): rows that did NOT satisfy the circuit but whose
+  /// hardened projection is already banked.  Those rows are descending into
+  /// an already-collected projected class — re-seeding them is the
+  /// diversity objective.  Solved rows are excluded (they are
+  /// restart_solved's business); padding rows are always clear.  Meaningful
+  /// only under HarvestMode::probe_projections (the stash holds sampling-set
+  /// bits for unsolved rows only then); probes the bank at call time, so
+  /// call it after any same-harvest amplification to see the freshest state.
+  [[nodiscard]] const std::vector<std::uint64_t>& banked_projection_mask() {
+    dup_mask_.assign(last_n_words_, 0);
+    if (!mode_.probe_projections) return dup_mask_;
+    const std::vector<cnf::Var>& set = problem_.sampling_set;
+    const std::size_t n_proj = problem_.var_signal->size();
+    for (std::size_t w = 0; w < last_n_words_; ++w) {
+      const std::size_t rows_here =
+          std::min<std::size_t>(64, last_batch_ - w * 64);
+      std::uint64_t cand =
+          (rows_here < 64 ? (1ULL << rows_here) - 1 : ~0ULL) & ~solved_mask_[w];
+      if (cand == 0) continue;
+      const std::uint64_t* stash = proj_.data() + w * n_proj;
+      std::uint64_t hit = 0;
+      while (cand != 0) {
+        const int r = std::countr_zero(cand);
+        cand &= cand - 1;
+        build_proj_key(stash, static_cast<std::size_t>(r), set);
+        if (bank_.contains(proj_key_)) hit |= 1ULL << r;
+      }
+      dup_mask_[w] = hit;
+    }
+    return dup_mask_;
+  }
+
+  /// Engine input slot for each sampling-set position (slot k drives the
+  /// projection bit of set variable k), prob::Engine::kNoPinSlot-compatible
+  /// sentinel (0xffffffff) where the set variable has no circuit input.
+  /// Built lazily on first use; empty when no sampling set is active.  The
+  /// diversity objective hands this to Engine::pin_row_inputs together with
+  /// a propose_fresh_neighbor() pattern.
+  [[nodiscard]] const std::vector<std::uint32_t>& projection_slots() {
+    if (proj_slots_built_ || problem_.sampling_set.empty()) return proj_slots_;
+    proj_slots_built_ = true;
+    const std::size_t n_inputs = problem_.circuit->n_inputs();
+    // var -> input, mirroring the amplifier's flip-support mapping.
+    std::vector<std::uint32_t> input_of;
+    for (std::size_t i = 0; i < n_inputs; ++i) {
+      const cnf::Var var = problem_.input_vars != nullptr
+                               ? (*problem_.input_vars)[i]
+                               : static_cast<cnf::Var>(i);
+      if (var == cnf::kInvalidVar) continue;
+      if (var >= input_of.size()) input_of.resize(var + 1, 0xffffffffu);
+      input_of[var] = static_cast<std::uint32_t>(i);
+    }
+    proj_slots_.reserve(problem_.sampling_set.size());
+    for (const cnf::Var v : problem_.sampling_set) {
+      proj_slots_.push_back(v < input_of.size() ? input_of[v] : 0xffffffffu);
+    }
+    return proj_slots_;
+  }
+
+  /// Proposes a not-yet-banked projection pattern *near* row (w, r)'s
+  /// current hardened projection from the most recent collect(): try t
+  /// flips 1 + t/2 random set positions of the row's own projection and
+  /// checks the bank, so early tries are single-bit neighbors — almost
+  /// always as completable as the solution the row just reached — and
+  /// later tries widen the radius.  Returns the pattern in bank key layout
+  /// (n_words() words, valid until the next call), or nullptr when every
+  /// try was banked (saturated neighborhood; the caller should fall back
+  /// to a plain random re-seed).  Draw count varies with bank state, which
+  /// is fine: the serial loop and the service see a deterministic bank,
+  /// and the round-parallel path already trades cross-fleet stream
+  /// identity for racing workers.  Meaningful only under
+  /// probe_projections, where phase 1 stashes set bits for every row.
+  [[nodiscard]] const std::uint64_t* propose_fresh_neighbor(std::size_t w,
+                                                            std::size_t r,
+                                                            util::Rng& rng,
+                                                            int tries) {
+    if (!mode_.probe_projections) return nullptr;
+    const std::vector<cnf::Var>& set = problem_.sampling_set;
+    const std::size_t n_bits = set.size();
+    const std::size_t n_proj = problem_.var_signal->size();
+    build_proj_key(proj_.data() + w * n_proj, r, set);
+    fresh_key_.resize(proj_key_.size());
+    for (int t = 0; t < tries; ++t) {
+      std::copy(proj_key_.begin(), proj_key_.end(), fresh_key_.begin());
+      const int n_flips = 1 + t / 2;
+      for (int f = 0; f < n_flips; ++f) {
+        const std::size_t k = rng.next_below(n_bits);
+        fresh_key_[k >> 6] ^= 1ULL << (k & 63);
+      }
+      if (!bank_.contains(fresh_key_)) return fresh_key_.data();
+    }
+    return nullptr;
+  }
 
   /// Per-row satisfied mask of the most recent collect() (same word layout
   /// as the packed input; padding rows are always clear).  The GD loop feeds
@@ -219,7 +367,7 @@ class Harvester {
                    std::size_t n_words, std::size_t batch,
                    std::size_t block_begin, std::size_t block_end,
                    std::uint64_t* slots, std::uint64_t* solved_mask,
-                   std::uint64_t* proj) const {
+                   std::uint64_t* proj, bool probe) const {
     constexpr std::size_t kB = circuit::EvalPlan::kBlockWords;
     const circuit::EvalPlan& plan = *plan_;
     const std::vector<circuit::SignalId>& var_signal = *problem_.var_signal;
@@ -236,10 +384,21 @@ class Harvester {
         const std::size_t rows_here = std::min<std::size_t>(64, batch - w * 64);
         if (rows_here < 64) ok &= (1ULL << rows_here) - 1;
         solved_mask[w] = ok;
-        if (ok == 0 || !need_proj_) continue;
         std::uint64_t* stash = proj + w * n_proj;
-        for (std::size_t v = 0; v < n_proj; ++v) {
-          stash[v] = circuit::EvalPlan::signal_word(slots, var_signal[v], lane);
+        if (ok != 0 && stash_all_) {
+          // Store/verify wants the whole projected assignment; the sampling
+          // set is a subset, so this also covers projected keys and probes.
+          for (std::size_t v = 0; v < n_proj; ++v) {
+            stash[v] =
+                circuit::EvalPlan::signal_word(slots, var_signal[v], lane);
+          }
+        } else if ((ok != 0 && mode_.projected) || probe) {
+          // Keys-only projected accept needs set bits of solved rows; the
+          // diversity probe needs them for every row (unsolved included).
+          for (const cnf::Var v : problem_.sampling_set) {
+            stash[v] =
+                circuit::EvalPlan::signal_word(slots, var_signal[v], lane);
+          }
         }
       }
     }
@@ -269,17 +428,21 @@ class Harvester {
   bool accept_row(const std::vector<std::uint64_t>& packed, std::size_t n_words,
                   std::size_t n_proj, std::size_t w, std::size_t r,
                   const std::uint64_t* proj, bool record_fresh) {
-    const circuit::Circuit& circuit = *problem_.circuit;
-    const std::size_t n_inputs = circuit.n_inputs();
-    std::fill(key_.begin(), key_.end(), 0);
-    for (std::size_t i = 0; i < n_inputs; ++i) {
-      if (((packed[i * n_words + w] >> r) & 1ULL) != 0) {
-        key_[i >> 6] |= (1ULL << (i & 63));
-      }
-    }
     ++result_.n_valid;
-    const bool is_new = bank_.insert(key_);
+    const std::uint64_t* stash = proj + w * n_proj;
+    bool is_new = false;
+    if (mode_.projected) {
+      build_proj_key(stash, r, problem_.sampling_set);
+      is_new = bank_.insert(proj_key_);
+    } else {
+      build_full_key(packed, n_words, w, r);
+      is_new = bank_.insert(key_);
+    }
     if (is_new && record_fresh && fresh_sink_ != nullptr) {
+      // Amplification bases are always FULL input keys (the amplifier
+      // broadcasts them row-wise and flips input bits), independent of what
+      // the bank keys on.
+      if (mode_.projected) build_full_key(packed, n_words, w, r);
       fresh_sink_->insert(fresh_sink_->end(), key_.begin(), key_.end());
     }
     if (!is_new && !options_.store_all_draws) return is_new;
@@ -287,7 +450,6 @@ class Harvester {
     const bool want_assignment = result_.solutions.size() < options_.store_limit ||
                                  (is_new && options_.verify_against_cnf);
     if (!want_assignment) return is_new;
-    const std::uint64_t* stash = proj + w * n_proj;
     cnf::Assignment assignment(n_proj, 0);
     for (cnf::Var v = 0; v < n_proj; ++v) {
       assignment[v] = static_cast<std::uint8_t>((stash[v] >> r) & 1ULL);
@@ -301,6 +463,35 @@ class Harvester {
     return is_new;
   }
 
+  /// Packs the full hardened input row (w, r) into key_ — the bank key in
+  /// full-assignment mode, and always the amplifier's base layout.
+  void build_full_key(const std::vector<std::uint64_t>& packed,
+                      std::size_t n_words, std::size_t w, std::size_t r) {
+    const std::size_t n_inputs = problem_.circuit->n_inputs();
+    std::fill(key_.begin(), key_.end(), 0);
+    for (std::size_t i = 0; i < n_inputs; ++i) {
+      if (((packed[i * n_words + w] >> r) & 1ULL) != 0) {
+        key_[i >> 6] |= (1ULL << (i & 63));
+      }
+    }
+  }
+
+  /// Packs row r's sampling-set bits out of a word stash into proj_key_:
+  /// bit k of the key is set variable set[k], so the key layout is a pure
+  /// function of the (sorted, deduplicated) set.
+  void build_proj_key(const std::uint64_t* stash, std::size_t r,
+                      const std::vector<cnf::Var>& set) {
+    std::fill(proj_key_.begin(), proj_key_.end(), 0);
+    for (std::size_t k = 0; k < set.size(); ++k) {
+      if (((stash[set[k]] >> r) & 1ULL) != 0) {
+        proj_key_[k >> 6] |= (1ULL << (k & 63));
+      }
+    }
+  }
+
+  /// Whether phase 1 must write the projection stash at all.
+  [[nodiscard]] bool need_stash() const { return stash_all_ || mode_.projected; }
+
   const GdProblem& problem_;
   const cnf::Formula& formula_;
   const RunOptions& options_;
@@ -309,12 +500,27 @@ class Harvester {
   const circuit::EvalPlan* plan_;
   std::unique_ptr<circuit::EvalPlan> owned_plan_;
   bool inline_eval_;
-  bool need_proj_;
+  HarvestMode mode_;
+  bool stash_all_;
   /// Amplifier base buffer (see set_fresh_sink); null when amplification is
   /// off, and then never touched on the accept path.
   std::vector<std::uint64_t>* fresh_sink_ = nullptr;
+  /// Full-input key scratch, (n_inputs + 63) / 64 words.
   std::vector<std::uint64_t> key_;
+  /// Projected key scratch, bank n_words() words; empty unless projected.
+  std::vector<std::uint64_t> proj_key_;
   std::vector<std::uint64_t> solved_mask_;
+  /// Shape of the most recent collect(), for banked_projection_mask().
+  std::size_t last_n_words_ = 0;
+  std::size_t last_batch_ = 0;
+  /// Already-banked-projection row mask scratch (see
+  /// banked_projection_mask).
+  std::vector<std::uint64_t> dup_mask_;
+  /// Sampling-set position -> engine input slot (see projection_slots).
+  std::vector<std::uint32_t> proj_slots_;
+  bool proj_slots_built_ = false;
+  /// Candidate-pattern scratch for propose_fresh_neighbor.
+  std::vector<std::uint64_t> fresh_key_;
   /// Projection stash: var_signal words of every solved word of the current
   /// batch (proj_[w * n_proj + v]); phase 2 reads bits out of it instead of
   /// re-evaluating the circuit.

@@ -19,6 +19,7 @@
 // solution stream no matter which worker runs which slice.
 
 #include <algorithm>
+#include <bit>
 #include <cstdint>
 #include <limits>
 #include <optional>
@@ -44,6 +45,30 @@ namespace hts::sampler {
   engine_config.init_std = config.init_std;
   engine_config.policy = config.policy;
   engine_config.fast_sigmoid = config.fast_sigmoid;
+  return engine_config;
+}
+
+/// Problem-aware overload: additionally resolves GdLoopConfig::lit_weights
+/// through the problem's input -> variable mapping into engine bias terms.
+/// Variables that never became circuit inputs are dropped (there is nothing
+/// to steer); several weights on one variable simply stack.
+[[nodiscard]] inline prob::Engine::Config engine_config_for(
+    const GdLoopConfig& config, const GdProblem& problem) {
+  prob::Engine::Config engine_config = engine_config_for(config);
+  if (config.lit_weights.empty()) return engine_config;
+  const std::size_t n_inputs = problem.circuit->n_inputs();
+  for (std::size_t i = 0; i < n_inputs; ++i) {
+    const cnf::Var var = problem.input_vars != nullptr
+                             ? (*problem.input_vars)[i]
+                             : static_cast<cnf::Var>(i);
+    if (var == cnf::kInvalidVar) continue;
+    for (const LitWeight& lw : config.lit_weights) {
+      if (lw.var != var || lw.weight == 0.0f) continue;
+      engine_config.input_biases.push_back(
+          {static_cast<std::uint32_t>(i), lw.negated ? 0.0f : 1.0f,
+           lw.weight});
+    }
+  }
   return engine_config;
 }
 
@@ -138,10 +163,19 @@ class RoundRunner {
   void run_round(util::Rng& rng, Checkpoint&& checkpoint, Stop&& stop_now) {
     engine_.randomize(rng);
     if (plateau_) plateau_->begin_round();
+    // Whether the diversity objective can steer projections at all: it
+    // needs the probe (sampling set + diversity_restart) and at least one
+    // set variable that is a live engine input to pin.
+    const bool diversity_steers = harvester_.mode().probe_projections &&
+                                  !harvester_.projection_slots().empty();
     // Solved rows have been banked; re-seeding them starts fresh descents in
     // the remaining iterations instead of re-converging to the same basin.
+    // When the diversity objective steers, it takes over solved rows
+    // entirely (mutating them in place instead of redrawing them), so the
+    // plain restart is skipped and restarted_rows() reads ~0 for such runs —
+    // the recycling shows up in diversity_restarted_rows() instead.
     auto restart_solved_rows = [&] {
-      if (config_.restart_solved) {
+      if (config_.restart_solved && !diversity_steers) {
         restarted_rows_ +=
             engine_.rerandomize_rows(harvester_.last_solved(), rng);
       }
@@ -154,6 +188,61 @@ class RoundRunner {
             plateau_->observe(engine_, harvester_.last_solved()), rng);
       }
     };
+    // Diversity objective: unsolved rows whose hardened projection is
+    // already banked are descending into an already-collected projected
+    // class — any solution they reach is a duplicate projection.  Instead
+    // of redrawing such rows (a plain restart is just another coupon-
+    // collector draw and re-pays full convergence), mutate them in place:
+    // keep the row's converged V and pin only its projection inputs toward
+    // a bank-checked flip-neighbor of the row's own projection
+    // (Harvester::propose_fresh_neighbor).  A one- or two-bit neighbor of
+    // a reachable pattern is almost always reachable too, and the rest of
+    // the row's V is already deep in a satisfying basin, so the next
+    // descent completes in a handful of iterations — the batch walks the
+    // projected space word-parallel instead of re-collecting coupons.
+    // Solved rows get the same treatment (their V is *exactly* a solution,
+    // so a neighbor pin converges fastest of all); restart_solved_rows
+    // above cedes them to this pass.  Rows whose whole neighborhood is
+    // already banked fall back to a plain re-seed, which keeps the walk
+    // ergodic near saturation.  The pass walks rows in word/bit order and
+    // draws from the round RNG only, so the stream stays deterministic.
+    auto count_rows = [](const std::vector<std::uint64_t>& mask) {
+      std::uint64_t n = 0;
+      for (const std::uint64_t w : mask) n += std::popcount(w);
+      return n;
+    };
+    auto restart_diversity_rows = [&] {
+      if (!harvester_.mode().probe_projections) return;
+      const std::vector<std::uint64_t>& flagged =
+          harvester_.banked_projection_mask();
+      const std::vector<std::uint32_t>& slots = harvester_.projection_slots();
+      if (slots.empty()) {
+        // No set variable survives as an engine input: nothing to pin, so
+        // re-seeding the flagged rows is all the steering available.
+        diversity_restarted_rows_ += count_rows(flagged);
+        engine_.rerandomize_rows(flagged, rng);
+        return;
+      }
+      const std::vector<std::uint64_t>& solved = harvester_.last_solved();
+      fallback_mask_.assign(flagged.size(), 0);
+      for (std::size_t w = 0; w < flagged.size(); ++w) {
+        std::uint64_t mutate = flagged[w];
+        if (config_.restart_solved && w < solved.size()) mutate |= solved[w];
+        while (mutate != 0) {
+          const auto r = static_cast<std::size_t>(std::countr_zero(mutate));
+          mutate &= mutate - 1;
+          const std::uint64_t* pattern =
+              harvester_.propose_fresh_neighbor(w, r, rng, /*tries=*/6);
+          if (pattern == nullptr) {
+            fallback_mask_[w] |= 1ULL << r;
+            continue;
+          }
+          engine_.pin_row_inputs(w * 64 + r, slots, pattern);
+          ++diversity_restarted_rows_;
+        }
+      }
+      diversity_restarted_rows_ += engine_.rerandomize_rows(fallback_mask_, rng);
+    };
     // Iteration-0 checkpoint: random initialization already satisfies the
     // unconstrained paths (and occasionally everything).
     if (config_.collect_each_iteration) {
@@ -165,6 +254,7 @@ class RoundRunner {
       if (amplifier_) amplifier_->amplify();
       checkpoint(0);
       restart_solved_rows();
+      restart_diversity_rows();
     }
     for (int iter = 1; iter <= config_.iterations; ++iter) {
       engine_.run_iteration();
@@ -177,6 +267,7 @@ class RoundRunner {
         if (iter != config_.iterations) {
           restart_solved_rows();
           restart_plateau_rows();
+          restart_diversity_rows();
         }
       }
       if (stop_now()) break;
@@ -188,6 +279,10 @@ class RoundRunner {
   /// Rows re-seeded by plateau restarts over the runner's lifetime.
   [[nodiscard]] std::uint64_t plateau_restarted_rows() const {
     return plateau_restarted_rows_;
+  }
+  /// Rows re-seeded by the diversity objective over the runner's lifetime.
+  [[nodiscard]] std::uint64_t diversity_restarted_rows() const {
+    return diversity_restarted_rows_;
   }
   /// Engine iterations executed over the runner's lifetime (JobStats fuel
   /// gauge for the service).
@@ -212,8 +307,12 @@ class RoundRunner {
   std::optional<Amplifier<Bank>> amplifier_;
   std::optional<detail::PlateauTracker> plateau_;
   std::vector<std::uint64_t> packed_;
+  /// Diversity rows whose banked neighborhood exhausted the proposal tries;
+  /// they take a plain re-seed instead (see restart_diversity_rows).
+  std::vector<std::uint64_t> fallback_mask_;
   std::uint64_t restarted_rows_ = 0;
   std::uint64_t plateau_restarted_rows_ = 0;
+  std::uint64_t diversity_restarted_rows_ = 0;
   std::uint64_t gd_iterations_ = 0;
 };
 

@@ -80,6 +80,12 @@ class UniqueBank {
     return insert(detail::pack_bits(bits, n_bits_, n_words_));
   }
 
+  /// True when the key is already banked.  Powers the diversity objective's
+  /// restart probe (is this row's projection already collected?).
+  [[nodiscard]] bool contains(const std::vector<std::uint64_t>& key) const {
+    return set_.find(key) != set_.end();
+  }
+
   [[nodiscard]] std::size_t size() const { return set_.size(); }
   [[nodiscard]] std::size_t n_words() const { return n_words_; }
 
@@ -129,6 +135,17 @@ class ShardedUniqueBank {
   /// Packs a byte-per-bit assignment and inserts it.
   bool insert_bits(const std::vector<std::uint8_t>& bits) {
     return insert(detail::pack_bits(bits, n_bits_, n_words_));
+  }
+
+  /// True when the key is already banked — a point-in-time answer under
+  /// concurrent inserts (another thread may bank the key right after).  The
+  /// diversity probe only uses it as a restart heuristic, so a stale miss
+  /// costs one wasted descent, never a duplicate unique.
+  [[nodiscard]] bool contains(const std::vector<std::uint64_t>& key) {
+    const std::size_t h = detail::PackedKeyHash{}(key);
+    Shard& shard = shards_[(h >> 48) & (shards_.size() - 1)];
+    util::LockGuard lock(shard.mutex);
+    return shard.set.find(key) != shard.set.end();
   }
 
   [[nodiscard]] std::size_t size() const {

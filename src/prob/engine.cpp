@@ -206,6 +206,20 @@ Engine::Engine(const CompiledCircuit& compiled, Config config)
   gradients_.resize(compiled_->n_slots() * padded);
   v_grad_.resize(compiled_->n_circuit_inputs() * padded);
   tile_loss_.assign(n_tiles_, 0.0);
+  // Resolve bias terms once: in-cone inputs become slot terms, cone-free
+  // inputs become direct V-side terms.  Zero-weight and out-of-range
+  // entries drop here, so the hot loops below never re-test them.
+  for (const Config::InputBias& bias : config_.input_biases) {
+    if (bias.weight == 0.0f || bias.input >= compiled_->n_circuit_inputs()) {
+      continue;
+    }
+    const std::uint32_t slot = compiled_->input_slot()[bias.input];
+    if (slot == kNoSlot) {
+      free_biases_.push_back({bias.input, bias.target, bias.weight});
+    } else {
+      slot_biases_.push_back({slot, bias.target, bias.weight});
+    }
+  }
   // Constant slots never change: fill once, per tile.
   for (const CompiledCircuit::ConstSlot& c : compiled_->const_slots()) {
     for (std::size_t t = 0; t < n_tiles_; ++t) {
@@ -255,6 +269,38 @@ std::size_t Engine::rerandomize_rows(const std::vector<std::uint64_t>& mask,
   return n_rows;
 }
 
+void Engine::pin_row_inputs(std::size_t row,
+                            const std::vector<std::uint32_t>& slots,
+                            const std::uint64_t* bits) {
+  // 3 sigma clears essentially every Gaussian re-seed draw, so the hardened
+  // row starts exactly on the requested pattern while staying well inside
+  // the sigmoid's responsive range (descent keeps its vote).
+  const float pin = 3.0f * config_.init_std;
+  const std::size_t n_inputs = compiled_->n_circuit_inputs();
+  const std::size_t t = row / kTileRows;
+  const std::size_t r = row % kTileRows;
+  if (t >= n_tiles_) return;
+  float* v = v_.data() + t * n_inputs * kTileRows + r;
+  for (std::size_t k = 0; k < slots.size(); ++k) {
+    const std::uint32_t slot = slots[k];
+    if (slot == kNoPinSlot || slot >= n_inputs) continue;
+    const bool one = ((bits[k >> 6] >> (k & 63)) & 1ULL) != 0;
+    v[static_cast<std::size_t>(slot) * kTileRows] = one ? pin : -pin;
+  }
+}
+
+void Engine::sigmoid_row(const float* v_row, float* out) const {
+  if (config_.fast_sigmoid) {
+    for (std::size_t x = 0; x < kTileRows; x += kStep) {
+      store(out + x, tensor::simd::fast_sigmoid(load(v_row + x)));
+    }
+  } else {
+    for (std::size_t r = 0; r < kTileRows; ++r) {
+      out[r] = 1.0f / (1.0f + std::exp(-v_row[r]));
+    }
+  }
+}
+
 void Engine::embed_tile(std::size_t tile) {
   const std::size_t n_inputs = compiled_->n_circuit_inputs();
   float* act = activations_.data() + tile * compiled_->n_slots() * kTileRows;
@@ -291,6 +337,27 @@ double Engine::tile_loss(std::size_t tile) const {
       local_loss += diff * diff;
     }
   }
+  // Bias terms, in a fixed order (slot terms then free terms) so the float
+  // sum is policy-independent; no-op when input_biases is empty.
+  for (const SlotBias& bias : slot_biases_) {
+    const float* y = act + static_cast<std::size_t>(bias.slot) * kTileRows;
+    for (std::size_t r = 0; r < rows; ++r) {
+      const double diff = static_cast<double>(y[r]) - bias.target;
+      local_loss += bias.weight * diff * diff;
+    }
+  }
+  if (!free_biases_.empty()) {
+    const float* v =
+        v_.data() + tile * compiled_->n_circuit_inputs() * kTileRows;
+    float p[kTileRows];
+    for (const FreeBias& bias : free_biases_) {
+      sigmoid_row(v + bias.input * kTileRows, p);
+      for (std::size_t r = 0; r < rows; ++r) {
+        const double diff = static_cast<double>(p[r]) - bias.target;
+        local_loss += bias.weight * diff * diff;
+      }
+    }
+  }
   return local_loss;
 }
 
@@ -307,6 +374,19 @@ void Engine::seed_gradients(std::size_t tile) {
     const f32x8 target = broadcast(out.target);
     for (std::size_t x = 0; x < kTileRows; x += kStep) {
       store(g_row + x, load(g_row + x) + two * (load(y + x) - target));
+    }
+  }
+  // Slot-bias terms seed like extra outputs (dL/dp = 2 w (p - t)); inputs
+  // are never op destinations, so backward only accumulates on top and the
+  // regular update chains the sigmoid.  Free biases have no slot and are
+  // handled in update_tile.
+  for (const SlotBias& bias : slot_biases_) {
+    const float* y = act + static_cast<std::size_t>(bias.slot) * kTileRows;
+    float* g_row = grad + static_cast<std::size_t>(bias.slot) * kTileRows;
+    const f32x8 target = broadcast(bias.target);
+    const f32x8 w2 = broadcast(2.0f * bias.weight);
+    for (std::size_t x = 0; x < kTileRows; x += kStep) {
+      store(g_row + x, load(g_row + x) + w2 * (load(y + x) - target));
     }
   }
 }
@@ -330,6 +410,22 @@ void Engine::update_tile(std::size_t tile) {
     for (std::size_t x = 0; x < kTileRows; x += kStep) {
       const f32x8 pv = load(p + x);
       const f32x8 gv = load(gp + x) * pv * (one - pv);
+      store(v_row + x, load(v_row + x) - lr * gv);
+    }
+  }
+  // Free-bias descent: inputs with no compiled slot never see circuit
+  // gradient, so their bias term steps V directly.  p = sigmoid(v) is
+  // recomputed with the embed sigmoid (v is still pre-update here — the
+  // main loop above skipped these inputs).
+  for (const FreeBias& bias : free_biases_) {
+    float* v_row = v + static_cast<std::size_t>(bias.input) * kTileRows;
+    float p[kTileRows];
+    sigmoid_row(v_row, p);
+    const f32x8 target = broadcast(bias.target);
+    const f32x8 w2 = broadcast(2.0f * bias.weight);
+    for (std::size_t x = 0; x < kTileRows; x += kStep) {
+      const f32x8 pv = load(p + x);
+      const f32x8 gv = w2 * (pv - target) * pv * (one - pv);
       store(v_row + x, load(v_row + x) - lr * gv);
     }
   }
@@ -603,6 +699,25 @@ void Engine::row_losses(std::vector<float>& out) const {
       for (std::size_t r = 0; r < rows; ++r) {
         const float diff = y[r] - output.target;
         o[r] += diff * diff;
+      }
+    }
+    for (const SlotBias& bias : slot_biases_) {
+      const float* y = act + static_cast<std::size_t>(bias.slot) * kTileRows;
+      for (std::size_t r = 0; r < rows; ++r) {
+        const float diff = y[r] - bias.target;
+        o[r] += bias.weight * diff * diff;
+      }
+    }
+    if (!free_biases_.empty()) {
+      const float* v =
+          v_.data() + t * compiled_->n_circuit_inputs() * kTileRows;
+      float p[kTileRows];
+      for (const FreeBias& bias : free_biases_) {
+        sigmoid_row(v + bias.input * kTileRows, p);
+        for (std::size_t r = 0; r < rows; ++r) {
+          const float diff = p[r] - bias.target;
+          o[r] += bias.weight * diff * diff;
+        }
       }
     }
   }

@@ -65,12 +65,34 @@ class Engine {
     /// bit-identical results — backward chunks are operand-disjoint — so
     /// this knob exists for tests and scheduler-overhead measurements.
     bool force_level_stages = false;
+    /// An extra per-row loss term weight * (p_input - target)^2 steering a
+    /// circuit input toward 0 or 1 (literal-weight requests).  Inputs inside
+    /// the compiled cone seed extra output-style gradient and chain through
+    /// the normal backward/update; inputs *outside* the cone (free
+    /// variables, no compiled slot) take a direct V-side descent step — the
+    /// only force that ever moves them, since plain descent never touches
+    /// unconstrained inputs.  Empty (default) adds zero float ops, so the
+    /// unweighted engine is bit-identical to before; every term is applied
+    /// per tile, so all scheduling policies stay bit-identical to each
+    /// other.  Entries with weight 0 or an out-of-range input are dropped.
+    struct InputBias {
+      std::uint32_t input = 0;
+      float target = 1.0f;
+      float weight = 1.0f;
+    };
+    std::vector<InputBias> input_biases;
   };
 
   Engine(const CompiledCircuit& compiled, Config config);
 
   [[nodiscard]] std::size_t batch() const { return config_.batch; }
   [[nodiscard]] std::size_t n_inputs() const { return compiled_->n_circuit_inputs(); }
+
+  /// Inputs carrying an active bias term after resolution (in-cone plus
+  /// free); accounting for GdLoopExtras::weighted_inputs.
+  [[nodiscard]] std::size_t n_weighted_inputs() const {
+    return slot_biases_.size() + free_biases_.size();
+  }
 
   /// Draws fresh V ~ N(0, init_std^2) for every input and row.
   void randomize(util::Rng& rng);
@@ -82,6 +104,20 @@ class Engine {
   /// rows redrawn.  Deterministic draw order: tile, then row, then input.
   std::size_t rerandomize_rows(const std::vector<std::uint64_t>& mask,
                                util::Rng& rng);
+
+  /// Sentinel for pin_row_inputs: positions mapped to it are skipped.
+  static constexpr std::uint32_t kNoPinSlot = 0xffffffffu;
+
+  /// Overwrites selected input slots of one row with a definite sign:
+  /// position k drives input slots[k] toward 1 (V = +3·init_std) when bit k
+  /// of `bits` is set and toward 0 (V = -3·init_std) otherwise; slots equal
+  /// to kNoPinSlot (set variables with no circuit input) are skipped.  The
+  /// diversity objective calls this after re-seeding a row so its next
+  /// descent starts *inside* a chosen not-yet-banked projected class — the
+  /// pin is an initialization bias, not a constraint: descent can still
+  /// flip a pinned input if the formula demands it.
+  void pin_row_inputs(std::size_t row, const std::vector<std::uint32_t>& slots,
+                      const std::uint64_t* bits);
 
   /// One GD iteration: embed, forward, backward, update.  Single fused
   /// data-parallel dispatch over batch rows.
@@ -141,12 +177,30 @@ class Engine {
     std::uint32_t n_ops = 0;
   };
 
+  /// Config::input_biases resolved against the compiled circuit: biases on
+  /// in-cone inputs become slot terms (gradient seeded like an output),
+  /// biases on cone-free inputs descend V directly in update_tile.
+  struct SlotBias {
+    std::uint32_t slot = 0;
+    float target = 1.0f;
+    float weight = 1.0f;
+  };
+  struct FreeBias {
+    std::uint32_t input = 0;
+    float target = 1.0f;
+    float weight = 1.0f;
+  };
+
   void process_tile(std::size_t tile, bool with_grad, double* loss_accum);
   void sweep(bool with_grad);
   void sweep_level(bool with_grad);
   void build_schedule();
   void dispatch_stage(const Stage& stage, bool backward);
   void embed_tile(std::size_t tile);
+  /// Embeds one input row of a tile through the configured sigmoid (fast or
+  /// exact, matching embed_tile exactly); used by the free-bias terms whose
+  /// inputs have no activation slot.
+  void sigmoid_row(const float* v_row, float* out) const;
   void forward_range(std::size_t tile, std::uint32_t begin, std::uint32_t end);
   void backward_range(std::size_t tile, std::uint32_t begin, std::uint32_t end);
   [[nodiscard]] double tile_loss(std::size_t tile) const;
@@ -157,6 +211,10 @@ class Engine {
 
   const CompiledCircuit* compiled_;
   Config config_;
+  /// Resolved bias terms (see SlotBias/FreeBias); both empty when
+  /// Config::input_biases is.
+  std::vector<SlotBias> slot_biases_;
+  std::vector<FreeBias> free_biases_;
   /// Level-parallel stage schedule; built once at construction when
   /// Config::policy is kLevelParallel, empty otherwise.
   std::vector<Stage> schedule_;

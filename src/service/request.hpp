@@ -100,8 +100,12 @@ struct SamplingRequest {
 
   /// Per-request sampling (projection) set over 0-based variables.  Empty
   /// defers to the formula's own 'c ind' declaration (if any).  Scopes the
-  /// amplifier's flip support; intentionally not part of the plan-cache key
-  /// (it never changes the compiled circuit).
+  /// amplifier's flip support and — unless config.projected_dedup is turned
+  /// off — keys unique solutions on the projection, so the stream delivers
+  /// exactly one full witness per distinct projection and JobStats::n_unique
+  /// counts projections.  The job takes a normalized copy (sorted, deduped,
+  /// out-of-range entries dropped).  Intentionally not part of the
+  /// plan-cache key (it never changes the compiled circuit).
   std::vector<cnf::Var> sampling_set;
 
   /// Engine/loop tuning.  n_workers and max_rounds are ignored (the service
@@ -109,7 +113,10 @@ struct SamplingRequest {
   /// plan-cache key, so two requests differing only in those compile
   /// separate plans.  config.amplify is the per-job flip-amplification knob
   /// (see sampler::AmplifyConfig) — amplified uniques stream like any other
-  /// and are additionally billed in JobStats.
+  /// and are additionally billed in JobStats.  config.projected_dedup /
+  /// config.diversity_restart / config.lit_weights are the per-job
+  /// projected-sampling knobs (see GdLoopConfig); none of them touch the
+  /// plan-cache key.
   sampler::GradientConfig config = default_job_config();
 };
 
@@ -196,6 +203,12 @@ struct JobStats {
   /// among them (zero unless config.amplify.enabled).
   std::uint64_t amplified_candidates = 0;
   std::uint64_t amplified_uniques = 0;
+  /// Rows re-seeded by the diversity objective (zero unless
+  /// config.diversity_restart with an active sampling set).
+  std::uint64_t diversity_restarted_rows = 0;
+  /// Engine inputs carrying a literal-weight bias (zero when
+  /// config.lit_weights is empty or nothing resolved onto an input).
+  std::size_t weighted_inputs = 0;
   double queue_wait_ms = 0.0;      // total time spent waiting for a worker
   double exec_ms = 0.0;            // total time holding a worker
   double compile_ms = 0.0;         // this job's wait on plan compilation

@@ -570,27 +570,32 @@ JobStatus Server::run_slice(Job& job) {
       job.gd_problem.circuit = &job.plan->transformed.circuit;
       job.gd_problem.var_signal = &job.plan->transformed.var_signal;
       job.gd_problem.input_vars = &job.plan->transformed.input_vars;
-      // Flip support for the amplifier: an explicit per-request set wins,
-      // else the formula's own 'c ind' declaration.  Both live in the job
-      // (request/formula are copied in at submit), so the pointers are
-      // stable across slices.
+      // Sampling set (amplifier flip support + projected dedup): an
+      // explicit per-request set wins, else the formula's own 'c ind'
+      // declaration.  The problem owns a normalized copy — request sets
+      // are caller-supplied and unvalidated, and ownership (rather than a
+      // pointer into the request) means job moves and retry replay can
+      // never dangle.
       if (!request.sampling_set.empty()) {
-        job.gd_problem.sampling_set = &request.sampling_set;
+        job.gd_problem.sampling_set = sampler::normalize_sampling_set(
+            request.sampling_set, job.gd_problem.var_signal->size());
       } else if (request.formula.has_sampling_set()) {
-        job.gd_problem.sampling_set = &request.formula.sampling_set();
+        job.gd_problem.sampling_set = request.formula.sampling_set();
       }
       job.bank = std::make_unique<sampler::ShardedUniqueBank>(
-          job.gd_problem.circuit->n_inputs());
+          sampler::bank_key_bits(job.gd_problem, job.loop_config));
     }
     if (job.engine == nullptr) {
       job.engine = std::make_unique<prob::Engine>(
-          *job.plan->compiled, sampler::engine_config_for(job.loop_config));
+          *job.plan->compiled,
+          sampler::engine_config_for(job.loop_config, job.gd_problem));
     }
     if (job.harvester == nullptr) {
       job.harvester =
           std::make_unique<sampler::Harvester<sampler::ShardedUniqueBank>>(
               job.gd_problem, request.formula, job.run_options, *job.bank,
-              job.result, &*job.plan->eval_plan, /*inline_eval=*/true);
+              job.result, &*job.plan->eval_plan, /*inline_eval=*/true,
+              sampler::harvest_mode_for(job.gd_problem, job.loop_config));
     }
     job.runner = std::make_unique<
         sampler::RoundRunner<sampler::ShardedUniqueBank>>(
@@ -645,6 +650,8 @@ JobStatus Server::run_slice(Job& job) {
     job.stats.rows_validated = job.harvester->rows_validated();
     job.stats.amplified_candidates = job.runner->amplified_candidates();
     job.stats.amplified_uniques = job.runner->amplified_uniques();
+    job.stats.diversity_restarted_rows = job.runner->diversity_restarted_rows();
+    job.stats.weighted_inputs = job.engine->n_weighted_inputs();
   };
   auto stop_now = [&] {
     return reached_target() || capped() || job.deadline.expired() ||
@@ -708,7 +715,9 @@ void Server::finalize(const std::shared_ptr<Job>& job, JobStatus status) {
       stats.gd_iterations = job->runner->gd_iterations();
       stats.amplified_candidates = job->runner->amplified_candidates();
       stats.amplified_uniques = job->runner->amplified_uniques();
+      stats.diversity_restarted_rows = job->runner->diversity_restarted_rows();
     }
+    if (job->engine) stats.weighted_inputs = job->engine->n_weighted_inputs();
     stats.delivered = job->stream->delivered();
     exec_ms = stats.exec_ms;
   }

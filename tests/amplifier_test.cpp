@@ -210,7 +210,7 @@ TEST(Amplifier, SamplingSetAndInputVarsScopeSupport) {
   const std::vector<cnf::Var> sampling_set = {10, 14, 99};
   sampler::GdProblem scoped = h.problem;
   scoped.input_vars = &input_vars;
-  scoped.sampling_set = &sampling_set;
+  scoped.sampling_set = sampling_set;
   sampler::RunResult result;
   sampler::UniqueBank bank(c.n_inputs());
   sampler::Harvester<sampler::UniqueBank> harvester(scoped, h.formula,
@@ -344,6 +344,11 @@ TEST(Amplifier, ServiceStreamsAreFleetSizeInvariantWithAmplification) {
     request.config.iterations = 3;
     request.config.amplify.enabled = true;
     request.sampling_set = {0, 1, 2, 3};  // per-request projection override
+    // This test pins the *flip-support* scoping under full-assignment dedup.
+    // Projected dedup (the default) would cap the stream at the 5 projected
+    // classes — far below the 35-unique target — so it is explicitly off
+    // here; tests/projected_test.cpp covers the projected semantics.
+    request.config.projected_dedup = false;
     service::JobHandle handle = server.submit(std::move(request));
     ASSERT_EQ(handle.wait(), service::JobStatus::kCompleted);
     std::vector<cnf::Assignment> solutions;

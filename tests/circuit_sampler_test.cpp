@@ -75,6 +75,31 @@ TEST(CircuitSampler, ExhaustsSolutionSpaceExactly) {
   EXPECT_EQ(found, expected);
 }
 
+TEST(CircuitSampler, SamplingSetReachesProjectedDedup) {
+  // Regression: the configured sampling set used to be dropped on the floor
+  // before reaching GdProblem, so projected dedup (and the amplifier's flip
+  // support) never saw it.  Projecting the MUX onto {s, d1} merges the two
+  // s=0, d0=1 witnesses: 4 full solutions, 3 projected classes.
+  const Circuit c = mux_circuit();
+  CircuitSamplerConfig config = fast_config();
+  config.sampling_set = {0, 1};
+  config.max_rounds = 8;
+  CircuitSampler sampler(c, config);
+  RunOptions options;
+  options.min_solutions = 3;
+  options.budget_ms = 5000.0;
+  options.store_limit = 16;
+  const RunResult result = sampler.run(options);
+  EXPECT_EQ(result.n_unique, 3u);
+  std::set<std::vector<std::uint8_t>> projections;
+  for (const auto& s : result.solutions) {
+    EXPECT_TRUE(c.outputs_satisfied(c.eval({s[0], s[1], s[2]})));
+    EXPECT_TRUE(projections.insert({s[0], s[1]}).second)
+        << "duplicate projection delivered";
+  }
+  EXPECT_EQ(projections.size(), 3u);
+}
+
 TEST(CircuitSampler, AgreesWithCnfPipeline) {
   // The direct path and the Tseitin->transform->sample path must sample the
   // same input space.
