@@ -22,6 +22,7 @@ stem.
 import argparse
 import json
 import os
+import re
 import sys
 
 # bench name -> (key fields joined into the row label, metric fields; each
@@ -31,9 +32,16 @@ KNOWN_BENCHES = {
                     ("iters_per_sec", "harvest_rows_per_sec")),
     "round_parallel": (("instance", "policy", "workers"),
                        ("sol_per_sec", "harvest_rows_per_worker_sec")),
+    "service_throughput": (("instance", "mode"),
+                           ("svc_uniques_per_sec", "req_per_sec",
+                            "multiplier", "overhead_pct")),
 }
 # Fallback metric candidates for benches this script does not know yet.
 FALLBACK_METRICS = ("iters_per_sec", "sol_per_sec", "throughput", "elapsed_ms")
+# Histogram-percentile fields (p50_ms, slice_p99_ms, ...) are always picked
+# up in addition to the declared metrics: telemetry histograms surface as
+# pNN summaries in bench records, and every one of them is a trajectory.
+PERCENTILE_RE = re.compile(r"(?:^|_)p\d{1,3}(?:_|$)")
 
 
 def label_for(path):
@@ -57,9 +65,12 @@ def rows_from(doc):
         else:
             fields = [str(record.get(k, "?")) for k in key_fields]
             record_metrics = metrics
-        for metric in record_metrics:
+        percentiles = tuple(
+            k for k in record
+            if k not in record_metrics and PERCENTILE_RE.search(k))
+        for metric in record_metrics + percentiles:
             value = record.get(metric)
-            if isinstance(value, (int, float)):
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
                 yield f"{bench}:{'/'.join(fields)} [{metric}]", float(value)
 
 

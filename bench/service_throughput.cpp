@@ -32,11 +32,22 @@
 //                         Asserts: no duplicate projections delivered, and
 //                         >= 1.5x distinct projected uniques on >= 2 of 3
 //                         families.
+//   telemetry-overhead    the identical fixed-work fleet with telemetry
+//                         (metrics + tracing) off vs on, min-of-3 each,
+//                         interleaved.  Asserts the enabled-path overhead
+//                         bar (<= 2%, plus a small absolute allowance for
+//                         timer granularity), records the slice-duration
+//                         p50/p99 the registry exported, and cross-checks
+//                         the delivered-solutions counter against the sum
+//                         of the fleet's JobStats.
 //
 // Extra knobs on top of bench_common's:
 //   HTS_BENCH_SERVICE_REQUESTS  concurrent requests in the throughput
 //                               scenario (default 8)
 //   HTS_BENCH_SERVICE_WORKERS   fleet size (default: hardware concurrency)
+//
+// `--trace FILE` writes the Chrome trace-event JSON the telemetry-overhead
+// scenario's traced runs recorded (Perfetto-loadable; CI validates it).
 
 #include <algorithm>
 #include <cstdio>
@@ -49,6 +60,8 @@
 
 #include "bench_common.hpp"
 #include "service/server.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
 
 namespace {
 
@@ -140,6 +153,10 @@ Aggregate run_service_concurrent(const cnf::Formula& formula,
 int main(int argc, char** argv) {
   bench::BenchEnv env;
   bench::JsonWriter json(argc, argv, "service_throughput");
+  std::string trace_path;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == "--trace") trace_path = argv[i + 1];
+  }
   const std::size_t hardware =
       std::max<std::size_t>(1, std::thread::hardware_concurrency());
   const auto n_workers = static_cast<std::size_t>(util::env_int(
@@ -633,6 +650,130 @@ int main(int argc, char** argv) {
                            "families (bar: 2)\n",
                    families_over_bar, std::size(kProjFamilies));
       return 1;
+    }
+  }
+
+  // --- scenario 7: telemetry overhead at fixed work -------------------------
+  // The same fleet (same formulas, seeds, targets — fixed work, not fixed
+  // time) runs with telemetry fully off and fully on (metrics + tracing),
+  // interleaved min-of-3 per mode so machine drift hits both sides.  The
+  // contract under test: every record site is one relaxed-load branch when
+  // off and a couple of relaxed atomic ops when on, so the enabled run must
+  // stay within 2% of the disabled run plus the machine's own measured
+  // noise floor (see `allowance` below).
+  {
+    const bool metrics_before = telemetry::metrics_enabled();
+    const bool trace_before = telemetry::trace_enabled();
+    telemetry::Registry::global().reset_values();
+    telemetry::TraceSink::global().clear();
+    constexpr std::size_t kReps = 3;
+    constexpr std::size_t kFleet = 4;
+    std::uint64_t delivered_stats = 0;  // JobStats sum over the traced reps
+    auto fleet_ms = [&](bool count_delivered) {
+      service::Server server({.n_workers = 2});
+      const util::Timer timer;
+      std::vector<service::JobHandle> handles;
+      handles.reserve(kFleet);
+      for (std::size_t i = 0; i < kFleet; ++i) {
+        service::SamplingRequest request = make_request(
+            short_instance.formula, short_target, env.seed + 200 + i,
+            short_batch);
+        request.client_id = i;
+        request.deliver_solutions = true;  // exercise the stream seam too
+        handles.push_back(server.submit(std::move(request)));
+      }
+      for (const service::JobHandle& handle : handles) {
+        (void)handle.wait();
+        if (count_delivered) delivered_stats += handle.stats().delivered;
+        handle.stream().cancel();  // undelivered tail is not the subject
+      }
+      return timer.milliseconds();
+    };
+    double off_min = std::numeric_limits<double>::infinity();
+    double off_max = 0.0;
+    double on_min = std::numeric_limits<double>::infinity();
+    for (std::size_t rep = 0; rep < kReps; ++rep) {
+      telemetry::set_metrics_enabled(false);
+      telemetry::set_trace_enabled(false);
+      const double off = fleet_ms(/*count_delivered=*/false);
+      off_min = std::min(off_min, off);
+      off_max = std::max(off_max, off);
+      telemetry::set_metrics_enabled(true);
+      telemetry::set_trace_enabled(true);
+      on_min = std::min(on_min, fleet_ms(/*count_delivered=*/true));
+    }
+    telemetry::set_metrics_enabled(metrics_before);
+    telemetry::set_trace_enabled(trace_before);
+    const double overhead_pct =
+        off_min > 0.0 ? 100.0 * (on_min - off_min) / off_min : 0.0;
+    // Self-calibrating noise allowance: identical work repeated in the same
+    // mode already spreads by off_max - off_min on a loaded host, so the 2%
+    // bar is only meaningful above that floor (2 ms minimum for timer
+    // granularity at smoke budgets).
+    const double allowance =
+        off_min * 0.02 + std::max(2.0, off_max - off_min);
+
+    // The enabled runs populated the registry: export the percentile view
+    // an operator would read off the slice-duration histogram, and
+    // cross-check the delivered counter against the fleet's own JobStats.
+    telemetry::Registry& registry = telemetry::Registry::global();
+    telemetry::Histogram& slice_hist = registry.histogram(
+        "hts_scheduler_slice_ms",
+        {0.1, 0.5, 1.0, 2.0, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 1000.0});
+    const double slice_p50 = slice_hist.percentile(50.0);
+    const double slice_p99 = slice_hist.percentile(99.0);
+    const std::uint64_t delivered_metric =
+        registry.counter("hts_stream_delivered_total").value();
+
+    std::printf("\ntelemetry overhead (fixed work, min of %zu): off %.1f ms "
+                "(spread %.1f), on %.1f ms -> %+.2f%% (bar: <= 2%% + noise "
+                "floor); slice p50 %.2f ms, p99 %.2f ms\n",
+                kReps, off_min, off_max - off_min, on_min, overhead_pct,
+                slice_p50, slice_p99);
+    {
+      bench::JsonRecord record;
+      record.field("mode", "telemetry-overhead")
+          .field("instance", short_instance.name)
+          .field("fleet", kFleet)
+          .field("reps", kReps)
+          .field("off_ms", off_min)
+          .field("off_spread_ms", off_max - off_min)
+          .field("on_ms", on_min)
+          .field("overhead_pct", overhead_pct)
+          .field("allowance_ms", allowance)
+          .field("slice_p50_ms", slice_p50)
+          .field("slice_p99_ms", slice_p99)
+          .field("slice_count", slice_hist.count())
+          .field("delivered_metric", delivered_metric)
+          .field("delivered_stats", delivered_stats)
+          .field("trace_dropped", telemetry::TraceSink::global().dropped());
+      json.add(record);
+    }
+    bool ok = true;
+    if (on_min > off_min + allowance) {
+      std::fprintf(stderr, "[service_throughput] FAIL: telemetry-on run took "
+                           "%.1f ms vs %.1f ms off (bar: +2%% + %.1f ms "
+                           "noise floor)\n",
+                   on_min, off_min, std::max(2.0, off_max - off_min));
+      ok = false;
+    }
+    if (delivered_metric != delivered_stats) {
+      std::fprintf(stderr, "[service_throughput] FAIL: delivered counter %llu "
+                           "!= JobStats sum %llu\n",
+                   static_cast<unsigned long long>(delivered_metric),
+                   static_cast<unsigned long long>(delivered_stats));
+      ok = false;
+    }
+    if (!trace_path.empty() &&
+        !telemetry::TraceSink::global().write_chrome_json(trace_path)) {
+      std::fprintf(stderr, "[service_throughput] FAIL: cannot write trace to "
+                           "%s\n", trace_path.c_str());
+      ok = false;
+    }
+    if (!ok) return 1;
+    if (!trace_path.empty()) {
+      std::printf("trace written to %s (load in ui.perfetto.dev)\n",
+                  trace_path.c_str());
     }
   }
 

@@ -1,7 +1,8 @@
 // serve_cli: drive the in-process sampling service with a batch of jobs.
 //
 //   ./serve_cli [--workers N] [--admission] [--amplify] [--project]
-//               [--fault SPEC] [jobspec-file]
+//               [--fault SPEC] [--metrics [FILE]] [--trace FILE]
+//               [jobspec-file]
 //
 // --admission turns on deadline-aware admission control (infeasible requests
 // come back `rejected` at submit, before any compile); --amplify turns on
@@ -14,6 +15,14 @@
 // (same grammar as HTS_FAULT_SPEC, e.g.
 // 'compile:every=3;slice:every=5:kind=transient') so the failure paths in
 // the table below can be exercised from the command line.
+//
+// Observability: --metrics enables the telemetry registry and, after the
+// fleet drains, emits the Prometheus text exposition (to FILE when the next
+// argument names one, else to stdout); --trace FILE enables per-job span
+// tracing and writes a Chrome trace-event JSON loadable in Perfetto (one
+// track per worker, one async track per job covering submit -> finalize).
+// Both flags must take effect before the Server is constructed, and neither
+// perturbs the sampled streams (see README "Observability").
 //
 // Each non-comment line of the jobspec file is one request:
 //
@@ -39,6 +48,8 @@
 #include "benchgen/families.hpp"
 #include "cnf/dimacs.hpp"
 #include "service/server.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
 #include "util/table.hpp"
 
 namespace {
@@ -103,9 +114,12 @@ int main(int argc, char** argv) {
   std::size_t n_workers = 0;  // hardware
   std::string spec_path;
   std::string fault_spec;
+  std::string metrics_path;
+  std::string trace_path;
   bool admission = false;
   bool amplify = false;
   bool project = false;
+  bool metrics = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--workers" && i + 1 < argc) {
@@ -118,10 +132,23 @@ int main(int argc, char** argv) {
       amplify = true;
     } else if (arg == "--project") {
       project = true;
+    } else if (arg == "--metrics") {
+      metrics = true;
+      // Optional output file: consume the next argument unless it is a flag
+      // or the (sole) jobspec positional at the end.
+      if (i + 1 < argc && argv[i + 1][0] != '-' && i + 2 < argc) {
+        metrics_path = argv[++i];
+      }
+    } else if (arg == "--trace" && i + 1 < argc) {
+      trace_path = argv[++i];
     } else {
       spec_path = arg;
     }
   }
+  // Enable telemetry before the Server (and its workers) exist so every
+  // record site sees the flag from the first slice on.
+  if (metrics) telemetry::set_metrics_enabled(true);
+  if (!trace_path.empty()) telemetry::set_trace_enabled(true);
 
   std::vector<JobSpec> specs;
   if (spec_path.empty()) {
@@ -219,5 +246,26 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(stats.retried),
               static_cast<unsigned long long>(cache.hits),
               static_cast<unsigned long long>(cache.misses));
+
+  if (metrics) {
+    // Pull the same snapshot an embedding process would poll live; the
+    // Prometheus rendering is what a /metrics endpoint will serve.
+    const service::StatsSnapshot snapshot = server.stats_snapshot();
+    if (metrics_path.empty()) {
+      std::printf("\n%s", snapshot.metrics_prometheus.c_str());
+    } else {
+      std::ofstream out(metrics_path);
+      out << snapshot.metrics_prometheus;
+      std::printf("metrics written to %s\n", metrics_path.c_str());
+    }
+  }
+  if (!trace_path.empty()) {
+    // Every job finalized above, so every async track is closed; quiesce the
+    // workers before draining the per-thread rings.
+    server.shutdown();
+    telemetry::TraceSink::global().write_chrome_json(trace_path);
+    std::printf("trace written to %s (load in ui.perfetto.dev)\n",
+                trace_path.c_str());
+  }
   return 0;
 }

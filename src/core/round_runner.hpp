@@ -29,7 +29,10 @@
 #include "core/gd_loop.hpp"
 #include "core/harvester.hpp"
 #include "prob/engine.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
 #include "util/rng.hpp"
+#include "util/timer.hpp"
 
 namespace hts::sampler {
 
@@ -161,6 +164,14 @@ class RoundRunner {
   /// the restart draws because a fresh randomize() follows anyway.
   template <typename Checkpoint, typename Stop>
   void run_round(util::Rng& rng, Checkpoint&& checkpoint, Stop&& stop_now) {
+    // Telemetry reads the clock and counters only — never the RNG, never
+    // the harvest order — so instrumented and plain rounds are bit-identical.
+    const bool traced = telemetry::trace_enabled();
+    const std::uint64_t round_begin_ns = traced ? util::monotonic_ns() : 0;
+    const std::uint64_t iters_before = gd_iterations_;
+    const std::uint64_t solved_before = restarted_rows_;
+    const std::uint64_t plateau_before = plateau_restarted_rows_;
+    const std::uint64_t diversity_before = diversity_restarted_rows_;
     engine_.randomize(rng);
     if (plateau_) plateau_->begin_round();
     // Whether the diversity objective can steer projections at all: it
@@ -272,6 +283,14 @@ class RoundRunner {
       }
       if (stop_now()) break;
     }
+    if (telemetry::metrics_enabled()) record_round_metrics(
+        gd_iterations_ - iters_before, restarted_rows_ - solved_before,
+        plateau_restarted_rows_ - plateau_before,
+        diversity_restarted_rows_ - diversity_before);
+    if (traced) {
+      telemetry::TraceSink::global().complete("gd_round", "gd", round_begin_ns,
+                                              util::monotonic_ns());
+    }
   }
 
   /// Rows re-seeded by solved-row restarts over the runner's lifetime.
@@ -301,6 +320,28 @@ class RoundRunner {
   }
 
  private:
+  /// One registry lookup per process (function-local statics), then sharded
+  /// relaxed adds; deltas are computed by run_round so a partially executed
+  /// round still bills exactly what it did.
+  static void record_round_metrics(std::uint64_t iterations,
+                                   std::uint64_t solved, std::uint64_t plateau,
+                                   std::uint64_t diversity) {
+    telemetry::Registry& reg = telemetry::Registry::global();
+    static telemetry::Counter& rounds = reg.counter("hts_gd_rounds_total");
+    static telemetry::Counter& iters = reg.counter("hts_gd_iterations_total");
+    static telemetry::Counter& restarts_solved =
+        reg.counter("hts_gd_restarts_total", {{"kind", "solved"}});
+    static telemetry::Counter& restarts_plateau =
+        reg.counter("hts_gd_restarts_total", {{"kind", "plateau"}});
+    static telemetry::Counter& restarts_diversity =
+        reg.counter("hts_gd_restarts_total", {{"kind", "diversity"}});
+    rounds.increment();
+    iters.add(iterations);
+    if (solved != 0) restarts_solved.add(solved);
+    if (plateau != 0) restarts_plateau.add(plateau);
+    if (diversity != 0) restarts_diversity.add(diversity);
+  }
+
   const GdLoopConfig& config_;
   prob::Engine& engine_;
   Harvester<Bank>& harvester_;

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "service/request.hpp"
+#include "telemetry/metrics.hpp"
 #include "util/check.hpp"
 #include "util/timer.hpp"
 #include "verify/plan_verifier.hpp"
@@ -105,6 +106,9 @@ std::shared_ptr<const CompiledPlan> PlanCache::get_or_compile(
   // CompiledPlan) unwinds from here with the entry still resident and
   // `plan` still null — the next requester retries the compile, and
   // neither hit nor miss is counted for the aborted attempt.
+  // Sampled before blocking on build_mutex: a hit whose entry was not yet
+  // built at this point waited on another request's in-flight compile.
+  const bool was_built = entry->built.load(std::memory_order_acquire);
   util::LockGuard build_lock(entry->build_mutex);
   const bool hit = entry->plan != nullptr;
   if (!hit) {
@@ -112,12 +116,29 @@ std::shared_ptr<const CompiledPlan> PlanCache::get_or_compile(
     entry->plan = std::make_shared<const CompiledPlan>(formula, options);
     entry->built.store(true, std::memory_order_release);
   }
+  const bool inflight_wait = hit && !was_built;
   {
     util::LockGuard lock(mutex_);
     if (hit) {
       ++stats_.hits;
+      if (inflight_wait) ++stats_.inflight_waits;
     } else {
       ++stats_.misses;
+    }
+  }
+  if (telemetry::metrics_enabled()) {
+    telemetry::Registry& reg = telemetry::Registry::global();
+    static telemetry::Counter& hits_total =
+        reg.counter("hts_plan_cache_hits_total");
+    static telemetry::Counter& misses_total =
+        reg.counter("hts_plan_cache_misses_total");
+    static telemetry::Counter& inflight_total =
+        reg.counter("hts_plan_cache_inflight_waits_total");
+    if (hit) {
+      hits_total.increment();
+      if (inflight_wait) inflight_total.increment();
+    } else {
+      misses_total.increment();
     }
   }
   if (cache_hit != nullptr) *cache_hit = hit;
@@ -143,6 +164,11 @@ void PlanCache::evict_locked() {
     // plan keep it alive.
     entries_.erase(victim);
     ++stats_.evictions;
+    if (telemetry::metrics_enabled()) {
+      static telemetry::Counter& evictions_total =
+          telemetry::Registry::global().counter("hts_plan_cache_evictions_total");
+      evictions_total.increment();
+    }
   }
 }
 

@@ -90,6 +90,9 @@ class PlanCache {
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;
     std::uint64_t evictions = 0;
+    /// Hits that blocked on another requester's in-flight compile (a subset
+    /// of `hits`): the dedup machinery actually collapsing concurrent misses.
+    std::uint64_t inflight_waits = 0;
   };
 
   /// capacity: maximum resident entries (LRU beyond it); at least 1.

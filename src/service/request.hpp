@@ -211,7 +211,19 @@ struct JobStats {
   std::size_t weighted_inputs = 0;
   double queue_wait_ms = 0.0;      // total time spent waiting for a worker
   double exec_ms = 0.0;            // total time holding a worker
-  double compile_ms = 0.0;         // this job's wait on plan compilation
+  /// Build cost of this job's plan — nonzero only on the one request that
+  /// actually compiled it (the entry's recorded one-time cost).  Requests
+  /// that waited on another job's in-flight compile bill cache_wait_ms
+  /// instead, so fleet-wide sums of compile_ms equal real compile work.
+  double compile_ms = 0.0;
+  /// Time blocked on the plan cache without compiling: an in-flight build
+  /// by another request, or the (cheap) fingerprint + lookup on a hit.
+  double cache_wait_ms = 0.0;
+  /// Harvest/validation time inside this job's slices (phase-1 eval +
+  /// word-parallel accept), and amplifier wave time; both already included
+  /// in exec_ms, split out here from the same clock.
+  double harvest_ms = 0.0;
+  double amplify_ms = 0.0;
   double wall_ms = 0.0;            // submission -> terminal
   bool plan_cache_hit = false;     // plan reused (possibly after waiting on
                                    // another request's in-flight compile)

@@ -14,6 +14,8 @@
 #include "core/round_runner.hpp"
 #include "core/unique_bank.hpp"
 #include "prob/engine.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
 #include "util/mutex.hpp"
 #include "util/rng.hpp"
 #include "util/stop_token.hpp"
@@ -21,6 +23,64 @@
 #include "util/timer.hpp"
 
 namespace hts::service {
+
+namespace {
+
+// ---- telemetry seams ---------------------------------------------------------
+//
+// Every record site below is gated on one relaxed load (metrics_enabled /
+// trace_enabled); the registry/sink locks are leaves (util/mutex.hpp item
+// 5), so these helpers are safe under Server::mutex_ and Job::mutex alike.
+// Telemetry only ever *reads* job state — never the RNG, never ordering —
+// so instrumented runs stream bit-identical solutions.
+
+/// Async-track category of the per-job spans; (cat, job id) keys one
+/// Perfetto track covering submit -> finalize.
+constexpr const char* kJobCat = "job";
+
+telemetry::Gauge& queue_depth_gauge() {
+  static telemetry::Gauge& gauge =
+      telemetry::Registry::global().gauge("hts_scheduler_queue_depth");
+  return gauge;
+}
+
+void record_slice_ms(double slice_ms) {
+  static telemetry::Histogram& slice_hist =
+      telemetry::Registry::global().histogram(
+          "hts_scheduler_slice_ms",
+          {0.1, 0.5, 1.0, 2.0, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 1000.0});
+  slice_hist.observe(slice_ms);
+}
+
+/// Per-client admission counters.  Client ids are formatted per event;
+/// submit/retry frequency is scheduling-edge, not per-iteration, so the
+/// by-name registry lookup is acceptable there.
+void record_client_event(const char* name, std::uint64_t client_id) {
+  telemetry::Registry::global()
+      .counter(name, {{"client", std::to_string(client_id)}})
+      .increment();
+}
+
+void record_finalized(JobStatus status) {
+  telemetry::Registry::global()
+      .counter("hts_jobs_finalized_total",
+               {{"status", job_status_name(status)}})
+      .increment();
+}
+
+/// Interns an error's site string onto the static fault_sites constants so
+/// the trace event carries a stable pointer (TraceEvent names are never
+/// copied).  Unknown sites collapse onto "slice".
+const char* intern_site(const std::string& site) {
+  for (const char* known :
+       {fault_sites::kCompile, fault_sites::kEngineAlloc, fault_sites::kHarvest,
+        fault_sites::kStreamPush, fault_sites::kSlice}) {
+    if (site == known) return known;
+  }
+  return fault_sites::kSlice;
+}
+
+}  // namespace
 
 namespace detail {
 
@@ -103,6 +163,16 @@ struct Job {
   util::CondVar done_cv;
   JobStats stats HTS_GUARDED_BY(mutex);
   util::Timer lifetime;
+
+  /// The job's relative clock at an absolute util::monotonic_ns() stamp.
+  /// Every boundary (enqueue, pop, slice end) captures `now_ns` once and
+  /// derives both its *_ms stats delta and its trace-span timestamp from
+  /// it, so the two bookkeeping views can never disagree.
+  [[nodiscard]] double ms_at(std::uint64_t now_ns) const {
+    return static_cast<double>(now_ns - lifetime.start_ns()) * 1e-6;
+  }
+  /// Absolute submission stamp (the async job track's begin).
+  [[nodiscard]] std::uint64_t submit_ns() const { return lifetime.start_ns(); }
 
   void cancel() {
     user_cancelled.store(true, std::memory_order_relaxed);
@@ -187,7 +257,7 @@ Server::Server(ServerConfig config)
     avg_job_cost_ms_ = config_.admission.initial_job_cost_ms;
   }
   for (std::size_t w = 0; w < n_workers_; ++w) {
-    pool_.submit([this] { worker_loop(); });
+    pool_.submit([this, w] { worker_loop(w); });
   }
 }
 
@@ -198,6 +268,7 @@ JobHandle Server::submit(SamplingRequest request) {
   enum class Outcome : std::uint8_t { kAccepted, kShutdown, kRejected };
   Outcome outcome = Outcome::kAccepted;
   ErrorInfo error;
+  std::uint64_t enqueue_ns = 0;
   {
     util::LockGuard lock(mutex_);
     job->id = next_id_++;
@@ -212,9 +283,17 @@ JobHandle Server::submit(SamplingRequest request) {
       ++usage.live_jobs;
       usage.reserved_bank_bytes += job->request.max_bank_bytes;
       job->usage_accounted = true;
-      job->enqueued_at_ms = job->lifetime.milliseconds();
+      enqueue_ns = util::monotonic_ns();
+      job->enqueued_at_ms = job->ms_at(enqueue_ns);
       ready_.push_back(job);
     }
+  }
+  // The job's async trace track opens at submission for every outcome;
+  // finalize() closes it, so even an immediately rejected job renders as a
+  // (tiny) balanced span.
+  if (telemetry::trace_enabled()) {
+    telemetry::TraceSink::global().async_begin("job", kJobCat, job->id,
+                                               job->submit_ns());
   }
   switch (outcome) {
     case Outcome::kShutdown:
@@ -229,10 +308,27 @@ JobHandle Server::submit(SamplingRequest request) {
         util::LockGuard jlock(job->mutex);
         job->stats.error = error;
       }
+      if (telemetry::metrics_enabled()) {
+        record_client_event("hts_scheduler_rejected_total",
+                            job->request.client_id);
+      }
+      if (telemetry::trace_enabled()) {
+        telemetry::TraceSink::global().async_instant(
+            "rejected", kJobCat, job->id, util::monotonic_ns());
+      }
       finalize(job, JobStatus::kRejected);
       break;
     }
     case Outcome::kAccepted:
+      if (telemetry::metrics_enabled()) {
+        record_client_event("hts_scheduler_admitted_total",
+                            job->request.client_id);
+        queue_depth_gauge().add(1);
+      }
+      if (telemetry::trace_enabled()) {
+        telemetry::TraceSink::global().async_begin("queue", kJobCat, job->id,
+                                                   enqueue_ns);
+      }
       work_cv_.notify_one();
       break;
   }
@@ -339,6 +435,21 @@ ServerStats Server::stats() const {
   return stats_;
 }
 
+StatsSnapshot Server::stats_snapshot() const {
+  StatsSnapshot snapshot;
+  {
+    util::LockGuard lock(mutex_);
+    snapshot.server = stats_;
+    snapshot.queue_depth = ready_.size();
+    snapshot.running = running_.size();
+  }
+  snapshot.plan_cache = cache_.stats();
+  const telemetry::Registry& registry = telemetry::Registry::global();
+  snapshot.metrics_json = registry.snapshot_json();
+  snapshot.metrics_prometheus = registry.render_prometheus();
+  return snapshot;
+}
+
 bool Server::schedules_before_locked(const Job& a, const Job& b) const {
   // Aborted jobs first: retiring one frees its slot without spending a
   // slice, so a cancelled job never waits behind real work.
@@ -388,10 +499,15 @@ std::shared_ptr<Job> Server::pop_best_locked() {
   client_last_pop_[job->request.client_id] = ++pop_seq_;
   job->last_pop_seq = pop_seq_;
   ++stats_.slices;
+  // One clock capture feeds the stats delta and the trace span alike.
+  const std::uint64_t now_ns = util::monotonic_ns();
   {
     util::LockGuard jlock(job->mutex);
-    job->stats.queue_wait_ms +=
-        job->lifetime.milliseconds() - job->enqueued_at_ms;
+    job->stats.queue_wait_ms += job->ms_at(now_ns) - job->enqueued_at_ms;
+  }
+  if (telemetry::metrics_enabled()) queue_depth_gauge().sub(1);
+  if (telemetry::trace_enabled()) {
+    telemetry::TraceSink::global().async_end("queue", kJobCat, job->id, now_ns);
   }
   return job;
 }
@@ -402,7 +518,11 @@ void Server::reap_running_locked() {
   }
 }
 
-void Server::worker_loop() {
+void Server::worker_loop(std::size_t worker_index) {
+  if (telemetry::trace_enabled()) {
+    telemetry::TraceSink::global().set_thread_name(
+        "worker-" + std::to_string(worker_index));
+  }
   for (;;) {
     std::shared_ptr<Job> job;
     {
@@ -446,7 +566,11 @@ void Server::worker_loop() {
     // loop.  Classify what escaped, attribute it to the seam the slice was
     // inside, and either retry (bounded, backed off) or finalize kFailed —
     // the worker and every other job continue either way.
-    const double slice_begin_ms = job->lifetime.milliseconds();
+    const std::uint64_t slice_begin_ns = util::monotonic_ns();
+    if (telemetry::trace_enabled()) {
+      telemetry::TraceSink::global().async_begin("slice", kJobCat, job->id,
+                                                 slice_begin_ns);
+    }
     JobStatus outcome = JobStatus::kRunning;
     ErrorInfo error;
     try {
@@ -469,7 +593,9 @@ void Server::worker_loop() {
                "non-standard exception"};
     }
 
+    const std::uint64_t slice_end_ns = util::monotonic_ns();
     double backoff_ms = 0.0;
+    bool retried = false;
     if (!error.ok()) {
       const bool retryable = error.category == ErrorCategory::kTransient ||
                              error.category == ErrorCategory::kResource;
@@ -482,6 +608,7 @@ void Server::worker_loop() {
         backoff_ms =
             config_.retry_backoff_ms * static_cast<double>(1u << job->retries);
         ++job->retries;
+        retried = true;
         outcome = JobStatus::kRunning;  // re-enqueue below
       } else {
         outcome = JobStatus::kFailed;
@@ -491,8 +618,32 @@ void Server::worker_loop() {
       job->stats.retries = job->retries;
     }
     {
+      // Same slice_begin_ns/slice_end_ns pair feeds exec_ms, the slice
+      // histogram, and both trace spans — one clock read per boundary.
       util::LockGuard jlock(job->mutex);
-      job->stats.exec_ms += job->lifetime.milliseconds() - slice_begin_ms;
+      job->stats.exec_ms +=
+          job->ms_at(slice_end_ns) - job->ms_at(slice_begin_ns);
+    }
+    if (telemetry::metrics_enabled()) {
+      record_slice_ms(static_cast<double>(slice_end_ns - slice_begin_ns) *
+                      1e-6);
+      if (retried) {
+        record_client_event("hts_scheduler_retried_total",
+                            job->request.client_id);
+      }
+    }
+    if (telemetry::trace_enabled()) {
+      telemetry::TraceSink& sink = telemetry::TraceSink::global();
+      // Worker-track view of the same interval: which worker ran the slice.
+      sink.complete("slice", "service", slice_begin_ns, slice_end_ns);
+      if (!error.ok()) {
+        sink.async_instant(intern_site(error.site), kJobCat, job->id,
+                           slice_end_ns);
+      }
+      if (retried) {
+        sink.async_instant("retry", kJobCat, job->id, slice_end_ns);
+      }
+      sink.async_end("slice", kJobCat, job->id, slice_end_ns);
     }
 
     bool requeued = false;
@@ -500,13 +651,19 @@ void Server::worker_loop() {
       util::LockGuard lock(mutex_);
       running_.erase(std::find(running_.begin(), running_.end(), job));
       if (outcome == JobStatus::kRunning) {
-        job->enqueued_at_ms = job->lifetime.milliseconds();
+        const std::uint64_t requeue_ns = util::monotonic_ns();
+        job->enqueued_at_ms = job->ms_at(requeue_ns);
         job->not_before_ms =
             backoff_ms > 0.0 ? job->enqueued_at_ms + backoff_ms : 0.0;
         if (backoff_ms > 0.0) ++stats_.retried;
         job->status.store(JobStatus::kQueued, std::memory_order_release);
         ready_.push_back(job);
         requeued = true;
+        if (telemetry::metrics_enabled()) queue_depth_gauge().add(1);
+        if (telemetry::trace_enabled()) {
+          telemetry::TraceSink::global().async_begin("queue", kJobCat, job->id,
+                                                     requeue_ns);
+        }
       }
     }
     if (requeued) {
@@ -541,14 +698,35 @@ JobStatus Server::run_slice(Job& job) {
     plan_options.cone_only = request.config.cone_only;
     plan_options.optimize_tape = request.config.optimize_tape;
     plan_options.transform = request.config.transform;
-    const util::Timer compile_timer;
+    const std::uint64_t lookup_begin_ns = util::monotonic_ns();
     bool hit = false;
     job.plan =
         cache_.get_or_compile(request.formula, plan_options, &hit, &injector_);
+    const std::uint64_t lookup_end_ns = util::monotonic_ns();
+    const double lookup_ms =
+        static_cast<double>(lookup_end_ns - lookup_begin_ns) * 1e-6;
     {
+      // Billing: the plan's one-time build cost (recorded on the cache
+      // entry) is charged only to the job that actually compiled it; a hit
+      // — including a wait on another job's in-flight build — is pure cache
+      // wait.  No double-accounting: fleet-wide sum(compile_ms) equals the
+      // cost of the distinct plans built.
       util::LockGuard jlock(job.mutex);
-      job.stats.compile_ms += compile_timer.milliseconds();
+      if (hit) {
+        job.stats.cache_wait_ms += lookup_ms;
+      } else {
+        job.stats.compile_ms += job.plan->compile_ms;
+        job.stats.cache_wait_ms +=
+            std::max(0.0, lookup_ms - job.plan->compile_ms);
+      }
       job.stats.plan_cache_hit = hit;
+    }
+    if (telemetry::trace_enabled()) {
+      const char* span = hit ? "cache_wait" : "compile";
+      telemetry::TraceSink& sink = telemetry::TraceSink::global();
+      sink.complete(span, "service", lookup_begin_ns, lookup_end_ns);
+      sink.async_begin(span, kJobCat, job.id, lookup_begin_ns);
+      sink.async_end(span, kJobCat, job.id, lookup_end_ns);
     }
     if (job.plan->transformed.proven_unsat) return JobStatus::kUnsat;
   }
@@ -624,6 +802,10 @@ JobStatus Server::run_slice(Job& job) {
     job.fail_site = fault_sites::kHarvest;
     injector_.maybe_fault(fault_sites::kHarvest);
     job.fail_site = fault_sites::kStreamPush;
+    const bool trace_deliver =
+        telemetry::trace_enabled() && !job.result.solutions.empty();
+    const std::uint64_t deliver_begin_ns =
+        trace_deliver ? util::monotonic_ns() : 0;
     std::size_t pushed = 0;
     try {
       for (cnf::Assignment& assignment : job.result.solutions) {
@@ -640,6 +822,11 @@ JobStatus Server::run_slice(Job& job) {
           job.result.solutions.begin() + static_cast<std::ptrdiff_t>(pushed));
       throw;
     }
+    if (trace_deliver) {
+      telemetry::TraceSink::global().complete("deliver", "service",
+                                              deliver_begin_ns,
+                                              util::monotonic_ns());
+    }
     job.result.solutions.clear();
     job.fail_site = fault_sites::kSlice;
     util::LockGuard jlock(job.mutex);
@@ -652,6 +839,10 @@ JobStatus Server::run_slice(Job& job) {
     job.stats.amplified_uniques = job.runner->amplified_uniques();
     job.stats.diversity_restarted_rows = job.runner->diversity_restarted_rows();
     job.stats.weighted_inputs = job.engine->n_weighted_inputs();
+    // Derived views of the phase timers the harvester/amplifier keep — the
+    // same clock (util::monotonic_ns) every span uses, not a parallel one.
+    job.stats.harvest_ms = job.harvester->harvest_ms();
+    job.stats.amplify_ms = job.runner->amplify_ms();
   };
   auto stop_now = [&] {
     return reached_target() || capped() || job.deadline.expired() ||
@@ -700,22 +891,29 @@ JobStatus Server::run_slice(Job& job) {
 }
 
 void Server::finalize(const std::shared_ptr<Job>& job, JobStatus status) {
+  // One clock read closes the job: wall_ms and the async track's end are
+  // derived from the same stamp.
+  const std::uint64_t finalize_ns = util::monotonic_ns();
   double exec_ms = 0.0;
   {
     util::LockGuard jlock(job->mutex);
     JobStats& stats = job->stats;
-    stats.wall_ms = job->lifetime.milliseconds();
+    stats.wall_ms = job->ms_at(finalize_ns);
     stats.rounds = job->rounds_started;
     if (job->bank) {
       stats.n_unique = job->bank->size();
       stats.bank_bytes = job->bank->size_bytes();
     }
-    if (job->harvester) stats.rows_validated = job->harvester->rows_validated();
+    if (job->harvester) {
+      stats.rows_validated = job->harvester->rows_validated();
+      stats.harvest_ms = job->harvester->harvest_ms();
+    }
     if (job->runner) {
       stats.gd_iterations = job->runner->gd_iterations();
       stats.amplified_candidates = job->runner->amplified_candidates();
       stats.amplified_uniques = job->runner->amplified_uniques();
       stats.diversity_restarted_rows = job->runner->diversity_restarted_rows();
+      stats.amplify_ms = job->runner->amplify_ms();
     }
     if (job->engine) stats.weighted_inputs = job->engine->n_weighted_inputs();
     stats.delivered = job->stream->delivered();
@@ -784,6 +982,12 @@ void Server::finalize(const std::shared_ptr<Job>& job, JobStatus status) {
     job->status.store(status, std::memory_order_release);
   }
   job->done_cv.notify_all();
+  if (telemetry::metrics_enabled()) record_finalized(status);
+  if (telemetry::trace_enabled()) {
+    telemetry::TraceSink& sink = telemetry::TraceSink::global();
+    sink.async_instant(job_status_name(status), kJobCat, job->id, finalize_ns);
+    sink.async_end("job", kJobCat, job->id, finalize_ns);
+  }
 }
 
 }  // namespace hts::service

@@ -143,6 +143,22 @@ struct ServerStats {
   std::uint64_t slices = 0;
 };
 
+/// One live pull of everything the server knows about itself: fleet
+/// counters, plan-cache stats, instantaneous queue state, and the telemetry
+/// registry's two export formats.  This is the in-process surface a future
+/// network front-end serves from /metrics (ROADMAP), and what serve_cli
+/// --metrics prints.
+struct StatsSnapshot {
+  ServerStats server;
+  PlanCache::Stats plan_cache;
+  std::size_t queue_depth = 0;
+  std::size_t running = 0;
+  /// telemetry::Registry::global() renders (both formats); process-wide, so
+  /// an embedding process with several Servers sees one merged registry.
+  std::string metrics_json;
+  std::string metrics_prometheus;
+};
+
 /// Client-side view of a submitted job.  Cheap to copy; the underlying job
 /// outlives the server's interest in it as long as any handle remains.
 class JobHandle {
@@ -194,6 +210,9 @@ class Server {
 
   [[nodiscard]] std::size_t n_workers() const { return n_workers_; }
   [[nodiscard]] ServerStats stats() const HTS_EXCLUDES(mutex_);
+  /// Live in-process pull: fleet + cache counters, queue state, and the
+  /// telemetry registry rendered as JSON and Prometheus text.
+  [[nodiscard]] StatsSnapshot stats_snapshot() const HTS_EXCLUDES(mutex_);
   [[nodiscard]] PlanCache::Stats plan_cache_stats() const {
     return cache_.stats();
   }
@@ -211,7 +230,7 @@ class Server {
     std::size_t reserved_bank_bytes = 0;
   };
 
-  void worker_loop() HTS_EXCLUDES(mutex_);
+  void worker_loop(std::size_t worker_index) HTS_EXCLUDES(mutex_);
   /// Admission decision for a fresh submission: quotas first, then the
   /// deadline-feasibility model (possibly degrading the job's batch in
   /// place).  False = reject, with the reason written to *error.

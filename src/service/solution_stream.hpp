@@ -37,6 +37,7 @@
 #include <vector>
 
 #include "cnf/types.hpp"
+#include "telemetry/metrics.hpp"
 #include "util/mutex.hpp"
 #include "util/stop_token.hpp"
 #include "util/thread_annotations.hpp"
@@ -68,22 +69,42 @@ class SolutionStream {
         if (cancelled_) return false;
         ++delivered_;
       }
+      if (telemetry::metrics_enabled()) record_delivered();
       callback_(assignment);
       return true;
     }
-    util::LockGuard lock(mutex_);
-    while (capacity_ != 0 && queue_.size() >= capacity_ && !cancelled_ &&
-           !closed_) {
-      if (abort.stop_requested() || deadline.expired()) return false;
-      // Bounded wait so an abort/deadline raised while we sleep is noticed
-      // promptly even if no consumer ever wakes us.
-      space_cv_.wait_for_ms(mutex_, 10.0);
+    // Backpressure stall time is measured from the first full-buffer check
+    // to the push (or drop), on the process monotonic clock; recorded after
+    // mutex_ is released so the metric path never runs under the stream lock.
+    double stall_begin_ms = -1.0;
+    bool pushed = false;
+    {
+      util::LockGuard lock(mutex_);
+      while (capacity_ != 0 && queue_.size() >= capacity_ && !cancelled_ &&
+             !closed_) {
+        if (abort.stop_requested() || deadline.expired()) break;
+        if (stall_begin_ms < 0.0 && telemetry::metrics_enabled()) {
+          stall_begin_ms = util::monotonic_ms();
+        }
+        // Bounded wait so an abort/deadline raised while we sleep is noticed
+        // promptly even if no consumer ever wakes us.
+        space_cv_.wait_for_ms(mutex_, 10.0);
+      }
+      const bool full = capacity_ != 0 && queue_.size() >= capacity_;
+      if (!cancelled_ && !closed_ && !full) {
+        queue_.push_back(std::move(assignment));
+        ++delivered_;
+        item_cv_.notify_one();
+        pushed = true;
+      }
     }
-    if (cancelled_ || closed_) return false;
-    queue_.push_back(std::move(assignment));
-    ++delivered_;
-    item_cv_.notify_one();
-    return true;
+    if (telemetry::metrics_enabled()) {
+      if (stall_begin_ms >= 0.0) {
+        record_stall(util::monotonic_ms() - stall_begin_ms);
+      }
+      if (pushed) record_delivered();
+    }
+    return pushed;
   }
 
   /// No more items will be pushed (job terminal).  Wakes blocked consumers
@@ -164,6 +185,22 @@ class SolutionStream {
   [[nodiscard]] std::size_t capacity() const { return capacity_; }
 
  private:
+  // Telemetry seams (util/mutex.hpp lock-order item 5: the registry lock is
+  // a leaf, and these run with no stream lock held).  References resolve
+  // once per process; after that each call is a sharded relaxed add.
+  static void record_delivered() {
+    static telemetry::Counter& delivered =
+        telemetry::Registry::global().counter("hts_stream_delivered_total");
+    delivered.increment();
+  }
+  static void record_stall(double stall_ms) {
+    static telemetry::Histogram& stall =
+        telemetry::Registry::global().histogram(
+            "hts_stream_stall_ms",
+            {0.1, 0.5, 1.0, 5.0, 10.0, 50.0, 100.0, 500.0, 1000.0});
+    stall.observe(stall_ms);
+  }
+
   const std::size_t capacity_;
   const std::function<void(const cnf::Assignment&)> callback_;
   mutable util::Mutex mutex_;
